@@ -1,0 +1,338 @@
+package dqo
+
+// Benchmark harness: one benchmark family per table/figure of the paper
+// (see DESIGN.md's per-experiment index) plus the A1-A5 ablations.
+//
+// Dataset size defaults to 2,000,000 rows so `go test -bench=.` finishes in
+// minutes; set DQO_BENCH_N=100000000 to reproduce the paper's full scale
+// (cmd/dqobench does the same with progress output).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"dqo/internal/benchkit"
+	"dqo/internal/core"
+	"dqo/internal/datagen"
+	"dqo/internal/expr"
+	"dqo/internal/hashtable"
+	"dqo/internal/logical"
+	"dqo/internal/physical"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+	"dqo/internal/xrand"
+)
+
+// benchN returns the Figure 4 dataset size.
+func benchN() int {
+	if s := os.Getenv("DQO_BENCH_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 2_000_000
+}
+
+var benchGroupCounts = []int{100, 10000, 40000}
+
+type figure4Dataset struct {
+	keys []uint32
+	vals []int64
+	dom  props.Domain
+}
+
+func makeFigure4Dataset(n, g int, q datagen.Quadrant) figure4Dataset {
+	keys := datagen.GroupingKeys(42, n, g, q)
+	r := xrand.New(7)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Uint64n(1000))
+	}
+	mn, mx := keys[0], keys[0]
+	for _, k := range keys {
+		if k < mn {
+			mn = k
+		}
+		if k > mx {
+			mx = k
+		}
+	}
+	return figure4Dataset{keys: keys, vals: vals, dom: props.Domain{
+		Known: true, Lo: uint64(mn), Hi: uint64(mx), Distinct: int64(g),
+		Dense: uint64(mx)-uint64(mn)+1 == uint64(g),
+	}}
+}
+
+// benchFigure4Quadrant runs the applicable grouping algorithms of one
+// Figure 4 quadrant as sub-benchmarks.
+func benchFigure4Quadrant(b *testing.B, q datagen.Quadrant) {
+	n := benchN()
+	for _, g := range benchGroupCounts {
+		if g > n {
+			continue
+		}
+		ds := makeFigure4Dataset(n, g, q)
+		algs := []physical.GroupKind{physical.HG, physical.SOG}
+		if q.Sorted {
+			algs = append(algs, physical.OG)
+		}
+		if q.Dense {
+			algs = append(algs, physical.SPHG)
+		} else {
+			algs = append(algs, physical.BSG)
+		}
+		for _, alg := range algs {
+			b.Run(fmt.Sprintf("%s/groups=%d", alg, g), func(b *testing.B) {
+				b.SetBytes(int64(n) * 12) // 4B key + 8B value per row
+				for i := 0; i < b.N; i++ {
+					if _, err := physical.Group(alg, ds.keys, ds.vals, ds.dom, physical.GroupOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4SortedSparse reproduces Figure 4, top-left (E2 in
+// DESIGN.md): sorted input, sparse key domain.
+func BenchmarkFigure4SortedSparse(b *testing.B) {
+	benchFigure4Quadrant(b, datagen.Quadrant{Sorted: true, Dense: false})
+}
+
+// BenchmarkFigure4SortedDense reproduces Figure 4, top-right (E1).
+func BenchmarkFigure4SortedDense(b *testing.B) {
+	benchFigure4Quadrant(b, datagen.Quadrant{Sorted: true, Dense: true})
+}
+
+// BenchmarkFigure4UnsortedSparse reproduces Figure 4, bottom-right (E4),
+// including the small-group regime of the paper's zoom inset (see
+// BenchmarkFigure4UnsortedSparseZoom).
+func BenchmarkFigure4UnsortedSparse(b *testing.B) {
+	benchFigure4Quadrant(b, datagen.Quadrant{Sorted: false, Dense: false})
+}
+
+// BenchmarkFigure4UnsortedDense reproduces Figure 4, bottom-left (E3).
+func BenchmarkFigure4UnsortedDense(b *testing.B) {
+	benchFigure4Quadrant(b, datagen.Quadrant{Sorted: false, Dense: true})
+}
+
+// BenchmarkFigure4UnsortedSparseZoom reproduces the paper's zoom-in: BSG vs
+// HG for up to ~14 groups on unsorted sparse data.
+func BenchmarkFigure4UnsortedSparseZoom(b *testing.B) {
+	n := benchN()
+	q := datagen.Quadrant{Sorted: false, Dense: false}
+	for _, g := range []int{2, 8, 14, 32} {
+		ds := makeFigure4Dataset(n, g, q)
+		for _, alg := range []physical.GroupKind{physical.HG, physical.BSG} {
+			b.Run(fmt.Sprintf("%s/groups=%d", alg, g), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := physical.Group(alg, ds.keys, ds.vals, ds.dom, physical.GroupOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// paperQueryNode builds the Section 4.3 logical plan at paper cardinality.
+func paperQueryNode(rSorted, sSorted, dense bool) logical.Node {
+	cfg := datagen.PaperFKConfig(rSorted, sSorted, dense)
+	r, s := datagen.FKPair(42, cfg)
+	return &logical.GroupBy{
+		Input: &logical.Join{
+			Left:    &logical.Scan{Table: "R", Rel: r},
+			Right:   &logical.Scan{Table: "S", Rel: s},
+			LeftKey: "ID", RightKey: "R_ID",
+		},
+		Key:  "A",
+		Aggs: []expr.AggSpec{{Func: expr.AggCount}},
+	}
+}
+
+// BenchmarkFigure5 reproduces Figure 5 (E6): it runs the SQO and DQO
+// optimisers on every grid cell and reports the dense-column improvement
+// factors as custom metrics (the *_factor values are the figure's numbers).
+func BenchmarkFigure5(b *testing.B) {
+	type cell struct {
+		name                    string
+		rSorted, sSorted, dense bool
+	}
+	cells := []cell{
+		{"RsortedSsortedDense", true, true, true},
+		{"RsortedSunsortedDense", true, false, true},
+		{"RunsortedSsortedDense", false, true, true},
+		{"RunsortedSunsortedDense", false, false, true},
+		{"RunsortedSunsortedSparse", false, false, false},
+	}
+	for _, c := range cells {
+		q := paperQueryNode(c.rSorted, c.sSorted, c.dense)
+		b.Run(c.name, func(b *testing.B) {
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				_, _, f, err := core.CompareModes(q, core.SQO(), core.DQO())
+				if err != nil {
+					b.Fatal(err)
+				}
+				factor = f
+			}
+			b.ReportMetric(factor, "improvement_factor")
+		})
+	}
+}
+
+// BenchmarkFigure5Execution (E7) executes the winning SQO and DQO plans of
+// the unsorted-dense cell — the estimated 4x must translate into a real
+// runtime advantage.
+func BenchmarkFigure5Execution(b *testing.B) {
+	q := paperQueryNode(false, false, true)
+	for _, mode := range []core.Mode{core.SQO(), core.DQO()} {
+		res, err := core.Optimize(q, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Execute(res.Best); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Optimizer measures optimisation time itself — the cost of
+// deep vs shallow enumeration under the Table 2 model (E5/E6 support), the
+// quantity the paper's AV discussion wants to shift offline.
+func BenchmarkTable2Optimizer(b *testing.B) {
+	q := paperQueryNode(false, false, true)
+	for _, mode := range []core.Mode{core.SQO(), core.DQO(), core.DQOCalibrated()} {
+		b.Run(mode.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(q, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashTable is A1: HG with every scheme x hash function.
+func BenchmarkAblationHashTable(b *testing.B) {
+	n := benchN() / 4
+	ds := makeFigure4Dataset(n, 10000, datagen.Quadrant{Sorted: false, Dense: false})
+	for _, scheme := range hashtable.Schemes() {
+		for _, fn := range hashtable.Funcs() {
+			b.Run(scheme.String()+"/"+fn.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := physical.Group(physical.HG, ds.keys, ds.vals, ds.dom, physical.GroupOptions{Scheme: scheme, Hash: fn}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSortKind is A2: SOG with each sort molecule.
+func BenchmarkAblationSortKind(b *testing.B) {
+	n := benchN() / 4
+	ds := makeFigure4Dataset(n, 10000, datagen.Quadrant{Sorted: false, Dense: false})
+	for _, sk := range sortx.Kinds() {
+		b.Run(sk.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := physical.Group(physical.SOG, ds.keys, ds.vals, ds.dom, physical.GroupOptions{Sort: sk}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelLoad is A3: SPHG's load loop across worker
+// counts (the Figure 3(e) parallel-loop molecule).
+func BenchmarkAblationParallelLoad(b *testing.B) {
+	n := benchN()
+	ds := makeFigure4Dataset(n, 10000, datagen.Quadrant{Sorted: false, Dense: true})
+	for p := 1; p <= runtime.GOMAXPROCS(0); p *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := physical.Group(physical.SPHG, ds.keys, ds.vals, ds.dom, physical.GroupOptions{Parallel: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAV is A4: optimisation with and without Algorithmic
+// Views (structure AVs change plan costs; the effect on optimisation time
+// itself is measured by the benchkit A4 runner and cmd/dqobench).
+func BenchmarkAblationAV(b *testing.B) {
+	var out io.Writer = io.Discard
+	b.Run("report", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := benchkit.RunAblationAV(benchkit.Figure5Config{RRows: 20000, SRows: 90000, AGroups: 20000, Seed: 42}, out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.CostImprovement, "cost_improvement")
+				b.ReportMetric(res.OptTimeImprovement, "opt_time_improvement")
+			}
+		}
+	})
+}
+
+// BenchmarkEndToEndSQL measures the full pipeline (parse, bind, optimise,
+// execute) through the public API.
+func BenchmarkEndToEndSQL(b *testing.B) {
+	cfg := datagen.FKConfig{RRows: 20000, SRows: 90000, AGroups: 2000, Dense: true}
+	r, s := datagen.FKPair(42, cfg)
+	db := Open()
+	if err := db.Register(&Table{rel: r}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Register(&Table{rel: s}); err != nil {
+		b.Fatal(err)
+	}
+	const q = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+	for _, mode := range []Mode{ModeSQO, ModeDQO} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(mode, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngine is A5: the same grouping executed by the
+// operator-at-a-time kernel vs the Figure 2 producer-bundle engine.
+func BenchmarkAblationEngine(b *testing.B) {
+	n := benchN() / 4
+	rel := datagen.GroupingRelation(42, n, 10000, datagen.Quadrant{Sorted: false, Dense: true})
+	aggs := []expr.AggSpec{{Func: expr.AggCount}, {Func: expr.AggSum, Col: "val"}}
+	b.Run("operator-SPHG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := physical.GroupByRel(rel, "key", aggs, physical.SPHG, physical.GroupOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, strat := range []physical.PartitionStrategy{physical.PartitionBySPH, physical.PartitionByHash} {
+		b.Run("bundle-"+strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := physical.GroupByRelBundle(rel, "key", aggs, strat, hashtable.Murmur3Fin, 1, props.Domain{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+// Command dqobench regenerates the paper's tables and figures plus this
+// repository's ablations from the command line.
+//
+// Usage:
+//
+//	dqobench -experiment figure4 [-n 100000000] [-quadrant unsorted-dense] [-zoom] [-repeats 3]
+//	dqobench -experiment figure5 [-execute]
+//	dqobench -experiment ablations [-n 10000000]
+//	dqobench -experiment all
+//
+// figure4 reproduces Section 4.2 (grouping performance, four datasets);
+// figure5 reproduces Section 4.3 (DQO vs SQO improvement factors; with
+// -execute the winning plans are also run and timed); ablations runs the
+// A1-A5 design-choice sweeps of DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dqo/internal/benchkit"
+	"dqo/internal/cost"
+	"dqo/internal/hashtable"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | all")
+		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
+		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
+		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
+		repeats    = flag.Int("repeats", 1, "timing repeats per figure4 point (min is reported)")
+		execute    = flag.Bool("execute", false, "figure5: also execute and time the winning plans")
+		seed       = flag.Uint64("seed", 42, "dataset seed")
+		calibrate  = flag.Bool("calibrate", false, "fit the calibrated cost model to this machine and print its coefficients")
+		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
+	)
+	flag.Parse()
+
+	if *calibrate {
+		m := cost.Measure(1 << 21)
+		fmt.Println("# calibrated cost model coefficients fitted to this machine (ns/row):")
+		for _, s := range hashtable.Schemes() {
+			fmt.Printf("scheme   %-14s %6.2f\n", s, m.SchemeNS[s])
+		}
+		for _, f := range hashtable.Funcs() {
+			fmt.Printf("hashfunc %-14s %6.2f\n", f, m.HashNS[f])
+		}
+		fmt.Printf("radix %.2f  cmp(log) %.2f  std(log) %.2f  sph %.2f  og %.2f  bs(log) %.2f  cache(log) %.2f\n",
+			m.RadixRowNS, m.CmpRowNS, m.StdRowNS, m.SPHRowNS, m.OGRowNS, m.BSRowLogNS, m.CacheNS)
+		return
+	}
+
+	out := os.Stdout
+	run := func(name string, fn func() error) {
+		fmt.Fprintf(out, "\n==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dqobench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	switch *experiment {
+	case "figure4":
+		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
+	case "figure5":
+		run("figure5", func() error { return runFigure5(*execute, *seed) })
+	case "ablations":
+		run("ablations", func() error { return runAblations(*n, *seed) })
+	case "all":
+		run("figure5", func() error { return runFigure5(*execute, *seed) })
+		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
+		run("ablations", func() error { return runAblations(*n, *seed) })
+	default:
+		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csvPath string) error {
+	cfg := benchkit.DefaultFigure4(n)
+	cfg.Quadrant = quadrant
+	cfg.Zoom = zoom
+	cfg.Repeats = repeats
+	cfg.Seed = seed
+	rows, err := benchkit.RunFigure4(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n# shape checks against the paper's qualitative claims:")
+	for _, line := range benchkit.CheckFigure4Shape(rows) {
+		fmt.Println(line)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := benchkit.WriteCSV(rows, f); err != nil {
+			return err
+		}
+		fmt.Printf("# series written to %s\n", csvPath)
+	}
+	return nil
+}
+
+func runFigure5(execute bool, seed uint64) error {
+	cfg := benchkit.DefaultFigure5()
+	cfg.Execute = execute
+	cfg.Seed = seed
+	_, err := benchkit.RunFigure5(cfg, os.Stdout)
+	return err
+}
+
+func runAblations(n int, seed uint64) error {
+	// Ablations run at a tenth of the figure4 scale by default: they sweep
+	// many variants.
+	an := n / 10
+	if an < 100000 {
+		an = 100000
+	}
+	if _, err := benchkit.RunAblationHashTable(an, 10000, seed, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if _, err := benchkit.RunAblationSort(an, 10000, seed, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if _, err := benchkit.RunAblationParallel(an, 10000, runtime.GOMAXPROCS(0), seed, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if _, err := benchkit.RunAblationEngine(an, 10000, seed, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	_, err := benchkit.RunAblationAV(benchkit.DefaultFigure5(), os.Stdout)
+	return err
+}

@@ -1,0 +1,195 @@
+// Command dqoshell is an interactive SQL shell over the dqo engine. It
+// starts with the paper's R/S demo schema loaded and shows, side by side,
+// what the shallow (SQO) and deep (DQO) optimisers do with each query.
+//
+// Meta commands:
+//
+//	\tables                 list registered tables
+//	\mode sqo|dqo|cal       set the execution mode (default dqo)
+//	\explain <sql>          show the plan for the current mode
+//	\deep <sql>             show the plan plus its granule trees (Figure 3)
+//	\unnest <sql>           show the step-by-step unnesting chain (Figure 3)
+//	\compare <sql>          optimise under SQO and DQO, show both plans
+//	\av sorted  <tbl> <col> materialise a sorted-projection AV
+//	\av hashidx <tbl> <col> materialise a hash-index AV
+//	\av sph     <tbl> <col> materialise an SPH-directory AV
+//	\av crack   <tbl> <col> materialise an adaptive (cracked) index AV
+//	\avs                    list materialised AVs
+//	\demo sorted|unsorted [sparse]   regenerate demo tables
+//	\quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"dqo"
+	"dqo/internal/datagen"
+)
+
+func main() {
+	db := dqo.Open()
+	loadDemo(db, true, true)
+	mode := dqo.ModeDQO
+
+	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
+	fmt.Println(`Try: SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A LIMIT 5`)
+	fmt.Println(`or:  \compare SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("%s> ", mode)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, `\`) {
+			runQuery(db, mode, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case `\quit`, `\q`:
+			return
+		case `\tables`:
+			for _, t := range db.Tables() {
+				tab, _ := db.Table(t)
+				fmt.Printf("%s (%d rows): %s\n", t, tab.NumRows(), strings.Join(tab.Columns(), ", "))
+			}
+		case `\mode`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\mode sqo|dqo|cal")
+				continue
+			}
+			switch fields[1] {
+			case "sqo":
+				mode = dqo.ModeSQO
+			case "dqo":
+				mode = dqo.ModeDQO
+			case "cal":
+				mode = dqo.ModeDQOCalibrated
+			default:
+				fmt.Println("unknown mode; want sqo, dqo, or cal")
+			}
+		case `\explain`:
+			text, err := db.Explain(mode, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
+			report(text, err)
+		case `\deep`:
+			text, err := db.ExplainDeep(mode, strings.TrimSpace(strings.TrimPrefix(line, `\deep`)))
+			report(text, err)
+		case `\unnest`:
+			text, err := db.ExplainUnnest(mode, strings.TrimSpace(strings.TrimPrefix(line, `\unnest`)))
+			report(text, err)
+		case `\compare`:
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
+			sqo, err := db.Explain(dqo.ModeSQO, q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			dqoPlan, err := db.Explain(dqo.ModeDQO, q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("--- SQO ---")
+			fmt.Println(sqo)
+			fmt.Println("--- DQO ---")
+			fmt.Println(dqoPlan)
+		case `\av`:
+			if len(fields) != 4 {
+				fmt.Println("usage: \\av sorted|hashidx|sph <table> <column>")
+				continue
+			}
+			var err error
+			switch fields[1] {
+			case "sorted":
+				err = db.MaterializeSortedAV(fields[2], fields[3])
+			case "hashidx":
+				err = db.MaterializeHashIndexAV(fields[2], fields[3])
+			case "sph":
+				err = db.MaterializeSPHAV(fields[2], fields[3])
+			case "crack":
+				err = db.MaterializeCrackedAV(fields[2], fields[3])
+			default:
+				fmt.Println("unknown AV kind; want sorted, hashidx, sph, or crack")
+				continue
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("materialised.")
+			}
+		case `\avs`:
+			fmt.Println(db.DescribeAVs())
+		case `\demo`:
+			sorted := len(fields) > 1 && fields[1] == "sorted"
+			dense := !(len(fields) > 2 && fields[2] == "sparse")
+			loadDemo(db, sorted, dense)
+			fmt.Printf("demo tables regenerated (sorted=%v dense=%v); AVs dropped.\n", sorted, dense)
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+	}
+}
+
+func report(text string, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(text)
+}
+
+func runQuery(db *dqo.DB, mode dqo.Mode, query string) {
+	res, err := db.Query(mode, query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.NumRows() > 20 {
+		fmt.Printf("(showing plan cost %.0f, first 20 of %d rows)\n", res.EstimatedCost(), res.NumRows())
+	}
+	fmt.Print(clip(res.String(), 20))
+}
+
+// clip keeps at most n data lines of a rendered table.
+func clip(table string, n int) string {
+	lines := strings.Split(table, "\n")
+	if len(lines) <= n+2 {
+		return table
+	}
+	head := lines[:n+1]
+	return strings.Join(head, "\n") + "\n...\n" + lines[len(lines)-2] + "\n"
+}
+
+func loadDemo(db *dqo.DB, sorted, dense bool) {
+	cfg := datagen.FKConfig{
+		RRows: 20000, SRows: 90000, AGroups: 2000,
+		RSorted: sorted, SSorted: sorted, Dense: dense,
+	}
+	r, s := datagen.FKPair(42, cfg)
+	rt := dqo.NewTableBuilder("R").
+		Uint32("ID", r.MustColumn("ID").Uint32s()).
+		Uint32("A", r.MustColumn("A").Uint32s()).
+		MustBuild()
+	rt.DeclareCorrelation("ID", "A")
+	st := dqo.NewTableBuilder("S").
+		Uint32("R_ID", s.MustColumn("R_ID").Uint32s()).
+		Int64("M", s.MustColumn("M").Int64s()).
+		MustBuild()
+	db.DropAVs()
+	if err := db.Register(rt); err != nil {
+		panic(err)
+	}
+	if err := db.Register(st); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,442 @@
+package dqo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dqo/internal/av"
+	"dqo/internal/core"
+	"dqo/internal/hashtable"
+	"dqo/internal/logical"
+	"dqo/internal/physio"
+	"dqo/internal/sql"
+	"dqo/internal/storage"
+)
+
+// Mode selects how queries are optimised.
+type Mode uint8
+
+// Optimisation modes.
+const (
+	// ModeSQO is the shallow baseline: opaque textbook physical operators,
+	// sortedness as the only tracked plan property, Table 2 cost model.
+	ModeSQO Mode = iota
+	// ModeDQO unnests operators to molecule granularity and tracks the full
+	// property vector (density, clustering, correlations), Table 2 cost
+	// model — the paper's Figure 5 configuration.
+	ModeDQO
+	// ModeDQOCalibrated is ModeDQO with the molecule-aware calibrated cost
+	// model, letting the optimiser discriminate hash-table schemes, hash
+	// functions, sort algorithms, and loop parallelism.
+	ModeDQOCalibrated
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSQO:
+		return "sqo"
+	case ModeDQO:
+		return "dqo"
+	case ModeDQOCalibrated:
+		return "dqo-calibrated"
+	default:
+		return "unknown"
+	}
+}
+
+func (m Mode) coreMode() (core.Mode, error) {
+	switch m {
+	case ModeSQO:
+		return core.SQO(), nil
+	case ModeDQO:
+		return core.DQO(), nil
+	case ModeDQOCalibrated:
+		return core.DQOCalibrated(), nil
+	default:
+		return core.Mode{}, fmt.Errorf("dqo: unknown mode %d", uint8(m))
+	}
+}
+
+// DB is an in-memory database: a set of registered tables, an Algorithmic
+// View catalog, and a plan cache.
+type DB struct {
+	mu         sync.RWMutex
+	tables     map[string]*storage.Relation
+	avs        *av.Catalog
+	planCache  *av.PlanCache
+	cachePlans bool
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{
+		tables:    make(map[string]*storage.Relation),
+		avs:       av.NewCatalog(),
+		planCache: av.NewPlanCache(),
+	}
+}
+
+// Register adds a table. Re-registering a name replaces the table,
+// invalidates cached plans, and drops Algorithmic Views materialised from
+// the old data (they would be stale).
+func (db *DB) Register(t *Table) error {
+	if t == nil || t.rel == nil {
+		return fmt.Errorf("dqo: Register of nil table")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := t.rel.Name()
+	if _, existed := db.tables[name]; existed {
+		db.avs.DropTable(name)
+	}
+	db.tables[name] = t.rel
+	db.planCache.Clear()
+	return nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, ok := db.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return &Table{rel: rel}, true
+}
+
+// Tables returns the registered table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// EnablePlanCache turns the plan-level Algorithmic View on or off: with it
+// enabled, repeated queries skip optimisation entirely (the offline vs
+// query-time trade-off of paper Section 3).
+func (db *DB) EnablePlanCache(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cachePlans = on
+	if !on {
+		db.planCache.Clear()
+	}
+}
+
+// PlanCacheStats returns plan cache hits and misses.
+func (db *DB) PlanCacheStats() (hits, misses int) { return db.planCache.Stats() }
+
+// catalogView adapts the table map to the SQL binder's catalog interface.
+type catalogView struct{ db *DB }
+
+func (c catalogView) Table(name string) (*storage.Relation, bool) {
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	rel, ok := c.db.tables[name]
+	return rel, ok
+}
+
+// compile parses, binds, and optimises a query.
+func (db *DB) compile(mode Mode, query string) (*core.Result, *sql.SelectStmt, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := sql.Bind(stmt, catalogView{db})
+	if err != nil {
+		return nil, nil, err
+	}
+	cm, err := mode.coreMode()
+	if err != nil {
+		return nil, nil, err
+	}
+	prov := av.Qualified{Cat: db.avs, Aliases: aliasMap(stmt)}
+	cm = cm.WithAVs(prov, prov).WithCracked(prov)
+
+	db.mu.RLock()
+	useCache := db.cachePlans
+	db.mu.RUnlock()
+	if useCache {
+		key := mode.String() + "|" + stmt.String()
+		res, _, err := db.planCache.Optimize(key, node, cm)
+		return res, stmt, err
+	}
+	res, err := core.Optimize(node, cm)
+	return res, stmt, err
+}
+
+// Query optimises and executes a SQL query under the given mode.
+func (db *DB) Query(mode Mode, query string) (*Result, error) {
+	res, stmt, err := db.compile(mode, query)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := core.Execute(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	rel = applyAliases(rel, stmt)
+	if stmt.Limit >= 0 && rel.NumRows() > stmt.Limit {
+		idx := make([]int32, stmt.Limit)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		rel = rel.Gather(idx)
+	}
+	return &Result{rel: rel, plan: res}, nil
+}
+
+// Explain returns the chosen physical plan for a query without executing
+// it: operators, estimated costs and cardinalities, and property vectors.
+func (db *DB) Explain(mode Mode, query string) (string, error) {
+	res, _, err := db.compile(mode, query)
+	if err != nil {
+		return "", err
+	}
+	header := fmt.Sprintf("mode=%s model=%s alternatives=%d kept=%d physicality=%.2f time=%s\n",
+		res.Mode.Name, res.Mode.Model.Name(), res.Stats.Alternatives, res.Stats.Kept,
+		res.Physicality(), res.Stats.Duration)
+	return header + res.Best.Explain(), nil
+}
+
+// ExplainDeep is Explain plus the granule tree (the paper's Figure 3 view)
+// of every chosen join and grouping implementation.
+func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
+	res, _, err := db.compile(mode, query)
+	if err != nil {
+		return "", err
+	}
+	return res.Best.ExplainDeep(), nil
+}
+
+// ExplainUnnest renders the paper's Figure 3 for the chosen plan: the
+// step-by-step unnesting chain from each logical operator to the fully
+// resolved deep implementation, with the physicality measure at every step.
+func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
+	res, _, err := db.compile(mode, query)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	var rec func(p *core.Plan)
+	rec = func(p *core.Plan) {
+		for _, c := range p.Children {
+			rec(c)
+		}
+		var steps []*physio.Granule
+		switch p.Op {
+		case core.OpGroup:
+			steps = physio.UnnestSteps(p.Group, p.GroupKey)
+		case core.OpJoin:
+			steps = physio.UnnestJoinSteps(p.Join, p.LeftKey, p.RightKey)
+		default:
+			return
+		}
+		fmt.Fprintf(&b, "== unnesting %s ==\n", p.Label())
+		for i, s := range steps {
+			fmt.Fprintf(&b, "step %d (physicality %.2f):\n%s\n", i, s.Physicality(), s.Render())
+		}
+	}
+	rec(res.Best)
+	return b.String(), nil
+}
+
+// applyAliases renames result columns according to SELECT ... AS aliases on
+// plain columns (aggregate aliases are applied during planning).
+func applyAliases(rel *storage.Relation, stmt *sql.SelectStmt) *storage.Relation {
+	renames := map[string]string{}
+	for _, it := range stmt.Items {
+		if it.Agg == nil && it.Alias != "" {
+			// The bound plan uses qualified names; try both spellings.
+			renames[it.Col] = it.Alias
+		}
+	}
+	if len(renames) == 0 {
+		return rel
+	}
+	cols := make([]*storage.Column, 0, rel.NumCols())
+	for _, c := range rel.Columns() {
+		name := c.Name()
+		if alias, ok := renames[name]; ok {
+			cols = append(cols, c.Rename(alias))
+			continue
+		}
+		// Bare reference in SELECT, qualified in the plan.
+		matched := false
+		for ref, alias := range renames {
+			if suffixAfterDot(name) == ref {
+				cols = append(cols, c.Rename(alias))
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			cols = append(cols, c)
+		}
+	}
+	out, err := storage.NewRelation(rel.Name(), cols...)
+	if err != nil {
+		return rel // clashing aliases: keep original names
+	}
+	return out
+}
+
+// aliasMap collects the alias -> base-table mapping of a statement, used to
+// resolve Algorithmic Views against aliased, qualified plans.
+func aliasMap(stmt *sql.SelectStmt) map[string]string {
+	m := map[string]string{stmt.From.Name(): stmt.From.Table}
+	for _, j := range stmt.Joins {
+		m[j.Table.Name()] = j.Table.Table
+	}
+	return m
+}
+
+func suffixAfterDot(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// MaterializeSortedAV materialises a sorted-projection Algorithmic View of
+// table by column and registers it with the optimiser.
+func (db *DB) MaterializeSortedAV(table, column string) error {
+	rel, ok := db.lookup(table)
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", table)
+	}
+	v, err := av.MaterializeSorted(table, rel, column)
+	if err != nil {
+		return err
+	}
+	db.avs.Add(v)
+	db.planCache.Clear()
+	return nil
+}
+
+// MaterializeHashIndexAV materialises a hash-index AV (prepaid hash-join
+// build) on table.column.
+func (db *DB) MaterializeHashIndexAV(table, column string) error {
+	rel, ok := db.lookup(table)
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", table)
+	}
+	v, err := av.MaterializeHashIndex(table, rel, column, hashtable.Murmur3Fin)
+	if err != nil {
+		return err
+	}
+	db.avs.Add(v)
+	db.planCache.Clear()
+	return nil
+}
+
+// MaterializeSPHAV materialises a static-perfect-hash directory AV (prepaid
+// SPH-join build) on a dense key column.
+func (db *DB) MaterializeSPHAV(table, column string) error {
+	rel, ok := db.lookup(table)
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", table)
+	}
+	v, err := av.MaterializeSPH(table, rel, column)
+	if err != nil {
+		return err
+	}
+	db.avs.Add(v)
+	db.planCache.Clear()
+	return nil
+}
+
+// MaterializeCrackedAV materialises an adaptive (cracked) index AV on
+// table.column: range filters on that column are answered by the index,
+// which partitions itself along query bounds — indexing work happens at
+// query time, driven by the workload.
+func (db *DB) MaterializeCrackedAV(table, column string) error {
+	rel, ok := db.lookup(table)
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", table)
+	}
+	v, err := av.MaterializeCracked(table, rel, column)
+	if err != nil {
+		return err
+	}
+	db.avs.Add(v)
+	db.planCache.Clear()
+	return nil
+}
+
+// DescribeAVs renders the AV catalog.
+func (db *DB) DescribeAVs() string { return db.avs.String() }
+
+// DropAVs removes every materialised AV.
+func (db *DB) DropAVs() {
+	db.avs = av.NewCatalog()
+	db.planCache.Clear()
+}
+
+// SelectAVs solves the Algorithmic View Selection Problem for a workload of
+// (query, frequency) pairs under a byte budget, using submodular greedy
+// selection, and installs the chosen views. It returns a human-readable
+// report.
+func (db *DB) SelectAVs(mode Mode, workload map[string]float64, budgetBytes int64) (string, error) {
+	cm, err := mode.coreMode()
+	if err != nil {
+		return "", err
+	}
+	var queries []av.WorkloadQuery
+	for q, freq := range workload {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return "", fmt.Errorf("dqo: workload query %q: %w", q, err)
+		}
+		node, err := sql.Bind(stmt, catalogView{db})
+		if err != nil {
+			return "", fmt.Errorf("dqo: workload query %q: %w", q, err)
+		}
+		queries = append(queries, av.WorkloadQuery{Name: q, Plan: node, Freq: freq, Aliases: aliasMap(stmt)})
+	}
+	db.mu.RLock()
+	tables := make(map[string]*storage.Relation, len(db.tables))
+	for n, r := range db.tables {
+		tables[n] = r
+	}
+	db.mu.RUnlock()
+
+	cands, err := av.EnumerateCandidates(tables, queries)
+	if err != nil {
+		return "", err
+	}
+	sel, err := av.SelectGreedy(cands, queries, cm, budgetBytes)
+	if err != nil {
+		return "", err
+	}
+	for _, v := range sel.Views {
+		db.avs.Add(v)
+	}
+	db.planCache.Clear()
+	return sel.String(), nil
+}
+
+func (db *DB) lookup(table string) (*storage.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, ok := db.tables[table]
+	return rel, ok
+}
+
+// bindForTest exposes parse+bind for the root test suite and benchmarks.
+func (db *DB) bind(query string) (logical.Node, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return sql.Bind(stmt, catalogView{db})
+}

@@ -1,0 +1,28 @@
+// Package dqo is an in-memory columnar query engine whose optimiser
+// implements Deep Query Optimisation (DQO) as proposed by Dittrich and Nix,
+// "The Case for Deep Query Optimisation", CIDR 2020.
+//
+// Instead of translating logical operators into opaque physical operators in
+// one step (shallow query optimisation, SQO), the DQO optimiser unnests
+// operators into sub-components — index structure families, hash-table
+// schemes, hash functions, sort algorithms, loop disciplines — and
+// enumerates plans over that finer space while tracking a richer set of
+// data properties (sortedness, clustering, key density, order
+// correlations). Precomputed components can be materialised as Algorithmic
+// Views and are selected for a workload by the AVSP solvers.
+//
+// # Quick start
+//
+//	db := dqo.Open()
+//	_ = db.Register(dqo.NewTableBuilder("R").
+//		Uint32("ID", ids).Uint32("A", groups).MustBuild())
+//	_ = db.Register(dqo.NewTableBuilder("S").
+//		Uint32("R_ID", fks).Int64("M", vals).MustBuild())
+//
+//	res, err := db.Query(dqo.ModeDQO,
+//		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A")
+//
+// Use db.Explain to see the chosen plan, its estimated cost, its property
+// vector at every operator, and — with ExplainDeep — the granule trees of
+// the chosen sub-operator implementations.
+package dqo

@@ -1,0 +1,99 @@
+package dqo_test
+
+import (
+	"fmt"
+	"log"
+
+	"dqo"
+)
+
+// The paper's running example: a dimension table R(ID, A) with a dense
+// primary key and a fact table S(R_ID, M) with a foreign key into R.
+func buildExampleDB() *dqo.DB {
+	db := dqo.Open()
+	// Rows arrive unsorted; A stays a monotone function of ID.
+	r := dqo.NewTableBuilder("R").
+		Uint32("ID", []uint32{2, 0, 3, 1}).
+		Uint32("A", []uint32{1, 0, 1, 0}).
+		MustBuild()
+	r.DeclareCorrelation("ID", "A")
+	s := dqo.NewTableBuilder("S").
+		Uint32("R_ID", []uint32{3, 0, 1, 2, 1, 3}).
+		Int64("M", []int64{40, 10, 20, 30, 21, 41}).
+		MustBuild()
+	if err := db.Register(r); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Register(s); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func ExampleDB_Query() {
+	db := buildExampleDB()
+	res, err := db.Query(dqo.ModeDQO,
+		"SELECT R.A, COUNT(*), SUM(S.M) AS total FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A ORDER BY R.A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	// Output:
+	// R.A  count_star  total
+	// 0    3           51
+	// 1    3           111
+	// (2 rows)
+}
+
+func ExampleDB_Query_having() {
+	db := buildExampleDB()
+	res, err := db.Query(dqo.ModeDQO,
+		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A HAVING count_star >= 3 ORDER BY R.A LIMIT 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.NumRows(), res.Columns()[1])
+	// Output:
+	// 1 count_star
+}
+
+func ExampleDB_Explain() {
+	db := buildExampleDB()
+	// The deep optimiser sees that R.ID and R.A are dense and picks the
+	// static-perfect-hash family end to end.
+	plan, err := db.Explain(dqo.ModeDQO,
+		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(containsAll(plan, "SPHG", "SPHJ"))
+	// Output:
+	// true
+}
+
+func ExampleTable_VerifyCorrelation() {
+	t := dqo.NewTableBuilder("m").
+		Uint32("key", []uint32{30, 10, 20}).
+		Uint32("dep", []uint32{3, 1, 2}).
+		MustBuild()
+	t.DeclareCorrelation("key", "dep")
+	fmt.Println(t.VerifyCorrelation("key", "dep"))
+	// Output:
+	// <nil>
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,24 @@
+// dqo_vs_sqo reproduces Section 4.3 interactively: the query
+//
+//	SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A
+//
+// is optimised under the shallow (SQO) and deep (DQO) optimiser for every
+// cell of the paper's Figure 5 grid, showing the chosen plans, the
+// improvement factors, and — because estimates are cheap talk — the
+// measured execution times of both winners.
+package main
+
+import (
+	"log"
+	"os"
+
+	"dqo/internal/benchkit"
+)
+
+func main() {
+	cfg := benchkit.DefaultFigure5()
+	cfg.Execute = true // run the winning plans, not just cost them
+	if _, err := benchkit.RunFigure5(cfg, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

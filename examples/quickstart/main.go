@@ -1,0 +1,56 @@
+// Quickstart: build two small tables, run the paper's query, and look at
+// what the deep optimiser chose and why.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqo"
+)
+
+func main() {
+	db := dqo.Open()
+
+	// A tiny dimension table R(ID, A): dense primary key, A = region id.
+	// The rows arrive unsorted — exactly the case where shallow optimisers
+	// fall back to hash everything.
+	ids := []uint32{3, 0, 5, 1, 4, 2, 7, 6}
+	regions := []uint32{1, 0, 2, 0, 2, 1, 3, 3}
+	r := dqo.NewTableBuilder("R").Uint32("ID", ids).Uint32("A", regions).MustBuild()
+	if err := db.Register(r); err != nil {
+		log.Fatal(err)
+	}
+
+	// A fact table S(R_ID, M) with a foreign key into R.
+	fks := []uint32{0, 1, 1, 2, 3, 3, 3, 4, 5, 6, 7, 7}
+	ms := []int64{10, 20, 21, 30, 40, 41, 42, 50, 60, 70, 80, 81}
+	s := dqo.NewTableBuilder("S").Uint32("R_ID", fks).Int64("M", ms).MustBuild()
+	if err := db.Register(s); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = `SELECT R.A, COUNT(*), SUM(S.M) AS total
+		FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A ORDER BY R.A`
+
+	res, err := db.Query(dqo.ModeDQO, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:")
+	fmt.Println(res)
+
+	fmt.Println("what the deep optimiser chose (note SPHJ/SPHG: R.ID and R.A are dense):")
+	plan, err := db.Explain(dqo.ModeDQO, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+
+	fmt.Println("the same query under the shallow optimiser:")
+	plan, err = db.Explain(dqo.ModeSQO, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+}

@@ -1,0 +1,3 @@
+module dqo
+
+go 1.22

@@ -1,0 +1,304 @@
+package av
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dqo/internal/core"
+	"dqo/internal/logical"
+	"dqo/internal/storage"
+)
+
+// WorkloadQuery is one query of an AVSP workload with its relative
+// frequency ("these trade-offs are absolutely workload-dependent").
+type WorkloadQuery struct {
+	Name string
+	Plan logical.Node
+	Freq float64
+	// Aliases maps scan aliases in Plan to base table names; nil when scans
+	// use base names directly (hand-built plans).
+	Aliases map[string]string
+}
+
+// baseTable resolves a scan alias of q to the base table name.
+func (q WorkloadQuery) baseTable(alias string) string {
+	if q.Aliases != nil {
+		if t, ok := q.Aliases[alias]; ok {
+			return t
+		}
+	}
+	return alias
+}
+
+// Candidate is a materialised view under AVSP consideration together with
+// its measured standalone benefit for the workload.
+type Candidate struct {
+	View    *View
+	Benefit float64 // Σ freq · (cost without − cost with just this view)
+}
+
+// keyColumns walks a logical plan and collects the (table, column) pairs
+// used as join or grouping keys on base scans — the places where a
+// structure AV can help.
+func keyColumns(n logical.Node) map[[2]string]bool {
+	out := map[[2]string]bool{}
+	var rec func(n logical.Node)
+	// tableOf resolves a column reference to the base scan that provides
+	// it, looking through filters/sorts/projections.
+	var tableOf func(n logical.Node, col string) (string, bool)
+	tableOf = func(n logical.Node, col string) (string, bool) {
+		switch n := n.(type) {
+		case *logical.Scan:
+			for _, c := range n.Rel.ColumnNames() {
+				if c == col {
+					return n.Table, true
+				}
+			}
+			return "", false
+		case *logical.Filter:
+			return tableOf(n.Input, col)
+		case *logical.Sort:
+			return tableOf(n.Input, col)
+		case *logical.Project:
+			return tableOf(n.Input, col)
+		case *logical.Join:
+			if t, ok := tableOf(n.Left, col); ok {
+				return t, true
+			}
+			return tableOf(n.Right, col)
+		default:
+			return "", false
+		}
+	}
+	rec = func(n logical.Node) {
+		switch n := n.(type) {
+		case *logical.Join:
+			if t, ok := tableOf(n.Left, n.LeftKey); ok {
+				out[[2]string{t, n.LeftKey}] = true
+			}
+			if t, ok := tableOf(n.Right, n.RightKey); ok {
+				out[[2]string{t, n.RightKey}] = true
+			}
+		case *logical.GroupBy:
+			if t, ok := tableOf(n.Input, n.Key); ok {
+				out[[2]string{t, n.Key}] = true
+			}
+		case *logical.Sort:
+			if t, ok := tableOf(n.Input, n.Key); ok {
+				out[[2]string{t, n.Key}] = true
+			}
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}
+
+// EnumerateCandidates materialises every structure AV that could help the
+// workload: for each (table, key column) pair appearing as a join, group,
+// or sort key, a sorted projection, a hash index, and — where the column is
+// dense — an SPH directory.
+func EnumerateCandidates(tables map[string]*storage.Relation, workload []WorkloadQuery) ([]*View, error) {
+	cols := map[[2]string]bool{}
+	for _, q := range workload {
+		for k := range keyColumns(q.Plan) {
+			alias, col := k[0], k[1]
+			base := q.baseTable(alias)
+			cols[[2]string{base, strings.TrimPrefix(col, alias+".")}] = true
+		}
+	}
+	keys := make([][2]string, 0, len(cols))
+	for k := range cols {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	var out []*View
+	for _, k := range keys {
+		table, col := k[0], k[1]
+		rel, ok := tables[table]
+		if !ok {
+			return nil, fmt.Errorf("av: workload references unknown table %q", table)
+		}
+		if sv, err := MaterializeSorted(table, rel, col); err == nil {
+			out = append(out, sv)
+		}
+		if hv, err := MaterializeHashIndex(table, rel, col, 0); err == nil {
+			out = append(out, hv)
+		}
+		if spv, err := MaterializeSPH(table, rel, col); err == nil {
+			out = append(out, spv)
+		}
+	}
+	return out, nil
+}
+
+// workloadCost returns the total estimated plan cost of the workload when
+// optimised with the given catalog installed.
+func workloadCost(workload []WorkloadQuery, mode core.Mode, cat *Catalog) (float64, error) {
+	total := 0.0
+	for _, q := range workload {
+		m := mode
+		if cat != nil {
+			p := Qualified{Cat: cat, Aliases: q.Aliases}
+			m = mode.WithAVs(p, p)
+		}
+		res, err := core.Optimize(q.Plan, m)
+		if err != nil {
+			return 0, fmt.Errorf("av: optimising %q: %w", q.Name, err)
+		}
+		total += q.Freq * res.Best.Cost
+	}
+	return total, nil
+}
+
+// RateCandidates computes each candidate's standalone benefit for the
+// workload under the given optimisation mode.
+func RateCandidates(cands []*View, workload []WorkloadQuery, mode core.Mode) ([]Candidate, error) {
+	base, err := workloadCost(workload, mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, len(cands))
+	for _, v := range cands {
+		solo := NewCatalog()
+		solo.Add(v)
+		with, err := workloadCost(workload, mode, solo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Candidate{View: v, Benefit: base - with})
+	}
+	return out, nil
+}
+
+// Selection is an AVSP solution.
+type Selection struct {
+	Views      []*View
+	TotalBytes int64
+	// CostWithout and CostWith are workload costs before/after installing
+	// the selection.
+	CostWithout float64
+	CostWith    float64
+}
+
+// Improvement returns CostWithout / CostWith (1 if nothing improved).
+func (s Selection) Improvement() float64 {
+	if s.CostWith <= 0 {
+		return 1
+	}
+	return s.CostWithout / s.CostWith
+}
+
+// String renders the selection.
+func (s Selection) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "selection (%d views, %d bytes, %.2fx):\n", len(s.Views), s.TotalBytes, s.Improvement())
+	for _, v := range s.Views {
+		fmt.Fprintf(&b, "  %s (%d bytes)\n", v.Label(), v.SizeBytes)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// SelectGreedy solves AVSP with submodular greedy: repeatedly materialise
+// the candidate with the best marginal benefit per byte that still fits the
+// budget, re-evaluating marginals against the views already chosen (view
+// benefits interact — a sorted projection can obsolete a hash index).
+func SelectGreedy(cands []*View, workload []WorkloadQuery, mode core.Mode, budgetBytes int64) (Selection, error) {
+	base, err := workloadCost(workload, mode, nil)
+	if err != nil {
+		return Selection{}, err
+	}
+	chosen := NewCatalog()
+	remaining := append([]*View(nil), cands...)
+	cur := base
+	var sel Selection
+	sel.CostWithout = base
+	for {
+		bestIdx := -1
+		bestCost := cur
+		bestRatio := 0.0
+		for i, v := range remaining {
+			if sel.TotalBytes+v.SizeBytes > budgetBytes {
+				continue
+			}
+			trial := NewCatalog()
+			for _, w := range chosen.Views() {
+				trial.Add(w)
+			}
+			trial.Add(v)
+			c, err := workloadCost(workload, mode, trial)
+			if err != nil {
+				return Selection{}, err
+			}
+			gain := cur - c
+			if gain <= 0 {
+				continue
+			}
+			ratio := gain / float64(v.SizeBytes)
+			if ratio > bestRatio {
+				bestRatio = ratio
+				bestIdx = i
+				bestCost = c
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		v := remaining[bestIdx]
+		chosen.Add(v)
+		sel.Views = append(sel.Views, v)
+		sel.TotalBytes += v.SizeBytes
+		cur = bestCost
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sel.CostWith = cur
+	return sel, nil
+}
+
+// SelectExhaustive solves AVSP exactly by enumerating every subset within
+// the budget and optimising the full workload against each — exponential,
+// for small candidate sets (≤ ~12) and for validating the greedy solver.
+func SelectExhaustive(cands []*View, workload []WorkloadQuery, mode core.Mode, budgetBytes int64) (Selection, error) {
+	if len(cands) > 16 {
+		return Selection{}, fmt.Errorf("av: exhaustive AVSP limited to 16 candidates, got %d", len(cands))
+	}
+	base, err := workloadCost(workload, mode, nil)
+	if err != nil {
+		return Selection{}, err
+	}
+	best := Selection{CostWithout: base, CostWith: base}
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		var size int64
+		trial := NewCatalog()
+		var views []*View
+		for i, v := range cands {
+			if mask&(1<<i) != 0 {
+				size += v.SizeBytes
+				trial.Add(v)
+				views = append(views, v)
+			}
+		}
+		if size > budgetBytes {
+			continue
+		}
+		c, err := workloadCost(workload, mode, trial)
+		if err != nil {
+			return Selection{}, err
+		}
+		if c < best.CostWith || (c == best.CostWith && size < best.TotalBytes) {
+			best.CostWith = c
+			best.Views = views
+			best.TotalBytes = size
+		}
+	}
+	return best, nil
+}

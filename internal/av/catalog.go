@@ -1,0 +1,156 @@
+package av
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dqo/internal/core"
+)
+
+// Catalog holds the materialised Algorithmic Views and plugs them into the
+// optimiser: it implements both core.ScanProvider (sorted projections as
+// alternative access paths) and core.IndexProvider (prebuilt join indexes).
+type Catalog struct {
+	mu    sync.RWMutex
+	views []*View
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{} }
+
+// Add registers a view. Adding a second view with the same kind, table, and
+// column replaces the first.
+func (c *Catalog) Add(v *View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, old := range c.views {
+		if old.Kind == v.Kind && old.Table == v.Table && old.Column == v.Column {
+			c.views[i] = v
+			return
+		}
+	}
+	c.views = append(c.views, v)
+}
+
+// DropTable removes every view materialised from the given table (used
+// when the table's data is replaced — the views would be stale). It returns
+// the number of views dropped.
+func (c *Catalog) DropTable(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.views[:0]
+	dropped := 0
+	for _, v := range c.views {
+		if v.Table == table {
+			dropped++
+			continue
+		}
+		kept = append(kept, v)
+	}
+	c.views = kept
+	return dropped
+}
+
+// Drop removes the view with the given kind, table, and column. It reports
+// whether a view was removed.
+func (c *Catalog) Drop(kind StructureKind, table, column string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, v := range c.views {
+		if v.Kind == kind && v.Table == table && v.Column == column {
+			c.views = append(c.views[:i], c.views[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Views returns a snapshot of the registered views.
+func (c *Catalog) Views() []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*View(nil), c.views...)
+}
+
+// TotalBytes returns the combined footprint of all views.
+func (c *Catalog) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, v := range c.views {
+		total += v.SizeBytes
+	}
+	return total
+}
+
+// ScanVariants implements core.ScanProvider.
+func (c *Catalog) ScanVariants(table string) []core.ScanVariant {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []core.ScanVariant
+	for _, v := range c.views {
+		if v.Kind == SortedProjection && v.Table == table {
+			out = append(out, core.ScanVariant{Label: v.Label(), Rel: v.rel})
+		}
+	}
+	return out
+}
+
+// Index implements core.IndexProvider. SPH directories win over hash
+// indexes when both exist (they are strictly cheaper to probe).
+func (c *Catalog) Index(table, column string) (core.PrebuiltIndex, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var hash *View
+	for _, v := range c.views {
+		if v.Table != table || v.Column != column {
+			continue
+		}
+		switch v.Kind {
+		case SPHDirectory:
+			return v, true
+		case HashIndex:
+			hash = v
+		}
+	}
+	if hash != nil {
+		return hash, true
+	}
+	return nil, false
+}
+
+// String renders the catalog for the avtool CLI.
+func (c *Catalog) String() string {
+	views := c.Views()
+	if len(views) == 0 {
+		return "catalog: (empty)"
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].Label() < views[j].Label() })
+	var b strings.Builder
+	b.WriteString("catalog:\n")
+	for _, v := range views {
+		fmt.Fprintf(&b, "  %-28s %10d bytes  built in %s\n", v.Label(), v.SizeBytes, v.BuildTime)
+	}
+	fmt.Fprintf(&b, "  total %d bytes", c.TotalBytes())
+	return b.String()
+}
+
+var (
+	_ core.ScanProvider  = (*Catalog)(nil)
+	_ core.IndexProvider = (*Catalog)(nil)
+)
+
+// Cracked implements core.RangeProvider: it returns the adaptive index on
+// table.column, if materialised.
+func (c *Catalog) Cracked(table, column string) (core.RangeIndex, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.views {
+		if v.Kind == CrackedIndex && v.Table == table && v.Column == column {
+			return v, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,50 @@
+package av
+
+import (
+	"dqo/internal/physical"
+	"dqo/internal/physio"
+)
+
+// PartialAV is a partially materialised plan-level view (paper Section 6,
+// "Partial Algorithmic Views"): the algorithm *family* for grouping on a
+// key column was decided offline, but the molecule-level choices (hash
+// table scheme, hash function, sort algorithm, loop parallelism) are left
+// to the query-time optimiser. It shrinks enumeration without freezing the
+// flexibility that still pays off at runtime.
+type PartialAV struct {
+	// Key is the grouping column the decision applies to.
+	Key string
+	// Family is the pinned grouping algorithm family.
+	Family physical.GroupKind
+}
+
+// GroupFilter returns the core.Mode hook implementing this partial AV: for
+// the pinned key only choices of the pinned family survive; other keys are
+// untouched.
+func (p PartialAV) GroupFilter() func(key string, choices []physio.GroupChoice) []physio.GroupChoice {
+	return func(key string, choices []physio.GroupChoice) []physio.GroupChoice {
+		if key != p.Key {
+			return choices
+		}
+		var out []physio.GroupChoice
+		for _, c := range choices {
+			if c.Kind == p.Family {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+}
+
+// CombineGroupFilters chains several partial AVs into one hook; the first
+// filter that restricts a key wins.
+func CombineGroupFilters(avs ...PartialAV) func(string, []physio.GroupChoice) []physio.GroupChoice {
+	return func(key string, choices []physio.GroupChoice) []physio.GroupChoice {
+		for _, p := range avs {
+			if p.Key == key {
+				return p.GroupFilter()(key, choices)
+			}
+		}
+		return choices
+	}
+}

@@ -1,0 +1,69 @@
+package av
+
+import (
+	"sync"
+
+	"dqo/internal/core"
+	"dqo/internal/logical"
+)
+
+// PlanCache is a plan-level Algorithmic View: a fully optimised plan reused
+// across queries — the prepared-statement analogy of Section 3 ("how much
+// time do I want to spend on DQO offline vs at query time?"). Keys are
+// caller-chosen (typically the SQL text plus the optimisation mode name);
+// the caller is responsible for invalidating entries when base data
+// properties change.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*core.Result
+	hits    int
+	misses  int
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: make(map[string]*core.Result)}
+}
+
+// Optimize returns the cached result for key, or optimises n under mode,
+// caches, and returns it. The second result reports a cache hit.
+func (pc *PlanCache) Optimize(key string, n logical.Node, mode core.Mode) (*core.Result, bool, error) {
+	pc.mu.Lock()
+	if res, ok := pc.entries[key]; ok {
+		pc.hits++
+		pc.mu.Unlock()
+		return res, true, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+
+	res, err := core.Optimize(n, mode)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.mu.Lock()
+	pc.entries[key] = res
+	pc.mu.Unlock()
+	return res, false, nil
+}
+
+// Invalidate drops the entry for key (if any).
+func (pc *PlanCache) Invalidate(key string) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	delete(pc.entries, key)
+}
+
+// Clear drops every entry.
+func (pc *PlanCache) Clear() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.entries = make(map[string]*core.Result)
+}
+
+// Stats returns hit and miss counters.
+func (pc *PlanCache) Stats() (hits, misses int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}

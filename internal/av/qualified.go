@@ -1,0 +1,76 @@
+package av
+
+import (
+	"strings"
+
+	"dqo/internal/core"
+	"dqo/internal/storage"
+)
+
+// Qualified adapts a Catalog (keyed by base table names and bare column
+// names) to plans produced by the SQL binder, whose scans are aliased and
+// whose columns are qualified as "alias.column". Scan variants are
+// re-qualified on the fly so their schemas match the plan's.
+type Qualified struct {
+	Cat *Catalog
+	// Aliases maps a scan alias to its base table; missing entries default
+	// to the alias itself.
+	Aliases map[string]string
+}
+
+func (q Qualified) base(alias string) string {
+	if q.Aliases != nil {
+		if t, ok := q.Aliases[alias]; ok {
+			return t
+		}
+	}
+	return alias
+}
+
+// ScanVariants implements core.ScanProvider.
+func (q Qualified) ScanVariants(alias string) []core.ScanVariant {
+	vs := q.Cat.ScanVariants(q.base(alias))
+	out := make([]core.ScanVariant, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, core.ScanVariant{Label: v.Label, Rel: requalify(v.Rel, alias)})
+	}
+	return out
+}
+
+// Index implements core.IndexProvider.
+func (q Qualified) Index(alias, column string) (core.PrebuiltIndex, bool) {
+	return q.Cat.Index(q.base(alias), strings.TrimPrefix(column, alias+"."))
+}
+
+// requalify renames every column of rel to "alias.column" (idempotent for
+// already-qualified names) and carries correlation declarations over.
+func requalify(rel *storage.Relation, alias string) *storage.Relation {
+	prefix := alias + "."
+	qual := func(name string) string {
+		if strings.HasPrefix(name, prefix) {
+			return name
+		}
+		return prefix + name
+	}
+	cols := make([]*storage.Column, 0, rel.NumCols())
+	for _, c := range rel.Columns() {
+		cols = append(cols, c.Rename(qual(c.Name())))
+	}
+	out := storage.MustNewRelation(alias, cols...)
+	for _, corr := range rel.Corrs() {
+		out.DeclareCorr(qual(corr[0]), qual(corr[1]))
+	}
+	return out
+}
+
+var (
+	_ core.ScanProvider  = Qualified{}
+	_ core.IndexProvider = Qualified{}
+)
+
+// Cracked implements core.RangeProvider.
+func (q Qualified) Cracked(alias, column string) (core.RangeIndex, bool) {
+	return q.Cat.Cracked(q.base(alias), strings.TrimPrefix(column, alias+"."))
+}
+
+var _ core.RangeProvider = Qualified{}

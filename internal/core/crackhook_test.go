@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"dqo/internal/expr"
+)
+
+func TestPredRange(t *testing.T) {
+	col := func(n string) expr.Expr { return expr.Col{Name: n} }
+	lit := func(v int64) expr.Expr { return expr.IntLit{V: v} }
+	bin := func(op expr.Op, l, r expr.Expr) expr.Expr { return expr.Bin{Op: op, L: l, R: r} }
+	const top = uint64(1) << 32
+
+	cases := []struct {
+		e      expr.Expr
+		col    string
+		lo, hi uint64
+		ok     bool
+	}{
+		{bin(expr.OpEq, col("a"), lit(5)), "a", 5, 6, true},
+		{bin(expr.OpLt, col("a"), lit(5)), "a", 0, 5, true},
+		{bin(expr.OpLe, col("a"), lit(5)), "a", 0, 6, true},
+		{bin(expr.OpGt, col("a"), lit(5)), "a", 6, top, true},
+		{bin(expr.OpGe, col("a"), lit(5)), "a", 5, top, true},
+		{bin(expr.OpAnd, bin(expr.OpGe, col("a"), lit(10)), bin(expr.OpLt, col("a"), lit(20))), "a", 10, 20, true},
+		{bin(expr.OpAnd, bin(expr.OpGe, col("a"), lit(10)), bin(expr.OpLt, col("b"), lit(20))), "", 0, 0, false}, // mixed columns
+		{bin(expr.OpNe, col("a"), lit(5)), "", 0, 0, false},
+		{bin(expr.OpEq, col("a"), expr.FloatLit{V: 1.5}), "", 0, 0, false},
+		{bin(expr.OpEq, col("a"), lit(-1)), "", 0, 0, false},
+		{bin(expr.OpEq, lit(5), col("a")), "", 0, 0, false}, // literal on the left unsupported
+		{col("a"), "", 0, 0, false},
+		{bin(expr.OpOr, bin(expr.OpEq, col("a"), lit(1)), bin(expr.OpEq, col("a"), lit(2))), "", 0, 0, false},
+	}
+	for i, c := range cases {
+		gc, lo, hi, ok := predRange(c.e)
+		if ok != c.ok {
+			t.Fatalf("case %d (%s): ok=%v, want %v", i, c.e, ok, c.ok)
+		}
+		if ok && (gc != c.col || lo != c.lo || hi != c.hi) {
+			t.Fatalf("case %d (%s): (%s,%d,%d), want (%s,%d,%d)", i, c.e, gc, lo, hi, c.col, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package core implements the paper's contribution: property-tracking
+// dynamic-programming query optimisation at two granularities — Shallow
+// Query Optimisation (SQO), which enumerates opaque physical operators and
+// tracks only sortedness, and Deep Query Optimisation (DQO), which unnests
+// operators into their sub-components (internal/physio) and tracks the full
+// property vector of Section 2.2, in particular key density.
+package core
+
+import (
+	"dqo/internal/cost"
+	"dqo/internal/physio"
+)
+
+// Mode configures an optimisation run.
+type Mode struct {
+	// Name is used in EXPLAIN output ("sqo", "dqo", or custom).
+	Name string
+	// Depth selects the enumeration granularity (physio.Shallow: one opaque
+	// choice per algorithm family; physio.Deep: the molecule space).
+	Depth physio.Depth
+	// TrackDensity makes key density a plan property. This is the exact
+	// delta of the paper's Figure 5 experiment: "While SQO only considers
+	// data sortedness as in traditional dynamic programming, DQO also
+	// considers ... the density of the grouping keys."
+	TrackDensity bool
+	// TrackProbeOrder lets the optimiser know that probe-major joins
+	// (HJ/SPHJ/BSJ) emit pairs in probe order, so a sorted probe input
+	// yields sorted output. Classical shallow optimisation assumes hash
+	// joins destroy order — seeing otherwise requires looking below the
+	// operator boundary at the emission loop, so this is a deep-only
+	// property.
+	TrackProbeOrder bool
+	// Model is the cost model to minimise.
+	Model cost.Model
+	// Scans optionally supplies Algorithmic-View access paths (sorted
+	// projections) per table.
+	Scans ScanProvider
+	// Indexes optionally supplies prebuilt join indexes (hash / SPH
+	// directory AVs) per table and column.
+	Indexes IndexProvider
+	// CrackedIdx optionally supplies adaptive (cracked) indexes used to
+	// answer range filters over base scans.
+	CrackedIdx RangeProvider
+	// GroupFilter optionally restricts the grouping choices enumerated for
+	// a key column — the hook partial Algorithmic Views use to pin an
+	// algorithm family offline while leaving molecule choices to query
+	// time. Returning an empty slice falls back to the unrestricted set.
+	GroupFilter func(key string, choices []physio.GroupChoice) []physio.GroupChoice
+}
+
+// WithAVs returns a copy of the mode with the given AV providers installed
+// (either may be nil).
+func (m Mode) WithAVs(scans ScanProvider, indexes IndexProvider) Mode {
+	m.Scans = scans
+	m.Indexes = indexes
+	return m
+}
+
+// SQO returns the shallow baseline configuration with the paper's Table 2
+// cost model.
+func SQO() Mode {
+	return Mode{Name: "sqo", Depth: physio.Shallow, Model: cost.Paper{}}
+}
+
+// DQO returns the deep configuration with the paper's Table 2 cost model.
+func DQO() Mode {
+	return Mode{Name: "dqo", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true, Model: cost.Paper{}}
+}
+
+// DQOCalibrated returns the deep configuration with the molecule-aware
+// calibrated cost model — the setting in which deep enumeration can pay off
+// below the algorithm-family level.
+func DQOCalibrated() Mode {
+	return Mode{Name: "dqo-calibrated", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true, Model: cost.NewCalibrated()}
+}

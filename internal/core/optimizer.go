@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dqo/internal/logical"
+	"dqo/internal/physical"
+	"dqo/internal/physio"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+)
+
+// Stats reports what the optimiser did.
+type Stats struct {
+	Alternatives int           // physical alternatives costed
+	Kept         int           // Pareto entries surviving per-property pruning
+	Duration     time.Duration // wall-clock optimisation time
+}
+
+// Result is the outcome of an optimisation run.
+type Result struct {
+	Best  *Plan
+	Mode  Mode
+	Stats Stats
+}
+
+// Physicality returns the mean physicality (share of molecule-level
+// granules, see physio.Granule.Physicality) over the chosen plan's join and
+// grouping implementations — how deeply the winning plan was unnested.
+func (r *Result) Physicality() float64 {
+	total, n := 0.0, 0
+	var rec func(p *Plan)
+	rec = func(p *Plan) {
+		switch p.Op {
+		case OpJoin:
+			if p.Join.Tree != nil {
+				total += p.Join.Tree.Physicality()
+				n++
+			}
+		case OpGroup:
+			if p.Group.Tree != nil {
+				total += p.Group.Tree.Physicality()
+				n++
+			}
+		}
+		for _, c := range p.Children {
+			rec(c)
+		}
+	}
+	rec(r.Best)
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Optimize compiles a logical plan into the cheapest physical plan under the
+// mode's cost model, using property-tracking dynamic programming: for every
+// subtree it keeps the cheapest plan per distinct property vector
+// (generalised interesting orders — exactly the mechanism the paper extends
+// from sortedness to density and friends).
+func Optimize(n logical.Node, mode Mode) (*Result, error) {
+	if err := logical.Validate(n); err != nil {
+		return nil, err
+	}
+	if mode.Model == nil {
+		return nil, fmt.Errorf("core: mode %q has no cost model", mode.Name)
+	}
+	start := time.Now()
+	o := &optimizer{mode: mode}
+	plans, err := o.optimize(n)
+	if err != nil {
+		return nil, err
+	}
+	best := cheapest(plans)
+	if best == nil {
+		return nil, fmt.Errorf("core: no plan found for %s", n)
+	}
+	o.stats.Duration = time.Since(start)
+	o.stats.Kept = len(plans)
+	return &Result{Best: best, Mode: mode, Stats: o.stats}, nil
+}
+
+type optimizer struct {
+	mode  Mode
+	stats Stats
+}
+
+// cheapest returns the lowest-cost plan (ties: first wins, which prefers
+// the earlier-enumerated, less physical alternative — matching the paper's
+// outcome that order-based plans win the sorted/sorted cell).
+func cheapest(plans []*Plan) *Plan {
+	var best *Plan
+	for _, p := range plans {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// keepPareto retains, per property fingerprint, the cheapest plan; it also
+// drops any plan strictly worse than another whose properties subsume it
+// would require a lattice — per-fingerprint pruning is the classical
+// compromise and keeps enumeration exact for the requirements we check.
+func (o *optimizer) keepPareto(plans []*Plan) []*Plan {
+	bestBy := make(map[string]*Plan, len(plans))
+	order := make([]string, 0, len(plans))
+	for _, p := range plans {
+		fp := p.Props.Fingerprint()
+		if cur, ok := bestBy[fp]; !ok {
+			bestBy[fp] = p
+			order = append(order, fp)
+		} else if p.Cost < cur.Cost {
+			bestBy[fp] = p
+		}
+	}
+	out := make([]*Plan, 0, len(order))
+	for _, fp := range order {
+		out = append(out, bestBy[fp])
+	}
+	return out
+}
+
+// restrict hides the properties the mode does not track — the SQO/DQO
+// delta. SQO keeps sortedness (and what follows from it) but is blind to
+// density: its property vector simply never contains a dense domain, so
+// SPH-based alternatives are unreachable.
+func (o *optimizer) restrict(s props.Set) props.Set {
+	if o.mode.TrackDensity {
+		return s
+	}
+	n := s.Clone()
+	for c, d := range n.Cols {
+		d.Dense = false
+		n.Cols[c] = d
+	}
+	return n
+}
+
+func (o *optimizer) sortKinds() []sortx.Kind {
+	if o.mode.Depth == physio.Deep {
+		return sortx.Kinds()
+	}
+	return []sortx.Kind{sortx.Radix}
+}
+
+func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
+	switch n := n.(type) {
+	case *logical.Scan:
+		rows := logical.Estimate(n)
+		p := &Plan{
+			Op: OpScan, Table: n.Table, Rel: n.Rel,
+			Props: o.restrict(logical.ScanProps(n.Rel)),
+			Rows:  rows,
+		}
+		p.Cost = o.mode.Model.Scan(p.Rows)
+		o.stats.Alternatives++
+		out := []*Plan{p}
+		if o.mode.Scans != nil {
+			// Algorithmic-View access paths: materialised variants of the
+			// table (e.g. sorted projections) start the plan from different
+			// physical properties at plain scan cost.
+			for _, v := range o.mode.Scans.ScanVariants(n.Table) {
+				vp := &Plan{
+					Op: OpScan, Table: n.Table, Rel: v.Rel, AV: v.Label,
+					Props: o.restrict(logical.ScanProps(v.Rel)),
+					Rows:  rows,
+					Cost:  o.mode.Model.Scan(rows),
+				}
+				o.stats.Alternatives++
+				out = append(out, vp)
+			}
+		}
+		return o.keepPareto(out), nil
+
+	case *logical.Filter:
+		children, err := o.optimize(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		rows := logical.Estimate(n)
+		var out []*Plan
+		for _, c := range children {
+			p := &Plan{
+				Op: OpFilter, Children: []*Plan{c}, Pred: n.Pred,
+				// Filtering preserves order, clustering, correlations, and
+				// domains-as-bounds (a filtered dense domain stays
+				// SPH-addressable; it is merely no longer minimal).
+				Props: c.Props,
+				Rows:  rows,
+				Cost:  c.Cost + o.mode.Model.Filter(c.Rows),
+			}
+			o.stats.Alternatives++
+			out = append(out, p)
+		}
+		// Adaptive-index AV: a range filter directly over a base scan can be
+		// answered by the cracked index, touching only qualifying pieces.
+		// The crack emits rows in piece order, so order knowledge is lost.
+		if o.mode.CrackedIdx != nil {
+			if scan, isScan := n.Input.(*logical.Scan); isScan {
+				if col, lo, hi, ok := predRange(n.Pred); ok {
+					if idx, have := o.mode.CrackedIdx.Cracked(scan.Table, col); have {
+						base := &Plan{
+							Op: OpScan, Table: scan.Table, Rel: scan.Rel,
+							Props: o.restrict(logical.ScanProps(scan.Rel)),
+							Rows:  logical.Estimate(scan),
+							Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
+						}
+						o.stats.Alternatives++
+						out = append(out, &Plan{
+							Op: OpFilter, Children: []*Plan{base}, Pred: n.Pred,
+							AV: idx.Label(), Crack: idx, CrackLo: lo, CrackHi: hi,
+							Props: base.Props.DropOrder(),
+							Rows:  rows,
+							// Only qualifying rows are touched (cracking
+							// cost amortises to ~zero over a workload).
+							Cost: base.Cost + o.mode.Model.Filter(rows),
+						})
+					}
+				}
+			}
+		}
+		return o.keepPareto(out), nil
+
+	case *logical.Project:
+		children, err := o.optimize(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []*Plan
+		for _, c := range children {
+			p := &Plan{
+				Op: OpProject, Children: []*Plan{c}, Cols: n.Cols,
+				Props: c.Props.Project(n.Cols...),
+				Rows:  c.Rows,
+				Cost:  c.Cost,
+			}
+			o.stats.Alternatives++
+			out = append(out, p)
+		}
+		return o.keepPareto(out), nil
+
+	case *logical.Sort:
+		children, err := o.optimize(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []*Plan
+		for _, c := range children {
+			if c.Props.SortedOn(n.Key) {
+				// Already sorted: the sort is a no-op; keep the child as-is
+				// wrapped for plan-shape fidelity at zero cost.
+				out = append(out, &Plan{
+					Op: OpSort, Children: []*Plan{c}, SortKey: n.Key, SortKind: sortx.Radix,
+					Props: c.Props, Rows: c.Rows, Cost: c.Cost,
+				})
+				o.stats.Alternatives++
+				continue
+			}
+			for _, sk := range o.sortKinds() {
+				out = append(out, o.sortPlan(c, n.Key, sk, false))
+			}
+		}
+		return o.keepPareto(out), nil
+
+	case *logical.Join:
+		return o.optimizeJoin(n)
+
+	case *logical.GroupBy:
+		return o.optimizeGroup(n)
+
+	default:
+		return nil, fmt.Errorf("core: cannot optimise %T", n)
+	}
+}
+
+// joinOutProps derives join output properties, hiding probe-order
+// preservation from optimisers that do not look below the operator boundary
+// (classical assumption: hash joins destroy order; only the order-based
+// family preserves it).
+func (o *optimizer) joinOutProps(ch physio.JoinChoice, build, probe props.Set, buildKey, probeKey string) props.Set {
+	out := ch.Kind.OutputProps(build, probe, buildKey, probeKey)
+	if !o.mode.TrackProbeOrder {
+		switch ch.Kind {
+		case physical.HJ, physical.SPHJ, physical.BSJ:
+			out = out.DropOrder()
+		}
+	}
+	return out
+}
+
+// sortPlan wraps child in a sort by key (enforcer or user sort).
+func (o *optimizer) sortPlan(child *Plan, key string, sk sortx.Kind, enforcer bool) *Plan {
+	o.stats.Alternatives++
+	return &Plan{
+		Op: OpSort, Children: []*Plan{child},
+		SortKey: key, SortKind: sk, Enforcer: enforcer,
+		Props: child.Props.AfterSortBy(key),
+		Rows:  child.Rows,
+		Cost:  child.Cost + o.mode.Model.SortBy(child.Rows, sk),
+	}
+}
+
+// withEnforcers returns the candidate input plans for an operator that
+// might want its input sorted by key: the originals plus, for each plan not
+// already sorted on key, sort-enforced variants.
+func (o *optimizer) withEnforcers(plans []*Plan, key string) []*Plan {
+	out := append([]*Plan(nil), plans...)
+	for _, p := range plans {
+		if p.Props.SortedOn(key) {
+			continue
+		}
+		for _, sk := range o.sortKinds() {
+			out = append(out, o.sortPlan(p, key, sk, true))
+		}
+	}
+	return o.keepPareto(out)
+}
+
+func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
+	lefts, err := o.optimize(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	rights, err := o.optimize(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	lefts = o.withEnforcers(lefts, n.LeftKey)
+	rights = o.withEnforcers(rights, n.RightKey)
+
+	rows := logical.Estimate(n)
+	keyDistinct := logical.ColDistinct(n.Left, n.LeftKey)
+	rightDistinct := logical.ColDistinct(n.Right, n.RightKey)
+	choices := physio.JoinChoices(n.LeftKey, n.RightKey, o.mode.Depth)
+	// Join commutativity: the same algorithm families with build and probe
+	// roles exchanged. Requirements and costs are evaluated with the right
+	// input as the build side; the output schema is unchanged.
+	swapChoices := physio.JoinChoices(n.RightKey, n.LeftKey, o.mode.Depth)
+
+	var out []*Plan
+	for _, lp := range lefts {
+		for _, rp := range rights {
+			for i := range choices {
+				ch := choices[i]
+				if !lp.Props.SatisfiesAll(ch.LeftReqs) || !rp.Props.SatisfiesAll(ch.RightReqs) {
+					continue
+				}
+				o.stats.Alternatives++
+				outProps := o.joinOutProps(ch, lp.Props, rp.Props, n.LeftKey, n.RightKey)
+				p := &Plan{
+					Op: OpJoin, Children: []*Plan{lp, rp},
+					Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey,
+					KeyDom: lp.Props.Domain(n.LeftKey),
+					Props:  o.restrict(outProps),
+					Rows:   rows,
+					Cost:   lp.Cost + rp.Cost + o.mode.Model.Join(ch, lp.Rows, rp.Rows, keyDistinct),
+				}
+				out = append(out, p)
+			}
+			for i := range swapChoices {
+				ch := swapChoices[i]
+				if !rp.Props.SatisfiesAll(ch.LeftReqs) || !lp.Props.SatisfiesAll(ch.RightReqs) {
+					continue
+				}
+				o.stats.Alternatives++
+				outProps := o.joinOutProps(ch, rp.Props, lp.Props, n.RightKey, n.LeftKey)
+				p := &Plan{
+					Op: OpJoin, Children: []*Plan{lp, rp},
+					Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey, Swapped: true,
+					KeyDom: rp.Props.Domain(n.RightKey),
+					Props:  o.restrict(outProps),
+					Rows:   rows,
+					Cost:   lp.Cost + rp.Cost + o.mode.Model.Join(ch, rp.Rows, lp.Rows, rightDistinct),
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	// AV-backed joins: if the left input is the bare base scan of a table
+	// with a prebuilt index on the join key, the build phase was paid
+	// offline and only the probe side is charged.
+	if o.mode.Indexes != nil {
+		if scan, ok := n.Left.(*logical.Scan); ok {
+			if idx, have := o.mode.Indexes.Index(scan.Table, n.LeftKey); have {
+				base := &Plan{
+					Op: OpScan, Table: scan.Table, Rel: scan.Rel,
+					Props: o.restrict(logical.ScanProps(scan.Rel)),
+					Rows:  logical.Estimate(scan),
+					Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
+				}
+				kind := physical.HJ
+				if idx.SPH() {
+					kind = physical.SPHJ
+				}
+				ch := physio.JoinChoice{
+					Kind: kind,
+					Tree: physio.JoinTree(kind, physical.JoinOptions{}, n.LeftKey, n.RightKey),
+				}
+				for _, rp := range rights {
+					o.stats.Alternatives++
+					outProps := o.joinOutProps(ch, base.Props, rp.Props, n.LeftKey, n.RightKey)
+					out = append(out, &Plan{
+						Op: OpJoin, Children: []*Plan{base, rp},
+						Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey,
+						AV: idx.Label(), Index: idx,
+						KeyDom: base.Props.Domain(n.LeftKey),
+						Props:  o.restrict(outProps),
+						Rows:   rows,
+						// Build side already materialised: charge probe only.
+						Cost: base.Cost + rp.Cost + o.mode.Model.Join(ch, 0, rp.Rows, keyDistinct),
+					})
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no applicable join implementation for %s", n)
+	}
+	return o.keepPareto(out), nil
+}
+
+func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
+	children, err := o.optimize(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	children = o.withEnforcers(children, n.Key)
+
+	groups := logical.ColDistinct(n.Input, n.Key)
+	rows := logical.Estimate(n)
+	choices := physio.GroupChoices(n.Key, o.mode.Depth)
+	if o.mode.GroupFilter != nil {
+		if filtered := o.mode.GroupFilter(n.Key, choices); len(filtered) > 0 {
+			choices = filtered
+		}
+	}
+
+	var out []*Plan
+	for _, c := range children {
+		for i := range choices {
+			ch := choices[i]
+			if !c.Props.SatisfiesAll(ch.Reqs) {
+				continue
+			}
+			o.stats.Alternatives++
+			outProps := ch.Kind.OutputProps(c.Props, n.Key)
+			p := &Plan{
+				Op: OpGroup, Children: []*Plan{c},
+				Group: ch, GroupKey: n.Key, Aggs: n.Aggs,
+				KeyDom: c.Props.Domain(n.Key),
+				Props:  o.restrict(outProps),
+				Rows:   rows,
+				Cost:   c.Cost + o.mode.Model.Group(ch, c.Rows, groups),
+			}
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no applicable grouping implementation for %s", n)
+	}
+	return o.keepPareto(out), nil
+}
+
+// CompareModes optimises the same logical plan under two modes and returns
+// the improvement factor baseline/over — the quantity Figure 5 reports
+// ("improvement factors for the estimated plan costs of DQO over SQO").
+// Both costs are measured under the baseline's cost model scale (the two
+// modes must share a model for the factor to be meaningful).
+func CompareModes(n logical.Node, baseline, improved Mode) (base, better *Result, factor float64, err error) {
+	base, err = Optimize(n, baseline)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	better, err = Optimize(n, improved)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if better.Best.Cost == 0 {
+		return base, better, 1, nil
+	}
+	return base, better, base.Best.Cost / better.Best.Cost, nil
+}

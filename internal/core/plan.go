@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dqo/internal/expr"
+	"dqo/internal/physical"
+	"dqo/internal/physio"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+	"dqo/internal/storage"
+)
+
+// OpKind identifies a physical plan operator.
+type OpKind uint8
+
+// Physical plan operators. OpSort covers both user-requested ORDER BY and
+// optimiser-inserted sort enforcers.
+const (
+	OpScan OpKind = iota
+	OpFilter
+	OpProject
+	OpSort
+	OpJoin
+	OpGroup
+)
+
+// String returns the operator name.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "Scan"
+	case OpFilter:
+		return "Filter"
+	case OpProject:
+		return "Project"
+	case OpSort:
+		return "Sort"
+	case OpJoin:
+		return "Join"
+	case OpGroup:
+		return "Group"
+	default:
+		return "?"
+	}
+}
+
+// Plan is a physical plan node produced by the optimiser.
+type Plan struct {
+	Op       OpKind
+	Children []*Plan
+
+	// Operator payloads (validity depends on Op).
+	Table    string            // OpScan
+	Rel      *storage.Relation // OpScan
+	Pred     expr.Expr         // OpFilter
+	Cols     []string          // OpProject
+	SortKey  string            // OpSort
+	SortKind sortx.Kind        // OpSort
+	Enforcer bool              // OpSort: inserted by the optimiser, not the query
+	Group    physio.GroupChoice
+	GroupKey string
+	Aggs     []expr.AggSpec
+	Join     physio.JoinChoice
+	LeftKey  string
+	RightKey string
+	// Swapped marks a commuted join: build on the right input, probe with
+	// the left; the output schema is unchanged.
+	Swapped bool
+	// KeyDom is the key domain the optimiser planned with (OpJoin: build
+	// side; OpGroup: grouping key); the executor passes it to the kernels.
+	KeyDom props.Domain
+	// AV labels the Algorithmic View backing this node (OpScan variant or
+	// OpJoin with a prebuilt index); empty for plain operators.
+	AV string
+	// Index is the prebuilt build side of an AV-backed join.
+	Index PrebuiltIndex
+	// Crack is the adaptive index answering an AV-backed range filter over
+	// [CrackLo, CrackHi).
+	Crack            RangeIndex
+	CrackLo, CrackHi uint64
+
+	// Derived bookkeeping.
+	Props props.Set // output property vector
+	Rows  float64   // estimated output cardinality
+	Cost  float64   // cumulative estimated cost
+}
+
+// Label returns a one-line description of this node alone.
+func (p *Plan) Label() string {
+	switch p.Op {
+	case OpScan:
+		if p.AV != "" {
+			return fmt.Sprintf("Scan(%s via %s)", p.Table, p.AV)
+		}
+		return fmt.Sprintf("Scan(%s)", p.Table)
+	case OpFilter:
+		if p.AV != "" {
+			return fmt.Sprintf("Filter(%s) via %s", p.Pred, p.AV)
+		}
+		return fmt.Sprintf("Filter(%s)", p.Pred)
+	case OpProject:
+		return "Project(" + strings.Join(p.Cols, ", ") + ")"
+	case OpSort:
+		kind := p.SortKind.String()
+		if p.Enforcer {
+			return fmt.Sprintf("Sort(%s, %s) [enforcer]", p.SortKey, kind)
+		}
+		return fmt.Sprintf("Sort(%s, %s)", p.SortKey, kind)
+	case OpJoin:
+		suffix := ""
+		if p.Swapped {
+			suffix = " [build right]"
+		}
+		if p.AV != "" {
+			return fmt.Sprintf("%s(%s = %s) via %s%s", p.Join.Label(), p.LeftKey, p.RightKey, p.AV, suffix)
+		}
+		return fmt.Sprintf("%s(%s = %s)%s", p.Join.Label(), p.LeftKey, p.RightKey, suffix)
+	case OpGroup:
+		parts := make([]string, len(p.Aggs))
+		for i, a := range p.Aggs {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("%s(%s; %s)", p.Group.Label(), p.GroupKey, strings.Join(parts, ", "))
+	default:
+		return "?"
+	}
+}
+
+// Explain renders the plan tree with cost, cardinality, and the property
+// vector at every node.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	var rec func(n *Plan, depth int)
+	rec = func(n *Plan, depth int) {
+		pad := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s  (cost=%.0f rows=%.0f)\n", pad, n.Label(), n.Cost, n.Rows)
+		if desc := describeProps(n.Props); desc != "" {
+			fmt.Fprintf(&b, "%s  props: %s\n", pad, desc)
+		}
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return b.String()
+}
+
+// ExplainDeep is Explain plus the granule tree of every join/group node —
+// the Figure 3 view of the chosen plan.
+func (p *Plan) ExplainDeep() string {
+	var b strings.Builder
+	b.WriteString(p.Explain())
+	var rec func(n *Plan)
+	rec = func(n *Plan) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		var tree *physio.Granule
+		switch n.Op {
+		case OpJoin:
+			tree = n.Join.Tree
+		case OpGroup:
+			tree = n.Group.Tree
+		}
+		if tree != nil {
+			fmt.Fprintf(&b, "\n%s granule tree (physicality %.2f):\n%s", n.Label(), tree.Physicality(), tree.Render())
+		}
+	}
+	rec(p)
+	return b.String()
+}
+
+func describeProps(s props.Set) string {
+	var parts []string
+	if len(s.SortedBy) > 0 {
+		parts = append(parts, "sorted{"+strings.Join(s.SortedBy, ",")+"}")
+	}
+	if len(s.GroupedBy) > 0 {
+		parts = append(parts, "grouped{"+strings.Join(s.GroupedBy, ",")+"}")
+	}
+	var dense []string
+	for c, d := range s.Cols {
+		if _, _, ok := d.DenseDomain(); ok {
+			dense = append(dense, c)
+		}
+	}
+	if len(dense) > 0 {
+		parts = append(parts, "dense{"+strings.Join(normalizeStrings(dense), ",")+"}")
+	}
+	for _, c := range s.Corrs {
+		parts = append(parts, "corr{"+c.String()+"}")
+	}
+	return strings.Join(parts, " ")
+}
+
+func normalizeStrings(xs []string) []string {
+	out := append([]string(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Execute runs the plan and returns its result relation.
+func Execute(p *Plan) (*storage.Relation, error) {
+	switch p.Op {
+	case OpScan:
+		return p.Rel, nil
+	case OpFilter:
+		in, err := Execute(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if p.Crack != nil {
+			return in.Gather(p.Crack.Range64(p.CrackLo, p.CrackHi)), nil
+		}
+		return physical.FilterRel(in, p.Pred)
+	case OpProject:
+		in, err := Execute(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return physical.ProjectRel(in, p.Cols...)
+	case OpSort:
+		in, err := Execute(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return physical.SortRel(in, p.SortKey, p.SortKind)
+	case OpJoin:
+		left, err := Execute(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := Execute(p.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		if p.Index != nil {
+			return executeIndexJoin(p, left, right)
+		}
+		if p.Swapped {
+			return physical.JoinRelDomSwapped(left, right, p.LeftKey, p.RightKey, p.Join.Kind, p.Join.Opt, p.KeyDom)
+		}
+		return physical.JoinRelDom(left, right, p.LeftKey, p.RightKey, p.Join.Kind, p.Join.Opt, p.KeyDom)
+	case OpGroup:
+		in, err := Execute(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return physical.GroupByRelDom(in, p.GroupKey, p.Aggs, p.Group.Kind, p.Group.Opt, p.KeyDom)
+	default:
+		return nil, fmt.Errorf("core: cannot execute operator %v", p.Op)
+	}
+}
+
+// executeIndexJoin runs an AV-backed join: the build phase was paid offline
+// (the prebuilt index maps keys to left base-table rows), so only the probe
+// runs at query time. The left child is by construction the bare base scan.
+func executeIndexJoin(p *Plan, left, right *storage.Relation) (*storage.Relation, error) {
+	rkCol, ok := right.Column(p.RightKey)
+	if !ok {
+		return nil, fmt.Errorf("core: AV join: right relation has no column %q", p.RightKey)
+	}
+	if rkCol.Kind() != storage.KindUint32 && rkCol.Kind() != storage.KindString {
+		return nil, fmt.Errorf("core: AV join: right key %q has kind %s", p.RightKey, rkCol.Kind())
+	}
+	var leftIdx, rightIdx []int32
+	for j, k := range rkCol.Uint32s() {
+		p.Index.Probe(k, func(li int32) {
+			leftIdx = append(leftIdx, li)
+			rightIdx = append(rightIdx, int32(j))
+		})
+	}
+	lg := left.Gather(leftIdx)
+	rg := right.Gather(rightIdx)
+	cols := append([]*storage.Column(nil), lg.Columns()...)
+	used := map[string]bool{}
+	for _, c := range cols {
+		used[c.Name()] = true
+	}
+	for _, c := range rg.Columns() {
+		name := c.Name()
+		if used[name] {
+			name += "_r"
+		}
+		used[name] = true
+		cols = append(cols, c.Rename(name))
+	}
+	return storage.NewRelation(left.Name()+"_join_"+right.Name(), cols...)
+}
+
+// Pipeline counts: a Plan can report how many pipeline breakers it contains
+// (sort, sort-based and hash-based operators break; order/SPH streaming
+// kernels do not block in the Figure 2 sense). Exposed for tests and
+// EXPLAIN verbosity.
+func (p *Plan) PipelineBreakers() int {
+	n := 0
+	switch p.Op {
+	case OpSort:
+		n = 1
+	case OpJoin:
+		if p.Join.Kind == physical.SOJ || p.Join.Kind == physical.HJ || p.Join.Kind == physical.BSJ || p.Join.Kind == physical.SPHJ {
+			n = 1 // build phase materialises
+		}
+	case OpGroup:
+		if p.Group.Kind == physical.SOG || p.Group.Kind == physical.HG || p.Group.Kind == physical.BSG {
+			n = 1
+		}
+	}
+	for _, c := range p.Children {
+		n += c.PipelineBreakers()
+	}
+	return n
+}

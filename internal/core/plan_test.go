@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dqo/internal/expr"
+	"dqo/internal/logical"
+	"dqo/internal/physical"
+	"dqo/internal/physio"
+	"dqo/internal/sortx"
+	"dqo/internal/storage"
+)
+
+func TestOpKindStrings(t *testing.T) {
+	want := map[OpKind]string{
+		OpScan: "Scan", OpFilter: "Filter", OpProject: "Project",
+		OpSort: "Sort", OpJoin: "Join", OpGroup: "Group",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Fatalf("OpKind %d = %q, want %q", k, k, w)
+		}
+	}
+	if OpKind(99).String() != "?" {
+		t.Fatal("unknown OpKind rendering wrong")
+	}
+}
+
+func TestPlanLabels(t *testing.T) {
+	scan := &Plan{Op: OpScan, Table: "R"}
+	if scan.Label() != "Scan(R)" {
+		t.Fatalf("scan label %q", scan.Label())
+	}
+	scanAV := &Plan{Op: OpScan, Table: "R", AV: "av:sorted(R.ID)"}
+	if !strings.Contains(scanAV.Label(), "via av:sorted") {
+		t.Fatalf("AV scan label %q", scanAV.Label())
+	}
+	filter := &Plan{Op: OpFilter, Pred: expr.Bin{Op: expr.OpLt, L: expr.Col{Name: "a"}, R: expr.IntLit{V: 1}}}
+	if filter.Label() != "Filter((a < 1))" {
+		t.Fatalf("filter label %q", filter.Label())
+	}
+	proj := &Plan{Op: OpProject, Cols: []string{"a", "b"}}
+	if proj.Label() != "Project(a, b)" {
+		t.Fatalf("project label %q", proj.Label())
+	}
+	sortP := &Plan{Op: OpSort, SortKey: "a", SortKind: sortx.Radix, Enforcer: true}
+	if !strings.Contains(sortP.Label(), "[enforcer]") {
+		t.Fatalf("enforcer label %q", sortP.Label())
+	}
+	join := &Plan{Op: OpJoin, Join: physio.JoinChoice{Kind: physical.OJ}, LeftKey: "a", RightKey: "b", Swapped: true}
+	if !strings.Contains(join.Label(), "[build right]") {
+		t.Fatalf("swapped join label %q", join.Label())
+	}
+	joinAV := &Plan{Op: OpJoin, Join: physio.JoinChoice{Kind: physical.SPHJ}, LeftKey: "a", RightKey: "b", AV: "av:sph(R.ID)"}
+	if !strings.Contains(joinAV.Label(), "via av:sph") {
+		t.Fatalf("AV join label %q", joinAV.Label())
+	}
+	group := &Plan{Op: OpGroup, Group: physio.GroupChoice{Kind: physical.OG}, GroupKey: "a",
+		Aggs: []expr.AggSpec{{Func: expr.AggCount}}}
+	if group.Label() != "OG(a; COUNT(*))" {
+		t.Fatalf("group label %q", group.Label())
+	}
+}
+
+func TestExecuteUnknownOp(t *testing.T) {
+	if _, err := Execute(&Plan{Op: OpKind(99)}); err == nil {
+		t.Fatal("unknown op executed")
+	}
+}
+
+func TestCompareModesErrors(t *testing.T) {
+	rel := storage.MustNewRelation("t", storage.NewUint32("k", []uint32{1}))
+	bad := &logical.GroupBy{Input: &logical.Scan{Table: "t", Rel: rel}, Key: "zz"}
+	if _, _, _, err := CompareModes(bad, SQO(), DQO()); err == nil {
+		t.Fatal("CompareModes accepted invalid plan")
+	}
+	good := &logical.Scan{Table: "t", Rel: rel}
+	if _, _, _, err := CompareModes(good, Mode{Name: "broken"}, DQO()); err == nil {
+		t.Fatal("CompareModes accepted broken baseline mode")
+	}
+	if _, _, _, err := CompareModes(good, SQO(), Mode{Name: "broken"}); err == nil {
+		t.Fatal("CompareModes accepted broken improved mode")
+	}
+	// Zero-cost plans compare as factor 1.
+	_, _, factor, err := CompareModes(good, SQO(), DQO())
+	if err != nil || factor != 1 {
+		t.Fatalf("scan-only comparison: factor=%g err=%v", factor, err)
+	}
+}
+
+func TestDescribePropsRendering(t *testing.T) {
+	q := paperQuery(t, true, true, true)
+	res := optimize(t, q, DQO())
+	out := res.Best.Explain()
+	for _, want := range []string{"sorted{", "dense{", "corr{"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain props missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultPhysicality(t *testing.T) {
+	q := paperQuery(t, false, false, true)
+	deep := optimize(t, q, DQO())
+	shallow := optimize(t, q, SQO())
+	if deep.Physicality() <= 0 || shallow.Physicality() <= 0 {
+		t.Fatalf("physicality not computed: deep=%g shallow=%g", deep.Physicality(), shallow.Physicality())
+	}
+	rel := storage.MustNewRelation("t", storage.NewUint32("k", []uint32{1}))
+	scanOnly := optimize(t, &logical.Scan{Table: "t", Rel: rel}, DQO())
+	if scanOnly.Physicality() != 0 {
+		t.Fatal("scan-only plan should report zero physicality")
+	}
+}

@@ -1,0 +1,166 @@
+package cost
+
+import (
+	"time"
+
+	"dqo/internal/hashtable"
+	"dqo/internal/physical"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+	"dqo/internal/xrand"
+)
+
+// Measure fits a Calibrated model to *this* machine by timing the actual
+// kernels on synthetic data of about rows rows (minimum 64Ki). It is the
+// learned-cost-model counterpart the paper gestures at via the Data
+// Calculator citation [7]: the right molecule is an empirical fact, so the
+// model asks the hardware. Intended for offline use (cmd/dqobench
+// -calibrate); a call takes a few hundred milliseconds at the default size.
+func Measure(rows int) *Calibrated {
+	if rows < 1<<16 {
+		rows = 1 << 16
+	}
+	m := NewCalibrated() // start from shipped defaults, overwrite measured parts
+	r := xrand.New(0xCA11B8)
+
+	const groups = 8192
+	sparse := make([]uint32, rows)
+	for i := range sparse {
+		sparse[i] = r.Uint32() &^ 7 // sparse-ish domain
+	}
+	sparseG := make([]uint32, rows)
+	for i := range sparseG {
+		sparseG[i] = (r.Uint32() % groups) * 524287 // exactly <= groups distinct, spread out
+	}
+	dense := make([]uint32, rows)
+	for i := range dense {
+		dense[i] = r.Uint32() % groups
+	}
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(i & 1023)
+	}
+	domOf := func(keys []uint32) props.Domain {
+		mn, mx := keys[0], keys[0]
+		d := map[uint32]struct{}{}
+		for _, k := range keys {
+			if k < mn {
+				mn = k
+			}
+			if k > mx {
+				mx = k
+			}
+			d[k] = struct{}{}
+		}
+		return props.Domain{Known: true, Lo: uint64(mn), Hi: uint64(mx),
+			Distinct: int64(len(d)), Dense: uint64(len(d)) == uint64(mx)-uint64(mn)+1}
+	}
+	sparseDom := domOf(sparseG)
+	denseDom := domOf(dense)
+
+	nsPerRow := func(fn func()) float64 {
+		start := time.Now()
+		fn()
+		return float64(time.Since(start).Nanoseconds()) / float64(rows)
+	}
+
+	// Hash-table molecules: time every scheme x function combination and
+	// decompose additively (row/column effects around the grand mean).
+	schemes := hashtable.Schemes()
+	funcs := hashtable.Funcs()
+	times := make([][]float64, len(schemes))
+	grand := 0.0
+	for si, s := range schemes {
+		times[si] = make([]float64, len(funcs))
+		for fi, f := range funcs {
+			opt := physical.GroupOptions{Scheme: s, Hash: f}
+			times[si][fi] = nsPerRow(func() {
+				_, _ = physical.Group(physical.HG, sparseG, vals, sparseDom, opt)
+			})
+			grand += times[si][fi]
+		}
+	}
+	grand /= float64(len(schemes) * len(funcs))
+	colMean := make([]float64, len(funcs))
+	for fi := range funcs {
+		for si := range schemes {
+			colMean[fi] += times[si][fi]
+		}
+		colMean[fi] /= float64(len(schemes))
+	}
+	minCol := colMean[0]
+	for _, c := range colMean {
+		if c < minCol {
+			minCol = c
+		}
+	}
+	for fi, f := range funcs {
+		m.HashNS[f] = colMean[fi] - minCol + 0.5 // cheapest function ~0.5 ns
+	}
+	for si, s := range schemes {
+		rowMean := 0.0
+		for fi := range funcs {
+			rowMean += times[si][fi] - m.HashNS[funcs[fi]]
+		}
+		m.SchemeNS[s] = rowMean / float64(len(funcs))
+	}
+
+	// Sort molecules.
+	buf := make([]uint32, rows)
+	timeSort := func(k sortx.Kind) float64 {
+		copy(buf, sparse)
+		return nsPerRow(func() { sortx.SortUint32(k, buf) })
+	}
+	l2 := log2(float64(rows))
+	m.RadixRowNS = timeSort(sortx.Radix)
+	m.CmpRowNS = timeSort(sortx.Comparison) / l2
+	m.StdRowNS = timeSort(sortx.Std) / l2
+
+	// Array/scan kernels.
+	m.SPHRowNS = nsPerRow(func() {
+		_, _ = physical.Group(physical.SPHG, dense, vals, denseDom, physical.GroupOptions{})
+	})
+	sorted := make([]uint32, rows)
+	copy(sorted, dense)
+	sortx.SortUint32(sortx.Radix, sorted)
+	m.OGRowNS = nsPerRow(func() {
+		_, _ = physical.Group(physical.OG, sorted, vals, denseDom, physical.GroupOptions{})
+	})
+	bs := nsPerRow(func() {
+		_, _ = physical.Group(physical.BSG, sparseG, vals, sparseDom, physical.GroupOptions{})
+	})
+	m.BSRowLogNS = bs / log2(groups)
+
+	// Cache penalty: HG per-row cost growth from few to many groups.
+	fewDom := props.Domain{Known: true, Lo: 0, Hi: 255, Distinct: 256, Dense: true}
+	few := make([]uint32, rows)
+	for i := range few {
+		few[i] = dense[i] % 256
+	}
+	tFew := nsPerRow(func() {
+		_, _ = physical.Group(physical.HG, few, vals, fewDom, physical.GroupOptions{})
+	})
+	tMany := times[0][0] // chained/murmur at `groups` groups
+	if tMany > tFew && groups > int(m.CacheGroups) {
+		m.CacheNS = (tMany - tFew) / log2(float64(groups)/m.CacheGroups)
+	}
+	// Clamp against degenerate measurements (e.g. noisy CI machines).
+	clamp := func(x *float64, lo float64) {
+		if *x < lo {
+			*x = lo
+		}
+	}
+	for s := range m.SchemeNS {
+		v := m.SchemeNS[s]
+		clamp(&v, 0.5)
+		m.SchemeNS[s] = v
+	}
+	clamp(&m.RadixRowNS, 0.2)
+	clamp(&m.CmpRowNS, 0.05)
+	clamp(&m.StdRowNS, 0.05)
+	clamp(&m.SPHRowNS, 0.2)
+	clamp(&m.OGRowNS, 0.2)
+	clamp(&m.BSRowLogNS, 0.05)
+	clamp(&m.CacheNS, 0)
+	return m
+}

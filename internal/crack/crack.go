@@ -1,0 +1,190 @@
+// Package crack implements an adaptive index — a cracked column in the
+// sense of Kersten and Manegold's "Cracking the database store" (CIDR 2005),
+// which the paper's research agenda identifies as a partial Algorithmic
+// View: "an adaptive index is simply a partial AV where some optimisation
+// decisions have been delegated to query time and baked into that AV".
+//
+// The cracker keeps a copy of a column plus the original row ids. Every
+// range query partitions just the pieces its bounds fall into (two
+// quicksort-style partition steps), so the column gets progressively more
+// ordered exactly where the workload looks: early queries pay a little
+// reorganisation, later queries approach index performance, and untouched
+// regions never pay anything.
+package crack
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cracker is an adaptively indexed uint32 column. Safe for concurrent use.
+type Cracker struct {
+	mu   sync.Mutex
+	vals []uint32 // column copy, progressively partitioned
+	ids  []int32  // original row id of vals[i]
+	// bounds[i] = position p and value v such that vals[:p] < v <= vals[p:].
+	bounds []bound
+	cracks int
+}
+
+type bound struct {
+	pos int
+	val uint32
+}
+
+// New returns a cracker over col. The column is copied; the original is
+// never modified.
+func New(col []uint32) *Cracker {
+	c := &Cracker{
+		vals: append([]uint32(nil), col...),
+		ids:  make([]int32, len(col)),
+	}
+	for i := range c.ids {
+		c.ids[i] = int32(i)
+	}
+	return c
+}
+
+// Len returns the column length.
+func (c *Cracker) Len() int { return len(c.vals) }
+
+// Pieces returns the number of contiguous pieces the column is currently
+// partitioned into (1 + number of distinct crack points).
+func (c *Cracker) Pieces() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bounds) + 1
+}
+
+// Cracks returns the number of partition passes performed so far.
+func (c *Cracker) Cracks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cracks
+}
+
+// Range returns the original row ids of all values v with lo <= v < hi, in
+// unspecified order, cracking the column along both bounds as a side
+// effect. The returned slice is freshly allocated.
+func (c *Cracker) Range(lo, hi uint32) []int32 {
+	if hi <= lo || len(c.vals) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := c.crackAt(lo)
+	end := c.crackAt(hi)
+	if start > end {
+		panic(fmt.Sprintf("crack: invariant violation: start %d > end %d", start, end))
+	}
+	out := make([]int32, end-start)
+	copy(out, c.ids[start:end])
+	return out
+}
+
+// crackAt ensures a crack point at value v exists and returns its position:
+// everything before the position is < v, everything at or after it is >= v.
+func (c *Cracker) crackAt(v uint32) int {
+	// Find the existing bound with the smallest value >= v.
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i].val >= v })
+	if i < len(c.bounds) && c.bounds[i].val == v {
+		return c.bounds[i].pos
+	}
+	// The piece to partition spans [lo, hi).
+	lo, hi := 0, len(c.vals)
+	if i > 0 {
+		lo = c.bounds[i-1].pos
+	}
+	if i < len(c.bounds) {
+		hi = c.bounds[i].pos
+	}
+	pos := c.partition(lo, hi, v)
+	// Insert the new bound at index i.
+	c.bounds = append(c.bounds, bound{})
+	copy(c.bounds[i+1:], c.bounds[i:])
+	c.bounds[i] = bound{pos: pos, val: v}
+	c.cracks++
+	return pos
+}
+
+// partition reorders vals[lo:hi] so values < v precede values >= v and
+// returns the split position.
+func (c *Cracker) partition(lo, hi int, v uint32) int {
+	i, j := lo, hi
+	for i < j {
+		if c.vals[i] < v {
+			i++
+			continue
+		}
+		j--
+		c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
+		c.ids[i], c.ids[j] = c.ids[j], c.ids[i]
+	}
+	return i
+}
+
+// Range64 is Range with uint64 half-open bounds, so callers can express
+// "everything >= lo" as hi = 1<<32 without uint32 overflow gymnastics.
+func (c *Cracker) Range64(lo, hi uint64) []int32 {
+	const top = uint64(1) << 32
+	if lo >= hi || lo >= top {
+		return nil
+	}
+	if hi < top {
+		return c.Range(uint32(lo), uint32(hi))
+	}
+	// Unbounded tail: [lo, max] = [lo, max) plus the rows equal to max.
+	out := c.Range(uint32(lo), ^uint32(0))
+	return append(out, c.Eq(^uint32(0))...)
+}
+
+// Eq returns the row ids holding exactly v (a degenerate range).
+func (c *Cracker) Eq(v uint32) []int32 {
+	if v == ^uint32(0) {
+		// Avoid overflow of hi: crack at v, then scan the tail piece.
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		start := c.crackAt(v)
+		var out []int32
+		for i := start; i < len(c.vals); i++ {
+			if c.vals[i] == v {
+				out = append(out, c.ids[i])
+			}
+		}
+		return out
+	}
+	return c.Range(v, v+1)
+}
+
+// CheckInvariants verifies the piece structure (for tests): bounds are
+// strictly ordered and every piece respects its bounds.
+func (c *Cracker) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prevPos := 0
+	prevVal := uint32(0)
+	for i, b := range c.bounds {
+		if i > 0 && (b.val <= prevVal || b.pos < prevPos) {
+			return fmt.Errorf("crack: bounds out of order at %d", i)
+		}
+		prevPos, prevVal = b.pos, b.val
+	}
+	for i, b := range c.bounds {
+		lo := 0
+		if i > 0 {
+			lo = c.bounds[i-1].pos
+		}
+		for p := lo; p < b.pos; p++ {
+			if c.vals[p] >= b.val {
+				return fmt.Errorf("crack: value %d at %d violates bound <%d", c.vals[p], p, b.val)
+			}
+		}
+		for p := b.pos; p < len(c.vals); p++ {
+			if c.vals[p] < b.val {
+				return fmt.Errorf("crack: value %d at %d violates bound >=%d", c.vals[p], p, b.val)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package crack
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dqo/internal/xrand"
+)
+
+func naiveRange(col []uint32, lo, hi uint32) []int32 {
+	var out []int32
+	for i, v := range col {
+		if v >= lo && v < hi {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int32(nil), a...)
+	bs := append([]int32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeMatchesNaive(t *testing.T) {
+	r := xrand.New(1)
+	col := make([]uint32, 20000)
+	for i := range col {
+		col[i] = r.Uint32n(1000)
+	}
+	c := New(col)
+	for q := 0; q < 200; q++ {
+		lo := r.Uint32n(1000)
+		hi := lo + r.Uint32n(200)
+		got := c.Range(lo, hi)
+		want := naiveRange(col, lo, hi)
+		if !sameIDs(got, want) {
+			t.Fatalf("query %d [%d,%d): %d ids, want %d", q, lo, hi, len(got), len(want))
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pieces() < 10 {
+		t.Fatalf("only %d pieces after 200 queries", c.Pieces())
+	}
+}
+
+func TestRangeQuick(t *testing.T) {
+	f := func(raw []uint32, loRaw, span uint32) bool {
+		col := make([]uint32, len(raw))
+		for i, v := range raw {
+			col[i] = v % 64
+		}
+		lo := loRaw % 64
+		hi := lo + span%16
+		c := New(col)
+		// Run the same query twice: cracking must not change results.
+		a := c.Range(lo, hi)
+		b := c.Range(lo, hi)
+		want := naiveRange(col, lo, hi)
+		return sameIDs(a, want) && sameIDs(b, want) && c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEq(t *testing.T) {
+	col := []uint32{5, 1, 5, 9, 5, ^uint32(0), 0}
+	c := New(col)
+	if got := c.Eq(5); !sameIDs(got, []int32{0, 2, 4}) {
+		t.Fatalf("Eq(5) = %v", got)
+	}
+	if got := c.Eq(^uint32(0)); !sameIDs(got, []int32{5}) {
+		t.Fatalf("Eq(max) = %v", got)
+	}
+	if got := c.Eq(7); len(got) != 0 {
+		t.Fatalf("Eq(7) = %v", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	c := New([]uint32{3, 1, 2})
+	if got := c.Range(5, 5); got != nil {
+		t.Fatalf("empty range returned %v", got)
+	}
+	if got := c.Range(7, 3); got != nil {
+		t.Fatalf("inverted range returned %v", got)
+	}
+	empty := New(nil)
+	if got := empty.Range(0, 10); got != nil {
+		t.Fatalf("empty column returned %v", got)
+	}
+	if empty.Len() != 0 || empty.Pieces() != 1 {
+		t.Fatal("empty cracker metadata wrong")
+	}
+}
+
+func TestOriginalColumnUntouched(t *testing.T) {
+	col := []uint32{9, 3, 7, 1}
+	c := New(col)
+	c.Range(2, 8)
+	if col[0] != 9 || col[1] != 3 || col[2] != 7 || col[3] != 1 {
+		t.Fatal("cracker mutated the source column")
+	}
+}
+
+func TestRepeatedQueryDoesNotRecrack(t *testing.T) {
+	r := xrand.New(3)
+	col := make([]uint32, 10000)
+	for i := range col {
+		col[i] = r.Uint32n(100)
+	}
+	c := New(col)
+	c.Range(10, 20)
+	cracks := c.Cracks()
+	c.Range(10, 20)
+	if c.Cracks() != cracks {
+		t.Fatal("repeated identical query cracked again")
+	}
+}
+
+func TestConcurrentRanges(t *testing.T) {
+	r := xrand.New(4)
+	col := make([]uint32, 50000)
+	for i := range col {
+		col[i] = r.Uint32n(500)
+	}
+	c := New(col)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := xrand.New(uint64(w) + 10)
+			for q := 0; q < 30; q++ {
+				lo := rr.Uint32n(500)
+				hi := lo + rr.Uint32n(50)
+				got := c.Range(lo, hi)
+				want := naiveRange(col, lo, hi)
+				if !sameIDs(got, want) {
+					errs <- "mismatch"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkAdaptiveConvergence shows the cracking effect: the k-th query
+// over a cracked column vs a full scan.
+func BenchmarkAdaptiveConvergence(b *testing.B) {
+	r := xrand.New(5)
+	const n = 1 << 20
+	col := make([]uint32, n)
+	for i := range col {
+		col[i] = r.Uint32()
+	}
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := r.Uint32()
+			_ = naiveRange(col, lo, lo+1<<20)
+		}
+	})
+	b.Run("cracked", func(b *testing.B) {
+		c := New(col)
+		for i := 0; i < b.N; i++ {
+			lo := r.Uint32()
+			_ = c.Range(lo, lo+1<<20)
+		}
+	})
+}

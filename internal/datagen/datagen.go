@@ -1,0 +1,156 @@
+// Package datagen generates the synthetic datasets of the paper's
+// experiments: 4-byte unsigned integer grouping keys in the four
+// sortedness × density quadrants (Figure 4), and foreign-key table pairs for
+// the join + group-by query of Section 4.3 (Figure 5).
+//
+// All generators are deterministic in their seed and attach exact ground
+// truth statistics to the key columns, matching the paper's setup ("We
+// always assume the number of distinct values to be known").
+package datagen
+
+import (
+	"fmt"
+
+	"dqo/internal/storage"
+	"dqo/internal/xrand"
+)
+
+// Quadrant selects one of the four dataset classes of Figure 4.
+type Quadrant struct {
+	Sorted bool
+	Dense  bool
+}
+
+// Quadrants lists the four classes in the paper's figure order
+// (sorted-sparse, sorted-dense, unsorted-sparse, unsorted-dense).
+func Quadrants() []Quadrant {
+	return []Quadrant{
+		{Sorted: true, Dense: false},
+		{Sorted: true, Dense: true},
+		{Sorted: false, Dense: false},
+		{Sorted: false, Dense: true},
+	}
+}
+
+// String returns e.g. "sorted-dense".
+func (q Quadrant) String() string {
+	s := "unsorted"
+	if q.Sorted {
+		s = "sorted"
+	}
+	d := "sparse"
+	if q.Dense {
+		d = "dense"
+	}
+	return s + "-" + d
+}
+
+// ParseQuadrant parses the String form back into a Quadrant.
+func ParseQuadrant(s string) (Quadrant, error) {
+	for _, q := range Quadrants() {
+		if q.String() == s {
+			return q, nil
+		}
+	}
+	return Quadrant{}, fmt.Errorf("datagen: unknown quadrant %q (want e.g. %q)", s, "sorted-dense")
+}
+
+// GroupingKeys generates n uint32 grouping keys with exactly g distinct
+// values, distributed uniformly, in the given quadrant. Dense keys occupy
+// 0..g-1; sparse keys are g distinct values spread uniformly over the full
+// uint32 domain (equi-spaced strata with a random offset per stratum, i.e.
+// a uniform sample without replacement).
+func GroupingKeys(seed uint64, n, g int, q Quadrant) []uint32 {
+	if g <= 0 || n < g {
+		panic(fmt.Sprintf("datagen: GroupingKeys needs 0 < g <= n, got n=%d g=%d", n, g))
+	}
+	r := xrand.New(seed)
+	domain := denseDomain(g)
+	if !q.Dense {
+		domain = sparseDomain(r, g)
+	}
+
+	keys := make([]uint32, n)
+	// Give every group floor(n/g) occurrences and spread the remainder over
+	// the first n%g groups, so all g values are guaranteed to appear.
+	per, rem := n/g, n%g
+	pos := 0
+	for gi, v := range domain {
+		c := per
+		if gi < rem {
+			c++
+		}
+		for j := 0; j < c; j++ {
+			keys[pos] = v
+			pos++
+		}
+	}
+	if !q.Sorted {
+		r.ShuffleUint32(keys)
+	}
+	return keys
+}
+
+// denseDomain returns 0..g-1.
+func denseDomain(g int) []uint32 {
+	d := make([]uint32, g)
+	for i := range d {
+		d[i] = uint32(i)
+	}
+	return d
+}
+
+// sparseDomain returns g distinct values spread over the uint32 domain: one
+// uniform draw per equi-width stratum. For g == 1 a single nonzero value is
+// drawn. Values come out ascending.
+func sparseDomain(r *xrand.Rand, g int) []uint32 {
+	d := make([]uint32, g)
+	stride := uint64(1<<32) / uint64(g)
+	for i := range d {
+		d[i] = uint32(uint64(i)*stride + r.Uint64n(stride))
+	}
+	// Ensure g >= 2 domains are not accidentally dense (stride >= 2 already
+	// guarantees gaps unless g is near 2^32, which the experiments never
+	// reach; assert rather than silently mislabel).
+	if g >= 2 && uint64(d[g-1])-uint64(d[0])+1 == uint64(g) {
+		d[g-1] += 2 // force a gap; stays in the last stratum's neighbourhood
+	}
+	return d
+}
+
+// GroupingRelation wraps GroupingKeys in a two-column relation (key uint32,
+// val int64) with exact ground-truth stats on the key column. The val column
+// is a small deterministic payload for SUM/MIN/MAX aggregates.
+func GroupingRelation(seed uint64, n, g int, q Quadrant) *storage.Relation {
+	keys := GroupingKeys(seed, n, g, q)
+	vals := make([]int64, n)
+	vr := xrand.New(seed ^ 0xda7a5eed)
+	for i := range vals {
+		vals[i] = int64(vr.Uint64n(1000))
+	}
+	keyCol := storage.NewUint32("key", keys)
+	keyCol.SetStats(groundTruthStats(keys, g, q))
+	return storage.MustNewRelation(fmt.Sprintf("grouping_%s", q), keyCol, storage.NewInt64("val", vals))
+}
+
+// groundTruthStats builds exact stats without a full distinct-scan: the
+// generator knows g by construction.
+func groundTruthStats(keys []uint32, g int, q Quadrant) storage.Stats {
+	st := storage.Stats{Rows: len(keys), Distinct: g, Sorted: q.Sorted, Exact: true}
+	if len(keys) == 0 {
+		st.Dense = true
+		return st
+	}
+	mn, mx := keys[0], keys[0]
+	for _, k := range keys {
+		if k < mn {
+			mn = k
+		}
+		if k > mx {
+			mx = k
+		}
+	}
+	st.Min, st.Max = uint64(mn), uint64(mx)
+	st.Dense = uint64(g) == st.Max-st.Min+1
+	return st
+}

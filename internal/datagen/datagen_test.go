@@ -1,0 +1,302 @@
+package datagen
+
+import (
+	"testing"
+
+	"dqo/internal/xrand"
+)
+
+func distinctCount(keys []uint32) int {
+	m := map[uint32]struct{}{}
+	for _, k := range keys {
+		m[k] = struct{}{}
+	}
+	return len(m)
+}
+
+func isSorted(keys []uint32) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuadrantNames(t *testing.T) {
+	want := []string{"sorted-sparse", "sorted-dense", "unsorted-sparse", "unsorted-dense"}
+	qs := Quadrants()
+	if len(qs) != 4 {
+		t.Fatalf("Quadrants returned %d entries", len(qs))
+	}
+	for i, q := range qs {
+		if q.String() != want[i] {
+			t.Fatalf("quadrant %d = %q, want %q", i, q, want[i])
+		}
+		p, err := ParseQuadrant(q.String())
+		if err != nil || p != q {
+			t.Fatalf("ParseQuadrant round trip failed for %q", q)
+		}
+	}
+	if _, err := ParseQuadrant("diagonal"); err == nil {
+		t.Fatal("ParseQuadrant accepted nonsense")
+	}
+}
+
+func TestGroupingKeysExactDistinct(t *testing.T) {
+	for _, q := range Quadrants() {
+		for _, g := range []int{1, 2, 14, 100, 1000} {
+			keys := GroupingKeys(1, 10000, g, q)
+			if len(keys) != 10000 {
+				t.Fatalf("%s g=%d: wrong length", q, g)
+			}
+			if d := distinctCount(keys); d != g {
+				t.Fatalf("%s g=%d: distinct = %d", q, g, d)
+			}
+		}
+	}
+}
+
+func TestGroupingKeysSortedness(t *testing.T) {
+	for _, q := range Quadrants() {
+		keys := GroupingKeys(2, 50000, 500, q)
+		if got := isSorted(keys); got != q.Sorted {
+			t.Fatalf("%s: sorted = %v", q, got)
+		}
+	}
+}
+
+func TestGroupingKeysDensity(t *testing.T) {
+	for _, q := range Quadrants() {
+		for _, g := range []int{2, 50, 4000} {
+			keys := GroupingKeys(3, 20000, g, q)
+			var mn, mx uint32 = keys[0], keys[0]
+			for _, k := range keys {
+				if k < mn {
+					mn = k
+				}
+				if k > mx {
+					mx = k
+				}
+			}
+			dense := uint64(mx)-uint64(mn)+1 == uint64(g)
+			if dense != q.Dense {
+				t.Fatalf("%s g=%d: dense = %v (min=%d max=%d)", q, g, dense, mn, mx)
+			}
+			if q.Dense && (mn != 0 || mx != uint32(g-1)) {
+				t.Fatalf("%s g=%d: dense domain not 0..g-1", q, g)
+			}
+		}
+	}
+}
+
+func TestGroupingKeysDeterministic(t *testing.T) {
+	q := Quadrant{Sorted: false, Dense: false}
+	a := GroupingKeys(42, 5000, 100, q)
+	b := GroupingKeys(42, 5000, 100, q)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := GroupingKeys(43, 5000, 100, q)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGroupingKeysRoughlyUniform(t *testing.T) {
+	keys := GroupingKeys(7, 100000, 10, Quadrant{Sorted: false, Dense: true})
+	var count [10]int
+	for _, k := range keys {
+		count[k]++
+	}
+	for g, c := range count {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("group %d has %d rows, want ~10000", g, c)
+		}
+	}
+}
+
+func TestGroupingKeysPanicsOnBadArgs(t *testing.T) {
+	for _, bad := range []struct{ n, g int }{{10, 0}, {10, 11}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d g=%d did not panic", bad.n, bad.g)
+				}
+			}()
+			GroupingKeys(1, bad.n, bad.g, Quadrant{})
+		}()
+	}
+}
+
+func TestGroupingRelationStatsAreGroundTruth(t *testing.T) {
+	for _, q := range Quadrants() {
+		rel := GroupingRelation(5, 20000, 300, q)
+		key := rel.MustColumn("key")
+		declared := key.Stats()
+		key.ResetStats()
+		computed := key.Stats()
+		if declared != computed {
+			t.Fatalf("%s: declared %+v != computed %+v", q, declared, computed)
+		}
+		if declared.Sorted != q.Sorted || declared.Dense != q.Dense {
+			t.Fatalf("%s: stats disagree with quadrant: %+v", q, declared)
+		}
+		if rel.MustColumn("val").Len() != 20000 {
+			t.Fatal("val column wrong length")
+		}
+	}
+}
+
+func TestSparseDomainDistinctAndAscending(t *testing.T) {
+	r := xrand.New(11)
+	for _, g := range []int{1, 2, 1000} {
+		d := sparseDomain(r, g)
+		for i := 1; i < len(d); i++ {
+			if d[i-1] >= d[i] {
+				t.Fatalf("g=%d: domain not strictly ascending at %d", g, i)
+			}
+		}
+	}
+}
+
+func TestFKPairShape(t *testing.T) {
+	cfg := FKConfig{RRows: 1000, SRows: 5000, AGroups: 100, RSorted: true, SSorted: true, Dense: true}
+	r, s := FKPair(1, cfg)
+	if r.NumRows() != 1000 || s.NumRows() != 5000 {
+		t.Fatalf("sizes: R=%d S=%d", r.NumRows(), s.NumRows())
+	}
+	idStats := r.MustColumn("ID").Stats()
+	if !idStats.Sorted || !idStats.Dense || idStats.Distinct != 1000 {
+		t.Fatalf("ID stats wrong: %+v", idStats)
+	}
+	aStats := r.MustColumn("A").Stats()
+	if !aStats.Dense || aStats.Distinct != 100 {
+		t.Fatalf("A stats wrong: %+v", aStats)
+	}
+	ridStats := s.MustColumn("R_ID").Stats()
+	if !ridStats.Sorted {
+		t.Fatalf("R_ID should be sorted: %+v", ridStats)
+	}
+}
+
+func TestFKPairForeignKeyHolds(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		cfg := FKConfig{RRows: 500, SRows: 2000, AGroups: 50, Dense: dense}
+		r, s := FKPair(2, cfg)
+		ids := map[uint32]bool{}
+		for _, id := range r.MustColumn("ID").Uint32s() {
+			ids[id] = true
+		}
+		if len(ids) != 500 {
+			t.Fatalf("dense=%v: R.ID has %d distinct values", dense, len(ids))
+		}
+		for i, rid := range s.MustColumn("R_ID").Uint32s() {
+			if !ids[rid] {
+				t.Fatalf("dense=%v: S row %d references missing ID %d", dense, i, rid)
+			}
+		}
+	}
+}
+
+func TestFKPairDensity(t *testing.T) {
+	_, _ = FKPair(3, FKConfig{RRows: 100, SRows: 100, AGroups: 10, Dense: false})
+	r, _ := FKPair(3, FKConfig{RRows: 100, SRows: 100, AGroups: 10, Dense: false})
+	st := r.MustColumn("ID").Stats()
+	if st.Dense {
+		t.Fatalf("sparse config produced dense IDs: %+v", st)
+	}
+	r2, _ := FKPair(3, FKConfig{RRows: 100, SRows: 100, AGroups: 10, Dense: true})
+	if !r2.MustColumn("ID").Stats().Dense {
+		t.Fatal("dense config produced sparse IDs")
+	}
+}
+
+func TestFKPairUnsorted(t *testing.T) {
+	cfg := PaperFKConfig(false, false, true)
+	cfg.RRows, cfg.SRows, cfg.AGroups = 2000, 9000, 2000
+	r, s := FKPair(4, cfg)
+	if isSorted(r.MustColumn("ID").Uint32s()) {
+		t.Fatal("unsorted R came out sorted")
+	}
+	if isSorted(s.MustColumn("R_ID").Uint32s()) {
+		t.Fatal("unsorted S came out sorted")
+	}
+}
+
+func TestFKPairStatsMatchComputed(t *testing.T) {
+	for _, rs := range []bool{true, false} {
+		for _, dense := range []bool{true, false} {
+			cfg := FKConfig{RRows: 300, SRows: 900, AGroups: 30, RSorted: rs, Dense: dense}
+			r, _ := FKPair(5, cfg)
+			for _, col := range []string{"ID", "A"} {
+				c := r.MustColumn(col)
+				declared := c.Stats()
+				c.ResetStats()
+				computed := c.Stats()
+				if declared != computed {
+					t.Fatalf("%s %s: declared %+v != computed %+v", cfg, col, declared, computed)
+				}
+			}
+		}
+	}
+}
+
+func TestFKConfigString(t *testing.T) {
+	c := PaperFKConfig(true, false, true)
+	if c.String() != "Rsorted-Sunsorted-dense" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if c.RRows != 20000 || c.SRows != 90000 || c.AGroups != 20000 {
+		t.Fatalf("paper cardinalities wrong: %+v", c)
+	}
+}
+
+func TestFKPairPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config did not panic")
+		}
+	}()
+	FKPair(1, FKConfig{RRows: 10, SRows: 10, AGroups: 20})
+}
+
+func TestFKPairDeclaresVerifiableCorrelation(t *testing.T) {
+	for _, rSorted := range []bool{true, false} {
+		cfg := FKConfig{RRows: 400, SRows: 800, AGroups: 40, RSorted: rSorted, Dense: true}
+		r, _ := FKPair(6, cfg)
+		corrs := r.Corrs()
+		if len(corrs) != 1 || corrs[0] != [2]string{"ID", "A"} {
+			t.Fatalf("rSorted=%v: Corrs = %v", rSorted, corrs)
+		}
+		if err := r.VerifyCorr("ID", "A"); err != nil {
+			t.Fatalf("rSorted=%v: declared correlation does not hold: %v", rSorted, err)
+		}
+	}
+}
+
+func TestFKPairGroupSizesEven(t *testing.T) {
+	cfg := FKConfig{RRows: 1000, SRows: 0, AGroups: 100, RSorted: true, Dense: true}
+	r, _ := FKPair(7, cfg)
+	count := map[uint32]int{}
+	for _, a := range r.MustColumn("A").Uint32s() {
+		count[a]++
+	}
+	if len(count) != 100 {
+		t.Fatalf("%d groups, want 100", len(count))
+	}
+	for g, c := range count {
+		if c != 10 {
+			t.Fatalf("group %d has %d rows, want 10", g, c)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"fmt"
+	"slices"
+
+	"dqo/internal/storage"
+	"dqo/internal/xrand"
+)
+
+// FKConfig describes the table pair of the Section 4.3 query:
+//
+//	SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A
+//
+// R is the dimension side (carries the grouping attribute A), S the fact
+// side with a foreign key into R. The paper's Figure 5 grid varies the
+// sortedness of R and S and the density of the key domain.
+type FKConfig struct {
+	RRows   int  // |R|; paper assumes 20,000 (the grouping output size)
+	SRows   int  // |S|; paper assumes 90,000 (the FK join output size)
+	AGroups int  // distinct values of R.A
+	RSorted bool // R stored sorted by ID
+	SSorted bool // S stored sorted by R_ID
+	Dense   bool // ID domain dense (0..RRows-1) vs sparse
+}
+
+// PaperFKConfig returns the cardinalities stated in Section 4.3 for the
+// given grid cell.
+func PaperFKConfig(rSorted, sSorted, dense bool) FKConfig {
+	return FKConfig{
+		RRows:   20000,
+		SRows:   90000,
+		AGroups: 20000,
+		RSorted: rSorted,
+		SSorted: sSorted,
+		Dense:   dense,
+	}
+}
+
+// String returns e.g. "Rsorted-Sunsorted-dense", matching Figure 5's labels.
+func (c FKConfig) String() string {
+	r, s, d := "Runsorted", "Sunsorted", "sparse"
+	if c.RSorted {
+		r = "Rsorted"
+	}
+	if c.SSorted {
+		s = "Ssorted"
+	}
+	if c.Dense {
+		d = "dense"
+	}
+	return fmt.Sprintf("%s-%s-%s", r, s, d)
+}
+
+// FKPair generates the R and S relations for cfg.
+//
+// R has columns ID (uint32, exactly RRows distinct keys, FK target) and A
+// (uint32, AGroups distinct values, dense 0..AGroups-1). S has columns R_ID
+// (uint32, each value drawn uniformly from R.ID — so every S row joins
+// exactly one R row and the join output size is |S|) and M (int64 payload).
+func FKPair(seed uint64, cfg FKConfig) (r, s *storage.Relation) {
+	if cfg.RRows <= 0 || cfg.SRows < 0 || cfg.AGroups <= 0 || cfg.AGroups > cfg.RRows {
+		panic(fmt.Sprintf("datagen: invalid FKConfig %+v", cfg))
+	}
+	rng := xrand.New(seed)
+
+	// Build R in ID order first: ids ascending, and A a monotone function of
+	// the ID rank (group i*AGroups/RRows), so A ~ ID is an order correlation
+	// — one of the paper's Section 2.2 plan properties. Every group receives
+	// an equal share of rows.
+	idDomain := denseDomain(cfg.RRows)
+	if !cfg.Dense {
+		idDomain = sparseDomain(rng, cfg.RRows)
+	}
+	ids := append([]uint32(nil), idDomain...)
+	// The density knob covers the grouping key domain too — the paper's
+	// Figure 5 "sparse" column is the case where SPH applies to neither the
+	// join nor the grouping ("for sparse data DQO generates the same plans
+	// as SQO").
+	aDomain := denseDomain(cfg.AGroups)
+	if !cfg.Dense {
+		aDomain = sparseDomain(rng, cfg.AGroups)
+	}
+	a := make([]uint32, cfg.RRows)
+	for i := range a {
+		a[i] = aDomain[i*cfg.AGroups/cfg.RRows]
+	}
+	if !cfg.RSorted {
+		// Shuffle rows as units: A stays attached to its ID.
+		perm := make([]int, cfg.RRows)
+		rng.Perm(perm)
+		sids := make([]uint32, cfg.RRows)
+		sa := make([]uint32, cfg.RRows)
+		for i, p := range perm {
+			sids[i] = ids[p]
+			sa[i] = a[p]
+		}
+		ids, a = sids, sa
+	}
+
+	rid := make([]uint32, cfg.SRows)
+	for i := range rid {
+		rid[i] = idDomain[rng.Uint64n(uint64(cfg.RRows))]
+	}
+	if cfg.SSorted {
+		slices.Sort(rid)
+	}
+	m := make([]int64, cfg.SRows)
+	for i := range m {
+		m[i] = int64(rng.Uint64n(100))
+	}
+
+	idCol := storage.NewUint32("ID", ids)
+	idCol.SetStats(storage.Stats{
+		Rows: cfg.RRows, Min: uint64(idDomain[0]), Max: uint64(idDomain[cfg.RRows-1]),
+		Distinct: cfg.RRows, Sorted: cfg.RSorted,
+		Dense: uint64(idDomain[cfg.RRows-1])-uint64(idDomain[0])+1 == uint64(cfg.RRows),
+		Exact: true,
+	})
+	aCol := storage.NewUint32("A", a)
+	aCol.SetStats(storage.Stats{
+		Rows: cfg.RRows, Min: uint64(aDomain[0]), Max: uint64(aDomain[cfg.AGroups-1]),
+		Distinct: cfg.AGroups, Sorted: cfg.RSorted,
+		Dense: uint64(aDomain[cfg.AGroups-1])-uint64(aDomain[0])+1 == uint64(cfg.AGroups),
+		Exact: true,
+	})
+	r = storage.MustNewRelation("R", idCol, aCol)
+	// A is a monotone function of ID by construction; declare the order
+	// correlation so the optimiser may exploit it.
+	r.DeclareCorr("ID", "A")
+
+	ridCol := storage.NewUint32("R_ID", rid)
+	// R_ID draws from R's ID domain but may miss values; distinct count is
+	// not ground truth, so compute it exactly (cheap at these sizes).
+	ridStats := ridCol.Stats()
+	ridStats.Sorted = cfg.SSorted
+	ridCol.SetStats(ridStats)
+	s = storage.MustNewRelation("S", ridCol, storage.NewInt64("M", m))
+	return r, s
+}

@@ -1,0 +1,68 @@
+package hashtable
+
+// Multi is a chained multimap from uint32 keys to row identifiers, used as
+// the build side of hash joins. It stores one arena entry per inserted row;
+// rows with equal keys form an intrusive list, so Build is allocation-light
+// and Probe visits matches in reverse insertion order.
+type Multi struct {
+	fn      Func
+	mask    uint64
+	heads   []int32
+	entries []multiEntry
+}
+
+type multiEntry struct {
+	key  uint32
+	row  int32
+	next int32
+}
+
+// NewMulti returns a join table sized for about capacity rows.
+func NewMulti(f Func, capacity int) *Multi {
+	nb := nextPow2(capacity)
+	m := &Multi{fn: f, mask: uint64(nb - 1), heads: make([]int32, nb)}
+	for i := range m.heads {
+		m.heads[i] = -1
+	}
+	if capacity > 0 {
+		m.entries = make([]multiEntry, 0, capacity)
+	}
+	return m
+}
+
+// Insert records that key occurs at row.
+func (m *Multi) Insert(key uint32, row int32) {
+	if len(m.entries) >= len(m.heads)*2 { // average chain length 2: grow
+		m.grow()
+	}
+	b := m.fn.Hash(key) & m.mask
+	m.entries = append(m.entries, multiEntry{key: key, row: row, next: m.heads[b]})
+	m.heads[b] = int32(len(m.entries) - 1)
+}
+
+func (m *Multi) grow() {
+	nb := len(m.heads) * 2
+	m.heads = make([]int32, nb)
+	m.mask = uint64(nb - 1)
+	for i := range m.heads {
+		m.heads[i] = -1
+	}
+	for i := range m.entries {
+		b := m.fn.Hash(m.entries[i].key) & m.mask
+		m.entries[i].next = m.heads[b]
+		m.heads[b] = int32(i)
+	}
+}
+
+// Probe calls fn with every row previously inserted under key.
+func (m *Multi) Probe(key uint32, fn func(row int32)) {
+	b := m.fn.Hash(key) & m.mask
+	for i := m.heads[b]; i >= 0; i = m.entries[i].next {
+		if m.entries[i].key == key {
+			fn(m.entries[i].row)
+		}
+	}
+}
+
+// Len returns the number of inserted rows.
+func (m *Multi) Len() int { return len(m.entries) }

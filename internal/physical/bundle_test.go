@@ -1,0 +1,152 @@
+package physical
+
+import (
+	"testing"
+
+	"dqo/internal/datagen"
+	"dqo/internal/hashtable"
+	"dqo/internal/props"
+)
+
+func TestPartitionByStrategies(t *testing.T) {
+	keys := []uint32{2, 0, 2, 1, 0, 2}
+	dom := domFromKeys(keys)
+
+	sph, err := PartitionBy(keys, dom, PartitionBySPH, hashtable.Murmur3Fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sph.SortedByKey || len(sph.Producers) != 3 {
+		t.Fatalf("sph bundle wrong: %+v", sph)
+	}
+	if sph.Producers[0].Key != 0 || sph.Producers[2].Key != 2 {
+		t.Fatal("sph producers not in key order")
+	}
+
+	hash, err := PartitionBy(keys, dom, PartitionByHash, hashtable.Murmur3Fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hash.Producers) != 3 {
+		t.Fatalf("hash bundle has %d producers", len(hash.Producers))
+	}
+	// First-seen order: 2, 0, 1.
+	if hash.Producers[0].Key != 2 || hash.Producers[1].Key != 0 || hash.Producers[2].Key != 1 {
+		t.Fatalf("hash producer order wrong: %+v", hash.Producers)
+	}
+}
+
+func TestPartitionCoversInputExactlyOnce(t *testing.T) {
+	keys := datagen.GroupingKeys(3, 5000, 50, datagen.Quadrant{Sorted: false, Dense: true})
+	dom := domFromKeys(keys)
+	for _, strat := range []PartitionStrategy{PartitionBySPH, PartitionByHash} {
+		b, err := PartitionBy(keys, dom, strat, hashtable.Fibonacci)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		seen := make([]bool, len(keys))
+		for _, p := range b.Producers {
+			for _, r := range p.Rows {
+				if seen[r] {
+					t.Fatalf("%s: row %d in two producers", strat, r)
+				}
+				seen[r] = true
+				if keys[r] != p.Key {
+					t.Fatalf("%s: row %d has key %d in producer %d", strat, r, keys[r], p.Key)
+				}
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("%s: row %d missing from bundle", strat, i)
+			}
+		}
+	}
+}
+
+func TestPartitionByRuns(t *testing.T) {
+	keys := []uint32{5, 5, 3, 3, 3, 9}
+	b, err := PartitionBy(keys, domFromKeys(keys), PartitionByRuns, hashtable.Murmur3Fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Producers) != 3 {
+		t.Fatalf("%d producers, want 3", len(b.Producers))
+	}
+	if b.SortedByKey {
+		t.Fatal("runs over unsorted-grouped input claimed sorted")
+	}
+	sorted := []uint32{1, 1, 2, 3}
+	b2, err := PartitionBy(sorted, domFromKeys(sorted), PartitionByRuns, hashtable.Murmur3Fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.SortedByKey {
+		t.Fatal("runs over sorted input must be sorted")
+	}
+	// Ungrouped input must be rejected (detectable via known distinct).
+	bad := []uint32{1, 2, 1}
+	if _, err := PartitionBy(bad, domFromKeys(bad), PartitionByRuns, hashtable.Murmur3Fin); err == nil {
+		t.Fatal("runs accepted ungrouped input")
+	}
+}
+
+func TestPartitionSPHRequiresDense(t *testing.T) {
+	keys := []uint32{0, 10}
+	if _, err := PartitionBy(keys, domFromKeys(keys), PartitionBySPH, hashtable.Murmur3Fin); err == nil {
+		t.Fatal("sph partitioning accepted sparse domain")
+	}
+}
+
+func TestAggregateBundleMatchesGroupKernels(t *testing.T) {
+	keys := datagen.GroupingKeys(4, 20000, 100, datagen.Quadrant{Sorted: false, Dense: true})
+	vals := make([]int64, len(keys))
+	for i := range vals {
+		vals[i] = int64(i % 11)
+	}
+	dom := domFromKeys(keys)
+	ref := refGroup(keys, vals)
+
+	for _, strat := range []PartitionStrategy{PartitionBySPH, PartitionByHash} {
+		b, err := PartitionBy(keys, dom, strat, hashtable.Murmur3Fin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parallel := range []int{1, 4} {
+			res := AggregateBundle(b, vals, parallel)
+			checkResult(t, strat.String(), res, ref)
+		}
+	}
+}
+
+func TestAggregateBundleEmpty(t *testing.T) {
+	b, err := PartitionBy(nil, props.Domain{Known: true, Dense: true, Lo: 0, Hi: 0, Distinct: 1}, PartitionBySPH, hashtable.Murmur3Fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := AggregateBundle(b, nil, 4)
+	if len(res.Keys) != 0 {
+		t.Fatal("empty bundle produced groups")
+	}
+}
+
+func TestBundleSortedPropertyCarriesToResult(t *testing.T) {
+	keys := []uint32{3, 1, 2, 1, 3}
+	dom := domFromKeys(keys)
+	sph, _ := PartitionBy(keys, dom, PartitionBySPH, hashtable.Murmur3Fin)
+	res := AggregateBundle(sph, nil, 1)
+	if !res.Sorted {
+		t.Fatal("sph bundle result should be sorted")
+	}
+	hash, _ := PartitionBy(keys, dom, PartitionByHash, hashtable.Murmur3Fin)
+	res = AggregateBundle(hash, nil, 1)
+	if res.Sorted {
+		t.Fatal("hash bundle result should not claim sorted")
+	}
+}
+
+func TestPartitionStrategyNames(t *testing.T) {
+	if PartitionBySPH.String() != "sph" || PartitionByHash.String() != "hash" || PartitionByRuns.String() != "runs" {
+		t.Fatal("strategy names wrong")
+	}
+}

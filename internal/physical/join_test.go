@@ -1,0 +1,303 @@
+package physical
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dqo/internal/datagen"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+	"dqo/internal/xrand"
+)
+
+// refJoin computes all matching pairs by nested loops.
+func refJoin(left, right []uint32) map[[2]int32]bool {
+	ref := map[[2]int32]bool{}
+	for i, lk := range left {
+		for j, rk := range right {
+			if lk == rk {
+				ref[[2]int32{int32(i), int32(j)}] = true
+			}
+		}
+	}
+	return ref
+}
+
+func checkJoin(t *testing.T, label string, res *JoinResult, ref map[[2]int32]bool, left, right []uint32) {
+	t.Helper()
+	if len(res.LeftIdx) != len(res.RightIdx) {
+		t.Fatalf("%s: index arrays differ in length", label)
+	}
+	if res.Len() != len(ref) {
+		t.Fatalf("%s: %d pairs, want %d", label, res.Len(), len(ref))
+	}
+	seen := map[[2]int32]bool{}
+	for i := range res.LeftIdx {
+		p := [2]int32{res.LeftIdx[i], res.RightIdx[i]}
+		if !ref[p] {
+			t.Fatalf("%s: spurious pair %v", label, p)
+		}
+		if seen[p] {
+			t.Fatalf("%s: duplicate pair %v", label, p)
+		}
+		seen[p] = true
+	}
+	if res.SortedByKey {
+		for i := 1; i < res.Len(); i++ {
+			if left[res.LeftIdx[i-1]] > left[res.LeftIdx[i]] {
+				t.Fatalf("%s: claims sorted output but keys descend at %d", label, i)
+			}
+		}
+	}
+}
+
+func joinApplicable(k JoinKind, leftDom props.Domain, leftSorted, rightSorted bool) bool {
+	switch k {
+	case SPHJ:
+		return leftDom.Dense && leftDom.Known
+	case OJ:
+		return leftSorted && rightSorted
+	default:
+		return true
+	}
+}
+
+func TestJoinAllKinds(t *testing.T) {
+	r := xrand.New(1)
+	for _, leftSorted := range []bool{true, false} {
+		for _, rightSorted := range []bool{true, false} {
+			for _, dense := range []bool{true, false} {
+				left := datagen.GroupingKeys(2, 500, 100, datagen.Quadrant{Sorted: leftSorted, Dense: dense})
+				right := make([]uint32, 800)
+				for i := range right {
+					right[i] = left[r.Uint64n(uint64(len(left)))]
+				}
+				if rightSorted {
+					sort.Slice(right, func(a, b int) bool { return right[a] < right[b] })
+				}
+				ref := refJoin(left, right)
+				dom := domFromKeys(left)
+				for _, k := range JoinKinds() {
+					if !joinApplicable(k, dom, leftSorted, rightSorted) {
+						continue
+					}
+					res, err := Join(k, left, right, dom, JoinOptions{})
+					if err != nil {
+						t.Fatalf("%s (ls=%v rs=%v dense=%v): %v", k, leftSorted, rightSorted, dense, err)
+					}
+					checkJoin(t, k.String(), res, ref, left, right)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinDuplicateKeysBothSides(t *testing.T) {
+	left := []uint32{5, 5, 7, 9, 9, 9}
+	right := []uint32{9, 5, 9, 6}
+	ref := refJoin(left, right) // 5 matches twice, 9 matches 3*2 = 6: total 2+6 = 8
+	if len(ref) != 8 {
+		t.Fatalf("reference self-check failed: %d", len(ref))
+	}
+	dom := domFromKeys(left)
+	for _, k := range []JoinKind{HJ, SOJ, BSJ} {
+		res, err := Join(k, left, right, dom, JoinOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		checkJoin(t, k.String(), res, ref, left, right)
+	}
+}
+
+func TestSPHJRequiresDense(t *testing.T) {
+	left := []uint32{1, 5, 9}
+	if _, err := Join(SPHJ, left, []uint32{5}, domFromKeys(left), JoinOptions{}); err == nil {
+		t.Fatal("SPHJ accepted sparse build domain")
+	}
+}
+
+func TestSPHJRejectsHugeDomain(t *testing.T) {
+	dom := props.Domain{Known: true, Dense: true, Lo: 0, Hi: 1 << 30, Distinct: 1<<30 + 1}
+	if _, err := Join(SPHJ, []uint32{0}, []uint32{0}, dom, JoinOptions{}); err == nil {
+		t.Fatal("SPHJ accepted over-wide domain")
+	}
+}
+
+func TestSPHJProbeOutsideDomain(t *testing.T) {
+	left := []uint32{10, 11, 12}
+	right := []uint32{9, 10, 13, 12}
+	res, err := Join(SPHJ, left, right, domFromKeys(left), JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJoin(t, "SPHJ", res, refJoin(left, right), left, right)
+}
+
+func TestSPHJRejectsKeyOutsideDeclaredDomain(t *testing.T) {
+	// Declared domain is narrower than the data: must fail, not corrupt.
+	dom := props.Domain{Known: true, Dense: true, Lo: 0, Hi: 1, Distinct: 2}
+	if _, err := Join(SPHJ, []uint32{0, 5}, []uint32{0}, dom, JoinOptions{}); err == nil {
+		t.Fatal("SPHJ accepted build key outside declared domain")
+	}
+}
+
+func TestOJRequiresSortedInputs(t *testing.T) {
+	if _, err := Join(OJ, []uint32{2, 1}, []uint32{1, 2}, props.Domain{}, JoinOptions{}); err == nil {
+		t.Fatal("OJ accepted unsorted left")
+	}
+	if _, err := Join(OJ, []uint32{1, 2}, []uint32{2, 1}, props.Domain{}, JoinOptions{}); err == nil {
+		t.Fatal("OJ accepted unsorted right")
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	dom := props.Domain{Known: true, Dense: true, Lo: 0, Hi: 0, Distinct: 1}
+	for _, k := range JoinKinds() {
+		res, err := Join(k, nil, nil, dom, JoinOptions{})
+		if err != nil {
+			t.Fatalf("%s empty/empty: %v", k, err)
+		}
+		if res.Len() != 0 {
+			t.Fatalf("%s produced pairs from empty inputs", k)
+		}
+		res, err = Join(k, []uint32{0}, nil, dom, JoinOptions{})
+		if err != nil || res.Len() != 0 {
+			t.Fatalf("%s left-only: %v len=%d", k, err, res.Len())
+		}
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	left := []uint32{0, 1, 2}
+	right := []uint32{10, 11}
+	dom := domFromKeys(left)
+	for _, k := range JoinKinds() {
+		res, err := Join(k, left, right, dom, JoinOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.Len() != 0 {
+			t.Fatalf("%s found phantom matches", k)
+		}
+	}
+}
+
+func TestJoinQuickEquivalence(t *testing.T) {
+	f := func(rawL, rawR []uint32) bool {
+		left := make([]uint32, len(rawL))
+		for i, k := range rawL {
+			left[i] = k % 32
+		}
+		right := make([]uint32, len(rawR))
+		for i, k := range rawR {
+			right[i] = k % 32
+		}
+		ref := refJoin(left, right)
+		dom := domFromKeys(left)
+		kinds := []JoinKind{HJ, SOJ, BSJ}
+		if dom.Known && dom.Dense {
+			kinds = append(kinds, SPHJ)
+		}
+		for _, k := range kinds {
+			res, err := Join(k, left, right, dom, JoinOptions{})
+			if err != nil {
+				return false
+			}
+			if res.Len() != len(ref) {
+				return false
+			}
+			for i := range res.LeftIdx {
+				if !ref[[2]int32{res.LeftIdx[i], res.RightIdx[i]}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOJOutputOrder(t *testing.T) {
+	left := []uint32{1, 2, 2, 4}
+	right := []uint32{2, 2, 3, 4}
+	res, err := Join(OJ, left, right, props.Domain{}, JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SortedByKey {
+		t.Fatal("OJ output must be sorted by key")
+	}
+	checkJoin(t, "OJ", res, refJoin(left, right), left, right)
+}
+
+func TestJoinFKPairAllKindsAgree(t *testing.T) {
+	// The Section 4.3 workload: |R| distinct build keys, FK probes.
+	cfg := datagen.FKConfig{RRows: 500, SRows: 2500, AGroups: 50, RSorted: true, SSorted: true, Dense: true}
+	r, s := datagen.FKPair(9, cfg)
+	left := r.MustColumn("ID").Uint32s()
+	right := s.MustColumn("R_ID").Uint32s()
+	dom := domainOf(r, "ID")
+	var lens []int
+	for _, k := range JoinKinds() {
+		res, err := Join(k, left, right, dom, JoinOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		lens = append(lens, res.Len())
+	}
+	for _, l := range lens {
+		if l != cfg.SRows { // FK join: output size = |S|
+			t.Fatalf("join sizes %v, want all %d", lens, cfg.SRows)
+		}
+	}
+}
+
+func TestJoinKindMetadata(t *testing.T) {
+	if len(JoinKinds()) != int(numJoinKinds) {
+		t.Fatal("JoinKinds incomplete")
+	}
+	l, r := SPHJ.Requirements("a", "b")
+	if len(l) != 1 || l[0].Kind != props.ReqDense || len(r) != 0 {
+		t.Fatal("SPHJ requirements wrong")
+	}
+	l, r = OJ.Requirements("a", "b")
+	if len(l) != 1 || l[0].Kind != props.ReqSorted || len(r) != 1 || r[0].Kind != props.ReqSorted {
+		t.Fatal("OJ requirements wrong")
+	}
+}
+
+func TestJoinOutputProps(t *testing.T) {
+	leftSorted := props.NewSet().WithSortedBy("ID").
+		WithDomain("ID", props.Domain{Known: true, Dense: true, Lo: 0, Hi: 99, Distinct: 100})
+	rightSorted := props.NewSet().WithSortedBy("R_ID")
+	rightUnsorted := props.NewSet()
+
+	out := OJ.OutputProps(leftSorted, rightSorted, "ID", "R_ID")
+	if !out.SortedOn("ID") || !out.DenseOn("ID") {
+		t.Fatalf("OJ output props wrong: %+v", out)
+	}
+	out = HJ.OutputProps(leftSorted, rightUnsorted, "ID", "R_ID")
+	if out.SortedOn("ID") {
+		t.Fatal("HJ with unsorted probe must not claim order")
+	}
+	out = SPHJ.OutputProps(leftSorted, rightSorted, "ID", "R_ID")
+	if !out.SortedOn("ID") {
+		t.Fatal("probe-major join with sorted probe should claim order")
+	}
+}
+
+func TestBSJAllSortKinds(t *testing.T) {
+	left := datagen.GroupingKeys(4, 300, 40, datagen.Quadrant{Sorted: false, Dense: false})
+	right := datagen.GroupingKeys(5, 300, 40, datagen.Quadrant{Sorted: false, Dense: false})
+	ref := refJoin(left, right)
+	for _, sk := range sortx.Kinds() {
+		res, err := Join(BSJ, left, right, props.Domain{}, JoinOptions{Sort: sk})
+		if err != nil {
+			t.Fatalf("%s: %v", sk, err)
+		}
+		checkJoin(t, "BSJ/"+sk.String(), res, ref, left, right)
+	}
+}

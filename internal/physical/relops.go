@@ -1,0 +1,311 @@
+package physical
+
+import (
+	"fmt"
+
+	"dqo/internal/expr"
+	"dqo/internal/hashtable"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+	"dqo/internal/storage"
+)
+
+// This file lifts the kernel algorithms to whole relations: filter, project,
+// sort, group-by, and join operators that consume and produce
+// storage.Relation values. The interpreter in internal/core executes plans
+// by composing these.
+
+// keyColumn extracts a uint32 key view of a column usable for grouping and
+// joining (uint32 values or dictionary codes).
+func keyColumn(rel *storage.Relation, name string) ([]uint32, error) {
+	c, ok := rel.Column(name)
+	if !ok {
+		return nil, fmt.Errorf("physical: relation %q has no column %q", rel.Name(), name)
+	}
+	switch c.Kind() {
+	case storage.KindUint32, storage.KindString:
+		return c.Uint32s(), nil
+	default:
+		return nil, fmt.Errorf("physical: column %q has kind %s; grouping/join keys must be uint32 or dictionary-encoded strings", name, c.Kind())
+	}
+}
+
+// domainOf converts a column's stored statistics into a props.Domain.
+func domainOf(rel *storage.Relation, name string) props.Domain {
+	c, ok := rel.Column(name)
+	if !ok {
+		return props.Domain{}
+	}
+	st := c.Stats()
+	return props.FromStats(st.Rows, st.Min, st.Max, st.Distinct, st.Dense, st.Exact)
+}
+
+// FilterRel returns the rows of rel satisfying pred.
+func FilterRel(rel *storage.Relation, pred expr.Expr) (*storage.Relation, error) {
+	idx, err := expr.Selectivity(pred, rel)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Gather(idx), nil
+}
+
+// ProjectRel returns rel restricted to the named columns.
+func ProjectRel(rel *storage.Relation, cols ...string) (*storage.Relation, error) {
+	return rel.Project(cols...)
+}
+
+// SortRel returns rel sorted ascending by the key column (stable), and
+// records the resulting sortedness in the key column's statistics.
+func SortRel(rel *storage.Relation, keyCol string, kind sortx.Kind) (*storage.Relation, error) {
+	keys, err := keyColumn(rel, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	perm := sortx.ArgSortUint32(kind, keys)
+	out := rel.Gather(perm)
+	c := out.MustColumn(keyCol)
+	st := c.Stats() // computed on the gathered data; records Sorted = true
+	if !st.Sorted {
+		return nil, fmt.Errorf("physical: SortRel postcondition violated on %q", keyCol)
+	}
+	return out, nil
+}
+
+// GroupByRel groups rel by keyCol and computes the requested aggregates
+// using the chosen algorithm, deriving the key domain from the relation's
+// own statistics.
+func GroupByRel(rel *storage.Relation, keyCol string, aggs []expr.AggSpec, kind GroupKind, opt GroupOptions) (*storage.Relation, error) {
+	return GroupByRelDom(rel, keyCol, aggs, kind, opt, domainOf(rel, keyCol))
+}
+
+// GroupByRelDom is GroupByRel with an explicit key-domain description — the
+// optimiser passes the domain it planned with, which may be a (dense)
+// superset of the data actually present (e.g. after a selective join). The
+// output relation has the key column first (kind preserved, including
+// dictionaries) followed by one column per aggregate. Aggregate argument
+// columns must be integer-kinded.
+func GroupByRelDom(rel *storage.Relation, keyCol string, aggs []expr.AggSpec, kind GroupKind, opt GroupOptions, dom props.Domain) (*storage.Relation, error) {
+	keys, err := keyColumn(rel, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	// One kernel run per distinct aggregate argument column. All kernels
+	// order groups deterministically as a function of the key sequence, so
+	// per-run results align group-by-group.
+	return groupAndAssemble(rel, keyCol, aggs, func(vals []int64) (*GroupResult, error) {
+		return Group(kind, keys, vals, dom, opt)
+	})
+}
+
+// GroupByRelBundle executes grouping via the Figure 2 producer-bundle
+// engine: partitionBy splits the input into one producer per group, then
+// each producer is aggregated independently (with parallel > 1, by a
+// worker pool — legal exactly because the producers are independent).
+func GroupByRelBundle(rel *storage.Relation, keyCol string, aggs []expr.AggSpec, strat PartitionStrategy, hash hashtable.Func, parallel int, dom props.Domain) (*storage.Relation, error) {
+	keys, err := keyColumn(rel, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	if !dom.Known {
+		dom = domainOf(rel, keyCol)
+	}
+	bundle, err := PartitionBy(keys, dom, strat, hash)
+	if err != nil {
+		return nil, err
+	}
+	return groupAndAssemble(rel, keyCol, aggs, func(vals []int64) (*GroupResult, error) {
+		return AggregateBundle(bundle, vals, parallel), nil
+	})
+}
+
+// groupAndAssemble runs the provided grouping kernel once per distinct
+// aggregate argument column and assembles the output relation.
+func groupAndAssemble(rel *storage.Relation, keyCol string, aggs []expr.AggSpec, run func(vals []int64) (*GroupResult, error)) (*storage.Relation, error) {
+	for _, a := range aggs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	runs := map[string]*GroupResult{}
+	order := make([]string, 0, 2)
+	argFor := func(a expr.AggSpec) string { return a.Col }
+	needed := map[string]bool{}
+	for _, a := range aggs {
+		needed[argFor(a)] = true
+	}
+	if len(needed) == 0 {
+		needed[""] = true
+	}
+	for col := range needed {
+		order = append(order, col)
+	}
+	var first *GroupResult
+	for _, col := range order {
+		var vals []int64
+		if col != "" {
+			c, ok := rel.Column(col)
+			if !ok {
+				return nil, fmt.Errorf("physical: aggregate argument column %q not found", col)
+			}
+			switch c.Kind() {
+			case storage.KindInt64:
+				vals = c.Int64s()
+			case storage.KindUint32:
+				u := c.Uint32s()
+				vals = make([]int64, len(u))
+				for i, v := range u {
+					vals[i] = int64(v)
+				}
+			case storage.KindUint64:
+				u := c.Uint64s()
+				vals = make([]int64, len(u))
+				for i, v := range u {
+					vals[i] = int64(v)
+				}
+			default:
+				return nil, fmt.Errorf("physical: cannot aggregate %s column %q", c.Kind(), col)
+			}
+		}
+		res, err := run(vals)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil {
+			first = res
+		} else if len(res.Keys) != len(first.Keys) {
+			return nil, fmt.Errorf("physical: internal error: kernel runs disagree on group count")
+		}
+		runs[col] = res
+	}
+
+	// Assemble the output relation.
+	keySrc, _ := rel.Column(keyCol)
+	outCols := make([]*storage.Column, 0, 1+len(aggs))
+	outKeys := first.Keys
+	var keyOut *storage.Column
+	if keySrc.Kind() == storage.KindString {
+		keyOut = storage.NewStringCodes(keyCol, outKeys, keySrc.Dict())
+	} else {
+		keyOut = storage.NewUint32(keyCol, outKeys)
+	}
+	// Ground-truth stats for the output key column: one row per distinct
+	// key; sortedness per the kernel; domain inherited.
+	g := len(outKeys)
+	kst := storage.Stats{Rows: g, Distinct: g, Sorted: first.Sorted, Exact: true}
+	if g > 0 {
+		mn, mx := outKeys[0], outKeys[0]
+		for _, k := range outKeys {
+			if k < mn {
+				mn = k
+			}
+			if k > mx {
+				mx = k
+			}
+		}
+		kst.Min, kst.Max = uint64(mn), uint64(mx)
+		kst.Dense = uint64(g) == kst.Max-kst.Min+1
+	} else {
+		kst.Dense = true
+	}
+	keyOut.SetStats(kst)
+	outCols = append(outCols, keyOut)
+
+	for _, a := range aggs {
+		res := runs[argFor(a)]
+		if a.Integral() {
+			vals := make([]int64, g)
+			for i, st := range res.States {
+				vals[i], _, _ = a.FromState(st)
+			}
+			outCols = append(outCols, storage.NewInt64(a.OutName(), vals))
+		} else {
+			vals := make([]float64, g)
+			for i, st := range res.States {
+				_, vals[i], _ = a.FromState(st)
+			}
+			outCols = append(outCols, storage.NewFloat64(a.OutName(), vals))
+		}
+	}
+	return storage.NewRelation(rel.Name()+"_grouped", outCols...)
+}
+
+// JoinRel joins left and right on leftKey = rightKey using the chosen
+// algorithm, deriving the build-side key domain from the relation's own
+// statistics. The output contains all left columns followed by all right
+// columns; right columns whose names clash are suffixed with "_r".
+func JoinRel(left, right *storage.Relation, leftKey, rightKey string, kind JoinKind, opt JoinOptions) (*storage.Relation, error) {
+	return JoinRelDom(left, right, leftKey, rightKey, kind, opt, props.Domain{})
+}
+
+// JoinRelDom is JoinRel with an explicit build-side key domain; a zero
+// domain falls back to the left relation's statistics.
+func JoinRelDom(left, right *storage.Relation, leftKey, rightKey string, kind JoinKind, opt JoinOptions, dom props.Domain) (*storage.Relation, error) {
+	return joinRelImpl(left, right, leftKey, rightKey, kind, opt, dom, false)
+}
+
+// JoinRelDomSwapped executes the join with the roles of the inputs swapped
+// (build on right, probe with left — join commutativity) while keeping the
+// output schema identical to JoinRelDom: left columns first, clashing right
+// columns suffixed "_r". dom describes the right (build) key domain.
+func JoinRelDomSwapped(left, right *storage.Relation, leftKey, rightKey string, kind JoinKind, opt JoinOptions, dom props.Domain) (*storage.Relation, error) {
+	return joinRelImpl(left, right, leftKey, rightKey, kind, opt, dom, true)
+}
+
+func joinRelImpl(left, right *storage.Relation, leftKey, rightKey string, kind JoinKind, opt JoinOptions, dom props.Domain, swapped bool) (*storage.Relation, error) {
+	lk, err := keyColumn(left, leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := keyColumn(right, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	var res *JoinResult
+	if swapped {
+		if !dom.Known {
+			dom = domainOf(right, rightKey)
+		}
+		inner, err := Join(kind, rk, lk, dom, opt)
+		if err != nil {
+			return nil, err
+		}
+		res = &JoinResult{LeftIdx: inner.RightIdx, RightIdx: inner.LeftIdx, SortedByKey: inner.SortedByKey}
+	} else {
+		if !dom.Known {
+			dom = domainOf(left, leftKey)
+		}
+		res, err = Join(kind, lk, rk, dom, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lgath := left.Gather(res.LeftIdx)
+	rgath := right.Gather(res.RightIdx)
+	cols := make([]*storage.Column, 0, lgath.NumCols()+rgath.NumCols())
+	cols = append(cols, lgath.Columns()...)
+	used := map[string]bool{}
+	for _, c := range cols {
+		used[c.Name()] = true
+	}
+	for _, c := range rgath.Columns() {
+		name := c.Name()
+		if used[name] {
+			name += "_r"
+		}
+		used[name] = true
+		cols = append(cols, c.Rename(name))
+	}
+	out, err := storage.NewRelation(left.Name()+"_join_"+right.Name(), cols...)
+	if err != nil {
+		return nil, err
+	}
+	if res.SortedByKey {
+		// Record sortedness of the join key column in the output stats.
+		c := out.MustColumn(leftKey)
+		st := c.Stats()
+		if !st.Sorted {
+			return nil, fmt.Errorf("physical: join claimed sorted output but key column is not sorted")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package physio
+
+import (
+	"fmt"
+	"runtime"
+
+	"dqo/internal/hashtable"
+	"dqo/internal/physical"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+)
+
+// GroupChoice is one fully resolved way to implement a grouping operator: an
+// algorithm family plus every molecule-level decision inside it, the input
+// properties it requires, and the granule tree that explains it.
+type GroupChoice struct {
+	Kind physical.GroupKind
+	Opt  physical.GroupOptions
+	Reqs []props.Requirement
+	Tree *Granule
+}
+
+// Label returns e.g. "HG(chained,murmur3fin)" or "SPHG".
+func (c GroupChoice) Label() string {
+	switch c.Kind {
+	case physical.HG:
+		return fmt.Sprintf("HG(%s,%s)", c.Opt.Scheme, c.Opt.Hash)
+	case physical.SOG:
+		return fmt.Sprintf("SOG(%s)", c.Opt.Sort)
+	case physical.SPHG:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("SPHG(parallel=%d)", c.Opt.Parallel)
+		}
+		return "SPHG"
+	default:
+		return c.Kind.String()
+	}
+}
+
+// JoinChoice is one fully resolved way to implement an equi-join.
+type JoinChoice struct {
+	Kind      physical.JoinKind
+	Opt       physical.JoinOptions
+	LeftReqs  []props.Requirement
+	RightReqs []props.Requirement
+	Tree      *Granule
+}
+
+// Label returns e.g. "HJ(murmur3fin)".
+func (c JoinChoice) Label() string {
+	switch c.Kind {
+	case physical.HJ:
+		return fmt.Sprintf("HJ(%s)", c.Opt.Hash)
+	case physical.SOJ:
+		return fmt.Sprintf("SOJ(%s)", c.Opt.Sort)
+	case physical.BSJ:
+		return fmt.Sprintf("BSJ(%s)", c.Opt.Sort)
+	default:
+		return c.Kind.String()
+	}
+}
+
+// GroupChoices enumerates the implementations of grouping on keyCol at the
+// given depth. Shallow yields one choice per family with the paper's
+// textbook defaults (the "translate to hash-based grouping" arrow of
+// Figure 3); Deep unnests the molecule space.
+func GroupChoices(keyCol string, depth Depth) []GroupChoice {
+	var out []GroupChoice
+	add := func(kind physical.GroupKind, opt physical.GroupOptions) {
+		out = append(out, GroupChoice{
+			Kind: kind,
+			Opt:  opt,
+			Reqs: kind.Requirements(keyCol),
+			Tree: GroupTree(kind, opt, keyCol),
+		})
+	}
+	// Order-based choices come first: on cost ties the optimiser keeps the
+	// earlier alternative, and the paper's sorted/sorted cell is won by the
+	// order-based implementations.
+	if depth == Shallow {
+		add(physical.OG, physical.GroupOptions{})
+		add(physical.SPHG, physical.GroupOptions{}) // serial load
+		add(physical.HG, physical.GroupOptions{})   // chained + murmur3fin
+		add(physical.SOG, physical.GroupOptions{})  // radix
+		add(physical.BSG, physical.GroupOptions{})
+		return out
+	}
+	add(physical.OG, physical.GroupOptions{})
+	add(physical.SPHG, physical.GroupOptions{})
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		add(physical.SPHG, physical.GroupOptions{Parallel: p})
+	}
+	for _, scheme := range hashtable.Schemes() {
+		for _, fn := range hashtable.Funcs() {
+			add(physical.HG, physical.GroupOptions{Scheme: scheme, Hash: fn})
+		}
+	}
+	for _, sk := range sortx.Kinds() {
+		add(physical.SOG, physical.GroupOptions{Sort: sk})
+	}
+	add(physical.BSG, physical.GroupOptions{})
+	return out
+}
+
+// JoinChoices enumerates the implementations of an equi-join of lcol with
+// rcol at the given depth.
+func JoinChoices(lcol, rcol string, depth Depth) []JoinChoice {
+	var out []JoinChoice
+	add := func(kind physical.JoinKind, opt physical.JoinOptions) {
+		l, r := kind.Requirements(lcol, rcol)
+		out = append(out, JoinChoice{
+			Kind:      kind,
+			Opt:       opt,
+			LeftReqs:  l,
+			RightReqs: r,
+			Tree:      JoinTree(kind, opt, lcol, rcol),
+		})
+	}
+	// Order-based first: ties go to the less physical alternative.
+	if depth == Shallow {
+		add(physical.OJ, physical.JoinOptions{})
+		add(physical.SPHJ, physical.JoinOptions{})
+		add(physical.HJ, physical.JoinOptions{})
+		add(physical.SOJ, physical.JoinOptions{})
+		add(physical.BSJ, physical.JoinOptions{})
+		return out
+	}
+	add(physical.OJ, physical.JoinOptions{})
+	add(physical.SPHJ, physical.JoinOptions{})
+	for _, fn := range hashtable.Funcs() {
+		add(physical.HJ, physical.JoinOptions{Hash: fn})
+	}
+	for _, sk := range sortx.Kinds() {
+		add(physical.SOJ, physical.JoinOptions{Sort: sk})
+	}
+	for _, sk := range sortx.Kinds() {
+		add(physical.BSJ, physical.JoinOptions{Sort: sk})
+	}
+	return out
+}
+
+// GroupTree builds the granule tree for one grouping implementation — the
+// result of fully unnesting the logical Γ along one path of Figure 3.
+func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string) *Granule {
+	agg := New("aggregate", LevelMacro, "running COUNT/SUM/MIN/MAX",
+		New("update", LevelMolecule, "branch-lean accumulate"))
+	switch kind {
+	case physical.HG:
+		return New("Γ", LevelOrganelle, "hash-based grouping on "+keyCol,
+			New("partitionBy", LevelMacro, "hash table",
+				New("index", LevelMacro, "dynamic hash table",
+					New("scheme", LevelMolecule, opt.Scheme.String()),
+					New("hashfunc", LevelMolecule, opt.Hash.String())),
+				New("loop", LevelMolecule, "serial insert")),
+			agg)
+	case physical.SPHG:
+		loopDetail := "serial load"
+		if opt.Parallel > 1 {
+			loopDetail = fmt.Sprintf("parallel load (%d workers)", opt.Parallel)
+		}
+		return New("Γ", LevelOrganelle, "SPH-based grouping on "+keyCol,
+			New("partitionBy", LevelMacro, "static perfect hash",
+				New("index", LevelMacro, "dense array, key-lo addressing",
+					New("hashfunc", LevelMolecule, "identity (minimal perfect)")),
+				New("loop", LevelMolecule, loopDetail)),
+			agg)
+	case physical.OG:
+		return New("Γ", LevelOrganelle, "order-based grouping on "+keyCol,
+			New("partitionBy", LevelMacro, "run detection on grouped input",
+				New("scan", LevelMolecule, "single sequential pass")),
+			agg)
+	case physical.SOG:
+		return New("Γ", LevelOrganelle, "sort & order-based grouping on "+keyCol,
+			New("sort", LevelMacro, "key/payload sort",
+				New("algorithm", LevelMolecule, opt.Sort.String())),
+			New("partitionBy", LevelMacro, "run detection on sorted copy",
+				New("scan", LevelMolecule, "single sequential pass")),
+			agg)
+	case physical.BSG:
+		return New("Γ", LevelOrganelle, "binary-search grouping on "+keyCol,
+			New("partitionBy", LevelMacro, "sorted array directory",
+				New("probe", LevelMolecule, "binary search"),
+				New("insert", LevelMolecule, "shift into place")),
+			agg)
+	default:
+		return New("Γ", LevelCell, "logical grouping on "+keyCol)
+	}
+}
+
+// JoinTree builds the granule tree for one join implementation. A join is a
+// co-group with two inputs (paper footnote 1): build/probe phases play the
+// partitionBy role.
+func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol string) *Granule {
+	on := lcol + "=" + rcol
+	emit := New("emit", LevelMacro, "pair production",
+		New("gather", LevelMolecule, "columnar row gather"))
+	switch kind {
+	case physical.HJ:
+		return New("⋈", LevelOrganelle, "hash join on "+on,
+			New("build", LevelMacro, "chained multimap",
+				New("hashfunc", LevelMolecule, opt.Hash.String())),
+			New("probe", LevelMacro, "per-row lookup",
+				New("loop", LevelMolecule, "serial probe")),
+			emit)
+	case physical.SPHJ:
+		return New("⋈", LevelOrganelle, "SPH join on "+on,
+			New("build", LevelMacro, "dense array of chain heads",
+				New("hashfunc", LevelMolecule, "identity (minimal perfect)")),
+			New("probe", LevelMacro, "direct array addressing",
+				New("loop", LevelMolecule, "serial probe")),
+			emit)
+	case physical.OJ:
+		return New("⋈", LevelOrganelle, "merge join on "+on,
+			New("merge", LevelMacro, "two sorted cursors",
+				New("dupblocks", LevelMolecule, "duplicate block cross product")),
+			emit)
+	case physical.SOJ:
+		return New("⋈", LevelOrganelle, "sort-merge join on "+on,
+			New("sort", LevelMacro, "both inputs",
+				New("algorithm", LevelMolecule, opt.Sort.String())),
+			New("merge", LevelMacro, "two sorted cursors",
+				New("dupblocks", LevelMolecule, "duplicate block cross product")),
+			emit)
+	case physical.BSJ:
+		return New("⋈", LevelOrganelle, "binary-search join on "+on,
+			New("build", LevelMacro, "sorted directory over left",
+				New("algorithm", LevelMolecule, opt.Sort.String())),
+			New("probe", LevelMacro, "per-row binary search",
+				New("loop", LevelMolecule, "serial probe")),
+			emit)
+	default:
+		return New("⋈", LevelCell, "logical join on "+on)
+	}
+}
+
+// UnnestJoinSteps returns the Figure 3-style refinement chain for a join
+// choice (a join is a co-group with two inputs, so the same unnesting
+// applies): logical ⋈ → build/probe form → index family fixed → fully
+// resolved deep plan.
+func UnnestJoinSteps(choice JoinChoice, lcol, rcol string) []*Granule {
+	on := lcol + "=" + rcol
+	a := New("⋈", LevelCell, "logical join on "+on)
+	b := New("⋈", LevelCell, "join on "+on,
+		New("build", LevelOrganelle, "index one input"),
+		New("probe", LevelOrganelle, "stream the other input"))
+	var family string
+	switch choice.Kind {
+	case physical.HJ:
+		family = "dynamic hash table"
+	case physical.SPHJ:
+		family = "static perfect hash"
+	case physical.OJ:
+		family = "two sorted cursors"
+	case physical.SOJ:
+		family = "sort both, then merge"
+	case physical.BSJ:
+		family = "sorted directory"
+	}
+	c := New("⋈", LevelOrganelle, "join on "+on,
+		New("build", LevelMacro, family),
+		New("probe", LevelMacro, "per-row lookup"))
+	d := choice.Tree.Clone()
+	return []*Granule{a, b, c, d}
+}
+
+// UnnestSteps returns the Figure 3 refinement chain for a grouping choice:
+// (a) the logical operator, (b) the physiological partition/aggregate form,
+// (c) an intermediate with the index family fixed, (d) the fully resolved
+// deep plan. Each step strictly increases physicality.
+func UnnestSteps(choice GroupChoice, keyCol string) []*Granule {
+	a := New("Γ", LevelCell, "logical grouping on "+keyCol)
+	b := New("Γ", LevelCell, "grouping on "+keyCol,
+		New("partitionBy", LevelOrganelle, "bundle of independent producers"),
+		New("aggregate", LevelOrganelle, "per-producer aggregation"))
+	var family string
+	switch choice.Kind {
+	case physical.HG:
+		family = "dynamic hash table"
+	case physical.SPHG:
+		family = "static perfect hash"
+	case physical.OG:
+		family = "run detection"
+	case physical.SOG:
+		family = "sort, then run detection"
+	case physical.BSG:
+		family = "sorted array directory"
+	}
+	c := New("Γ", LevelOrganelle, "grouping on "+keyCol,
+		New("partitionBy", LevelMacro, family),
+		New("aggregate", LevelMacro, "running aggregates"))
+	d := choice.Tree.Clone()
+	return []*Granule{a, b, c, d}
+}

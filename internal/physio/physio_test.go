@@ -1,0 +1,230 @@
+package physio
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"dqo/internal/physical"
+	"dqo/internal/props"
+)
+
+func TestLevelNames(t *testing.T) {
+	want := map[Level]string{
+		LevelCell: "cell", LevelOrganelle: "organelle", LevelMacro: "macro-molecule",
+		LevelMolecule: "molecule", LevelAtom: "atom",
+	}
+	for l, w := range want {
+		if l.String() != w {
+			t.Fatalf("level %d = %q, want %q", l, l, w)
+		}
+	}
+}
+
+func TestGranuleSizeAndPhysicality(t *testing.T) {
+	logical := New("Γ", LevelCell, "")
+	if logical.Size() != 1 || logical.Physicality() != 0 {
+		t.Fatalf("logical granule: size=%d phys=%g", logical.Size(), logical.Physicality())
+	}
+	deep := New("Γ", LevelOrganelle, "",
+		New("a", LevelMacro, ""),
+		New("b", LevelMolecule, "", New("c", LevelMolecule, "")),
+	)
+	if deep.Size() != 4 {
+		t.Fatalf("size = %d", deep.Size())
+	}
+	if got := deep.Physicality(); got != 0.5 {
+		t.Fatalf("physicality = %g, want 0.5", got)
+	}
+}
+
+func TestRenderAndDOT(t *testing.T) {
+	g := GroupTree(physical.HG, physical.GroupOptions{}, "k")
+	r := g.Render()
+	for _, want := range []string{"Γ", "partitionBy", "scheme", "chained", "murmur3fin", "«molecule»"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Render missing %q:\n%s", want, r)
+		}
+	}
+	d := g.DOT()
+	if !strings.HasPrefix(d, "digraph") || !strings.Contains(d, "->") {
+		t.Fatalf("DOT malformed:\n%s", d)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := GroupTree(physical.SOG, physical.GroupOptions{}, "k")
+	c := g.Clone()
+	c.Children[0].Detail = "mutated"
+	if g.Children[0].Detail == "mutated" {
+		t.Fatal("clone shares nodes")
+	}
+	if c.Size() != g.Size() {
+		t.Fatal("clone changed size")
+	}
+}
+
+func TestGroupChoicesShallow(t *testing.T) {
+	cs := GroupChoices("k", Shallow)
+	if len(cs) != 5 {
+		t.Fatalf("shallow grouping choices = %d, want 5 (one per family)", len(cs))
+	}
+	kinds := map[physical.GroupKind]bool{}
+	for _, c := range cs {
+		kinds[c.Kind] = true
+		if c.Tree == nil {
+			t.Fatalf("%s: missing granule tree", c.Label())
+		}
+	}
+	for _, k := range physical.GroupKinds() {
+		if !kinds[k] {
+			t.Fatalf("shallow enumeration missing %s", k)
+		}
+	}
+}
+
+func TestGroupChoicesDeepExpandsMolecules(t *testing.T) {
+	cs := GroupChoices("k", Deep)
+	// 12 HG variants + SPHG serial (+ parallel on multicore) + OG + 3 SOG + BSG.
+	min := 12 + 1 + 1 + 3 + 1
+	if runtime.GOMAXPROCS(0) > 1 {
+		min++
+	}
+	if len(cs) != min {
+		t.Fatalf("deep grouping choices = %d, want %d", len(cs), min)
+	}
+	labels := map[string]bool{}
+	for _, c := range cs {
+		if labels[c.Label()] {
+			t.Fatalf("duplicate choice %s", c.Label())
+		}
+		labels[c.Label()] = true
+	}
+	if !labels["HG(robinhood,fibonacci)"] {
+		t.Fatal("deep enumeration missing a hash-table molecule combination")
+	}
+	if !labels["SOG(comparison)"] {
+		t.Fatal("deep enumeration missing a sort molecule")
+	}
+}
+
+func TestJoinChoicesCounts(t *testing.T) {
+	if n := len(JoinChoices("a", "b", Shallow)); n != 5 {
+		t.Fatalf("shallow join choices = %d, want 5", n)
+	}
+	if n := len(JoinChoices("a", "b", Deep)); n != 4+1+1+3+3 {
+		t.Fatalf("deep join choices = %d, want 12", n)
+	}
+}
+
+func TestChoiceRequirements(t *testing.T) {
+	for _, c := range GroupChoices("k", Deep) {
+		switch c.Kind {
+		case physical.SPHG:
+			if len(c.Reqs) != 1 || c.Reqs[0] != (props.Requirement{Kind: props.ReqDense, Column: "k"}) {
+				t.Fatalf("SPHG reqs = %v", c.Reqs)
+			}
+		case physical.OG:
+			if len(c.Reqs) != 1 || c.Reqs[0].Kind != props.ReqGrouped {
+				t.Fatalf("OG reqs = %v", c.Reqs)
+			}
+		default:
+			if len(c.Reqs) != 0 {
+				t.Fatalf("%s has unexpected reqs %v", c.Label(), c.Reqs)
+			}
+		}
+	}
+	for _, c := range JoinChoices("l", "r", Deep) {
+		if c.Kind == physical.OJ {
+			if len(c.LeftReqs) != 1 || len(c.RightReqs) != 1 {
+				t.Fatalf("OJ reqs = %v / %v", c.LeftReqs, c.RightReqs)
+			}
+		}
+		if c.Kind == physical.SPHJ {
+			if len(c.LeftReqs) != 1 || c.LeftReqs[0].Kind != props.ReqDense {
+				t.Fatalf("SPHJ reqs = %v", c.LeftReqs)
+			}
+		}
+	}
+}
+
+func TestDeepTreesAreMorePhysicalThanLogical(t *testing.T) {
+	for _, c := range GroupChoices("k", Deep) {
+		if c.Tree.Physicality() <= 0 {
+			t.Fatalf("%s: deep tree has zero physicality", c.Label())
+		}
+	}
+	for _, c := range JoinChoices("a", "b", Deep) {
+		if c.Tree.Physicality() <= 0 {
+			t.Fatalf("%s: deep tree has zero physicality", c.Label())
+		}
+	}
+}
+
+func TestUnnestStepsIncreasePhysicality(t *testing.T) {
+	for _, c := range GroupChoices("k", Shallow) {
+		steps := UnnestSteps(c, "k")
+		if len(steps) != 4 {
+			t.Fatalf("%s: %d steps, want 4", c.Label(), len(steps))
+		}
+		prev := -1.0
+		for i, s := range steps {
+			p := s.Physicality()
+			if p < prev {
+				t.Fatalf("%s: physicality decreased at step %d (%g -> %g)", c.Label(), i, prev, p)
+			}
+			prev = p
+		}
+		if steps[0].Physicality() != 0 {
+			t.Fatalf("%s: first step should be purely logical", c.Label())
+		}
+		if steps[3].Physicality() <= steps[0].Physicality() {
+			t.Fatalf("%s: unnesting did not increase physicality", c.Label())
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cs := GroupChoices("k", Shallow)
+	var hg GroupChoice
+	for _, c := range cs {
+		if c.Kind == physical.HG {
+			hg = c
+		}
+	}
+	if hg.Label() != "HG(chained,murmur3fin)" {
+		t.Fatalf("HG label = %q", hg.Label())
+	}
+	js := JoinChoices("a", "b", Shallow)
+	for _, j := range js {
+		if j.Kind == physical.HJ && j.Label() != "HJ(murmur3fin)" {
+			t.Fatalf("HJ label = %q", j.Label())
+		}
+		if j.Kind == physical.OJ && j.Label() != "OJ" {
+			t.Fatalf("OJ label = %q", j.Label())
+		}
+	}
+	if Shallow.String() != "shallow" || Deep.String() != "deep" {
+		t.Fatal("depth names wrong")
+	}
+}
+
+func TestUnnestJoinSteps(t *testing.T) {
+	for _, c := range JoinChoices("a", "b", Shallow) {
+		steps := UnnestJoinSteps(c, "a", "b")
+		if len(steps) != 4 {
+			t.Fatalf("%s: %d steps", c.Label(), len(steps))
+		}
+		prev := -1.0
+		for i, s := range steps {
+			p := s.Physicality()
+			if p < prev {
+				t.Fatalf("%s: physicality decreased at step %d", c.Label(), i)
+			}
+			prev = p
+		}
+		if steps[0].Physicality() != 0 || steps[3].Physicality() <= 0 {
+			t.Fatalf("%s: endpoints wrong", c.Label())
+		}
+	}
+}

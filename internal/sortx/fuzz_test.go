@@ -1,0 +1,37 @@
+package sortx
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzSorts cross-checks all sort kinds against the stdlib on arbitrary
+// byte-derived inputs (seeds run in plain `go test`).
+func FuzzSorts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{255, 0, 255, 0, 1, 2, 3})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := make([]uint32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			xs = append(xs, uint32(raw[i])<<8|uint32(raw[i+1]))
+		}
+		want := append([]uint32(nil), xs...)
+		slices.Sort(want)
+		for _, k := range Kinds() {
+			got := append([]uint32(nil), xs...)
+			SortUint32(k, got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s mismatch on %v", k, xs)
+			}
+		}
+		// ArgSort yields the same sorted sequence.
+		idx := ArgSortUint32(Radix, xs)
+		for i := 1; i < len(idx); i++ {
+			if xs[idx[i-1]] > xs[idx[i]] {
+				t.Fatalf("argsort out of order")
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package sql
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// re-parses from its own normal form (the seeds run in plain `go test`;
+// run `go test -fuzz=FuzzParse ./internal/sql` for continuous fuzzing).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A",
+		"SELECT * FROM t WHERE a < 1 AND (b = 'x''y' OR c >= 2.5) ORDER BY a LIMIT 3",
+		"SELECT a, SUM(v) AS s FROM t GROUP BY a HAVING s > 10",
+		"SELECT a FROM t t2 INNER JOIN u ON t2.a = u.b;",
+		"select min(x) from y group by z",
+		"SELECT",
+		"SELECT ( FROM",
+		"'unterminated",
+		"",
+		"SELECT a FROM t WHERE a <> 1 + 2 * 3 - 4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		normal := stmt.String()
+		again, err := Parse(normal)
+		if err != nil {
+			t.Fatalf("normal form %q of %q does not re-parse: %v", normal, src, err)
+		}
+		if again.String() != normal {
+			t.Fatalf("normal form not stable: %q -> %q", normal, again.String())
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package sql implements the SQL front-end for the query class the paper
+// evaluates: single-block SELECT statements with equi-joins, a WHERE clause,
+// GROUP BY with the standard distributive/algebraic aggregates, ORDER BY,
+// and LIMIT. The binder resolves names against a table catalog and lowers
+// the statement to the logical algebra of internal/logical.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // for idents: original spelling; keywords matched case-insensitively
+	pos  int    // byte offset, for error messages
+}
+
+// lexer tokenises a statement.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. It returns an error with position on any
+// character it does not understand.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		case c >= '0' && c <= '9':
+			start := l.pos
+			seenDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '\'':
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'') // escaped quote
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			l.emit(tokString, sb.String(), start)
+		default:
+			start := l.pos
+			// Two-character operators first.
+			if l.pos+1 < len(l.src) {
+				two := l.src[l.pos : l.pos+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					l.pos += 2
+					l.emit(tokSymbol, two, start)
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '.', ';':
+				l.pos++
+				l.emit(tokSymbol, string(c), start)
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isKeyword reports whether the token is the given keyword (ASCII
+// case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (t token) isSymbol(s string) bool {
+	return t.kind == tokSymbol && t.text == s
+}

@@ -1,0 +1,413 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dqo/internal/expr"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().isSymbol(";") {
+		p.next()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.cur().isSymbol(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+// reserved words may not be used as bare identifiers in this dialect.
+var reserved = map[string]bool{
+	"select": true, "from": true, "join": true, "on": true, "where": true,
+	"group": true, "order": true, "by": true, "limit": true, "as": true,
+	"and": true, "or": true, "count": true, "sum": true, "min": true,
+	"max": true, "avg": true, "inner": true, "asc": true, "having": true,
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// columnRef parses ident or ident.ident.
+func (p *parser) columnRef() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.cur().isSymbol(".") {
+		p.next()
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.cur().isSymbol("*") {
+		p.next()
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.cur().isSymbol(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for p.cur().isKeyword("JOIN") || p.cur().isKeyword("INNER") {
+		if p.cur().isKeyword("INNER") {
+			p.next()
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		tref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: tref, Left: left, Right: right})
+	}
+	if p.cur().isKeyword("WHERE") {
+		p.next()
+		pred, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = pred
+	}
+	if p.cur().isKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.GroupBy = col
+	}
+	if p.cur().isKeyword("HAVING") {
+		if stmt.GroupBy == "" {
+			return nil, p.errf("HAVING requires GROUP BY")
+		}
+		p.next()
+		pred, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = pred
+	}
+	if p.cur().isKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().isKeyword("ASC") {
+			p.next()
+		}
+		stmt.OrderBy = col
+	}
+	if p.cur().isKeyword("LIMIT") {
+		p.next()
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.text)
+		}
+		p.next()
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	// Optional alias: a bare identifier right after the table name.
+	if t := p.cur(); t.kind == tokIdent && !reserved[strings.ToLower(t.text)] {
+		ref.Alias = t.text
+		p.next()
+	}
+	return ref, nil
+}
+
+var aggFuncs = map[string]expr.AggFunc{
+	"count": expr.AggCount,
+	"sum":   expr.AggSum,
+	"min":   expr.AggMin,
+	"max":   expr.AggMax,
+	"avg":   expr.AggAvg,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		if fn, ok := aggFuncs[strings.ToLower(t.text)]; ok && p.toks[p.i+1].isSymbol("(") {
+			p.next() // func name
+			p.next() // (
+			spec := expr.AggSpec{Func: fn}
+			if p.cur().isSymbol("*") {
+				if fn != expr.AggCount {
+					return SelectItem{}, p.errf("%s(*) is not supported", fn)
+				}
+				p.next()
+			} else {
+				col, err := p.columnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				spec.Col = col
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			if p.cur().isKeyword("AS") {
+				p.next()
+				alias, err := p.ident()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				spec.As = alias
+			}
+			return SelectItem{Agg: &spec}, nil
+		}
+	}
+	col, err := p.columnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: col}
+	if p.cur().isKeyword("AS") {
+		p.next()
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+// Predicate grammar: orExpr := andExpr (OR andExpr)*; andExpr := cmp (AND
+// cmp)*; cmp := addExpr [relop addExpr]; addExpr := mulExpr ((+|-) mulExpr)*;
+// mulExpr := primary (* primary)*; primary := column | literal | (orExpr).
+func (p *parser) orExpr() (expr.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("OR") {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: expr.OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	left, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("AND") {
+		p.next()
+		right, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: expr.OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+var relops = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "!=": expr.OpNe,
+	"<": expr.OpLt, "<=": expr.OpLe, ">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) cmpExpr() (expr.Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol {
+		if op, ok := relops[p.cur().text]; ok {
+			p.next()
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (expr.Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isSymbol("+") || p.cur().isSymbol("-") {
+		op := expr.OpAdd
+		if p.cur().text == "-" {
+			op = expr.OpSub
+		}
+		p.next()
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (expr.Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isSymbol("*") {
+		p.next()
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Bin{Op: expr.OpMul, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.isSymbol("("):
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.text)
+			}
+			return expr.FloatLit{V: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.text)
+		}
+		return expr.IntLit{V: n}, nil
+	case t.kind == tokString:
+		p.next()
+		return expr.StrLit{V: t.text}, nil
+	case t.kind == tokIdent && !reserved[strings.ToLower(t.text)]:
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Col{Name: col}, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,352 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Column is an immutable-by-convention typed column vector. Exactly one of
+// the backing slices is populated, according to Kind. String columns store
+// dictionary codes in the uint32 slice plus a *Dict.
+//
+// Mutating a backing slice after handing it to a column invalidates cached
+// statistics; use ResetStats if you must.
+type Column struct {
+	name string
+	kind Kind
+
+	u32 []uint32
+	u64 []uint64
+	i64 []int64
+	f64 []float64
+
+	dict *Dict
+
+	stats *Stats // lazily computed or declared
+}
+
+// NewUint32 returns a uint32 column backed by vals (not copied).
+func NewUint32(name string, vals []uint32) *Column {
+	return &Column{name: name, kind: KindUint32, u32: vals}
+}
+
+// NewUint64 returns a uint64 column backed by vals (not copied).
+func NewUint64(name string, vals []uint64) *Column {
+	return &Column{name: name, kind: KindUint64, u64: vals}
+}
+
+// NewInt64 returns an int64 column backed by vals (not copied).
+func NewInt64(name string, vals []int64) *Column {
+	return &Column{name: name, kind: KindInt64, i64: vals}
+}
+
+// NewFloat64 returns a float64 column backed by vals (not copied).
+func NewFloat64(name string, vals []float64) *Column {
+	return &Column{name: name, kind: KindFloat64, f64: vals}
+}
+
+// NewString returns a dictionary-encoded string column, interning vals into a
+// fresh dictionary in order of first occurrence (codes are therefore dense).
+func NewString(name string, vals []string) *Column {
+	d := NewDict()
+	codes := make([]uint32, len(vals))
+	for i, s := range vals {
+		codes[i] = d.Intern(s)
+	}
+	return &Column{name: name, kind: KindString, u32: codes, dict: d}
+}
+
+// NewStringCodes returns a string column over pre-encoded codes and a shared
+// dictionary. Every code must be valid for dict.
+func NewStringCodes(name string, codes []uint32, dict *Dict) *Column {
+	for i, c := range codes {
+		if int(c) >= dict.Len() {
+			panic(fmt.Sprintf("storage: NewStringCodes: code %d at row %d out of range (dict size %d)", c, i, dict.Len()))
+		}
+	}
+	return &Column{name: name, kind: KindString, u32: codes, dict: dict}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column kind.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.kind {
+	case KindUint32, KindString:
+		return len(c.u32)
+	case KindUint64:
+		return len(c.u64)
+	case KindInt64:
+		return len(c.i64)
+	case KindFloat64:
+		return len(c.f64)
+	default:
+		return 0
+	}
+}
+
+// Rename returns a column sharing this column's data under a new name.
+// Statistics carry over (they describe the data, not the name).
+func (c *Column) Rename(name string) *Column {
+	nc := *c
+	nc.name = name
+	return &nc
+}
+
+// Uint32s returns the backing uint32 slice. It panics unless the column is
+// KindUint32 or KindString (codes).
+func (c *Column) Uint32s() []uint32 {
+	if c.kind != KindUint32 && c.kind != KindString {
+		panic(fmt.Sprintf("storage: Uint32s on %s column %q", c.kind, c.name))
+	}
+	return c.u32
+}
+
+// Uint64s returns the backing uint64 slice. It panics unless KindUint64.
+func (c *Column) Uint64s() []uint64 {
+	if c.kind != KindUint64 {
+		panic(fmt.Sprintf("storage: Uint64s on %s column %q", c.kind, c.name))
+	}
+	return c.u64
+}
+
+// Int64s returns the backing int64 slice. It panics unless KindInt64.
+func (c *Column) Int64s() []int64 {
+	if c.kind != KindInt64 {
+		panic(fmt.Sprintf("storage: Int64s on %s column %q", c.kind, c.name))
+	}
+	return c.i64
+}
+
+// Float64s returns the backing float64 slice. It panics unless KindFloat64.
+func (c *Column) Float64s() []float64 {
+	if c.kind != KindFloat64 {
+		panic(fmt.Sprintf("storage: Float64s on %s column %q", c.kind, c.name))
+	}
+	return c.f64
+}
+
+// Dict returns the dictionary of a string column, or nil otherwise.
+func (c *Column) Dict() *Dict { return c.dict }
+
+// Keys returns the column's values as order-preserving uint64 keys, for use
+// as grouping/join keys or in statistics. String columns yield their codes.
+// Float columns are not key-able and cause a panic.
+func (c *Column) Keys() []uint64 {
+	switch c.kind {
+	case KindUint32, KindString:
+		out := make([]uint64, len(c.u32))
+		for i, v := range c.u32 {
+			out[i] = uint64(v)
+		}
+		return out
+	case KindUint64:
+		return c.u64
+	case KindInt64:
+		out := make([]uint64, len(c.i64))
+		for i, v := range c.i64 {
+			out[i] = uint64(v) ^ (1 << 63) // flip sign bit: order-preserving
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("storage: Keys on %s column %q", c.kind, c.name))
+	}
+}
+
+// KeyAt returns the order-preserving uint64 key of row i, mirroring Keys.
+func (c *Column) KeyAt(i int) uint64 {
+	switch c.kind {
+	case KindUint32, KindString:
+		return uint64(c.u32[i])
+	case KindUint64:
+		return c.u64[i]
+	case KindInt64:
+		return uint64(c.i64[i]) ^ (1 << 63)
+	default:
+		panic(fmt.Sprintf("storage: KeyAt on %s column %q", c.kind, c.name))
+	}
+}
+
+// Value is a dynamically typed cell value, used at the system's edges
+// (printing, CSV, the SQL shell). The engine's hot paths never touch it.
+type Value struct {
+	Kind Kind
+	U    uint64  // KindUint32/KindUint64: the value; KindInt64: the raw bits
+	F    float64 // KindFloat64
+	S    string  // KindString
+}
+
+// String renders the value the way the shell prints it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindUint32, KindUint64:
+		return strconv.FormatUint(v.U, 10)
+	case KindInt64:
+		return strconv.FormatInt(int64(v.U), 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return "<invalid>"
+	}
+}
+
+// ValueAt returns the dynamically typed value at row i.
+func (c *Column) ValueAt(i int) Value {
+	switch c.kind {
+	case KindUint32:
+		return Value{Kind: KindUint32, U: uint64(c.u32[i])}
+	case KindUint64:
+		return Value{Kind: KindUint64, U: c.u64[i]}
+	case KindInt64:
+		return Value{Kind: KindInt64, U: uint64(c.i64[i])}
+	case KindFloat64:
+		return Value{Kind: KindFloat64, F: c.f64[i]}
+	case KindString:
+		return Value{Kind: KindString, S: c.dict.Lookup(c.u32[i])}
+	default:
+		return Value{}
+	}
+}
+
+// Stats returns the column statistics, computing them exactly on first use.
+// For float columns only Rows and Sorted are meaningful.
+func (c *Column) Stats() Stats {
+	if c.stats == nil {
+		st := c.computeStats()
+		c.stats = &st
+	}
+	return *c.stats
+}
+
+// SetStats installs declared statistics (e.g. ground truth from a dataset
+// generator) without scanning the data. Callers are trusted; tests verify
+// generators against computed stats on small instances.
+func (c *Column) SetStats(st Stats) { c.stats = &st }
+
+// ResetStats discards cached statistics, forcing recomputation.
+func (c *Column) ResetStats() { c.stats = nil }
+
+func (c *Column) computeStats() Stats {
+	switch c.kind {
+	case KindUint32, KindString:
+		return statsForUint32(c.u32)
+	case KindUint64:
+		return computeStatsU64(c.u64)
+	case KindInt64:
+		return computeStatsU64(c.Keys())
+	case KindFloat64:
+		st := Stats{Rows: len(c.f64), Sorted: true, Exact: true}
+		prev := math.Inf(-1)
+		distinct := make(map[float64]struct{})
+		for _, v := range c.f64 {
+			if v < prev {
+				st.Sorted = false
+			}
+			prev = v
+			distinct[v] = struct{}{}
+		}
+		st.Distinct = len(distinct)
+		return st
+	default:
+		return Stats{}
+	}
+}
+
+// Gather returns a new column holding rows idx[0], idx[1], ... of c, in that
+// order. It is the building block for sorts, joins, and selections.
+func (c *Column) Gather(idx []int32) *Column {
+	switch c.kind {
+	case KindUint32, KindString:
+		out := make([]uint32, len(idx))
+		for i, j := range idx {
+			out[i] = c.u32[j]
+		}
+		return &Column{name: c.name, kind: c.kind, u32: out, dict: c.dict}
+	case KindUint64:
+		out := make([]uint64, len(idx))
+		for i, j := range idx {
+			out[i] = c.u64[j]
+		}
+		return &Column{name: c.name, kind: c.kind, u64: out}
+	case KindInt64:
+		out := make([]int64, len(idx))
+		for i, j := range idx {
+			out[i] = c.i64[j]
+		}
+		return &Column{name: c.name, kind: c.kind, i64: out}
+	case KindFloat64:
+		out := make([]float64, len(idx))
+		for i, j := range idx {
+			out[i] = c.f64[j]
+		}
+		return &Column{name: c.name, kind: c.kind, f64: out}
+	default:
+		panic(fmt.Sprintf("storage: Gather on invalid column %q", c.name))
+	}
+}
+
+// Slice returns a column viewing rows [lo, hi) of c without copying.
+func (c *Column) Slice(lo, hi int) *Column {
+	nc := *c
+	nc.stats = nil
+	switch c.kind {
+	case KindUint32, KindString:
+		nc.u32 = c.u32[lo:hi]
+	case KindUint64:
+		nc.u64 = c.u64[lo:hi]
+	case KindInt64:
+		nc.i64 = c.i64[lo:hi]
+	case KindFloat64:
+		nc.f64 = c.f64[lo:hi]
+	}
+	return &nc
+}
+
+// Equal reports whether two columns have the same kind, length, and values.
+// String columns compare decoded strings, so differing dictionaries with the
+// same content are equal.
+func (c *Column) Equal(o *Column) bool {
+	if c.kind != o.kind || c.Len() != o.Len() {
+		return false
+	}
+	switch c.kind {
+	case KindUint32:
+		for i, v := range c.u32 {
+			if o.u32[i] != v {
+				return false
+			}
+		}
+	case KindUint64:
+		for i, v := range c.u64 {
+			if o.u64[i] != v {
+				return false
+			}
+		}
+	case KindInt64:
+		for i, v := range c.i64 {
+			if o.i64[i] != v {
+				return false
+			}
+		}
+	case KindFloat64:
+		for i, v := range c.f64 {
+			if o.f64[i] != v {
+				return false
+			}
+		}
+	case KindString:
+		for i := range c.u32 {
+			if c.dict.Lookup(c.u32[i]) != o.dict.Lookup(o.u32[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ColumnSpec declares one column of a CSV schema.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// ReadCSV parses CSV data (with a header row that must match the spec names)
+// into a relation. It exists so the examples can load small realistic
+// datasets; the experiment harness generates its data synthetically.
+func ReadCSV(r io.Reader, name string, spec []ColumnSpec) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading CSV header: %w", err)
+	}
+	if len(header) != len(spec) {
+		return nil, fmt.Errorf("storage: CSV has %d columns, spec has %d", len(header), len(spec))
+	}
+	for i, s := range spec {
+		if header[i] != s.Name {
+			return nil, fmt.Errorf("storage: CSV column %d is %q, spec says %q", i, header[i], s.Name)
+		}
+	}
+
+	u32s := make([][]uint32, len(spec))
+	u64s := make([][]uint64, len(spec))
+	i64s := make([][]int64, len(spec))
+	f64s := make([][]float64, len(spec))
+	strs := make([][]string, len(spec))
+
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading CSV row %d: %w", row, err)
+		}
+		for i, s := range spec {
+			field := rec[i]
+			switch s.Kind {
+			case KindUint32:
+				v, err := strconv.ParseUint(field, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d column %q: %w", row, s.Name, err)
+				}
+				u32s[i] = append(u32s[i], uint32(v))
+			case KindUint64:
+				v, err := strconv.ParseUint(field, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d column %q: %w", row, s.Name, err)
+				}
+				u64s[i] = append(u64s[i], v)
+			case KindInt64:
+				v, err := strconv.ParseInt(field, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d column %q: %w", row, s.Name, err)
+				}
+				i64s[i] = append(i64s[i], v)
+			case KindFloat64:
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("storage: row %d column %q: %w", row, s.Name, err)
+				}
+				f64s[i] = append(f64s[i], v)
+			case KindString:
+				strs[i] = append(strs[i], field)
+			default:
+				return nil, fmt.Errorf("storage: spec column %q has invalid kind", s.Name)
+			}
+		}
+		row++
+	}
+
+	cols := make([]*Column, len(spec))
+	for i, s := range spec {
+		switch s.Kind {
+		case KindUint32:
+			cols[i] = NewUint32(s.Name, u32s[i])
+		case KindUint64:
+			cols[i] = NewUint64(s.Name, u64s[i])
+		case KindInt64:
+			cols[i] = NewInt64(s.Name, i64s[i])
+		case KindFloat64:
+			cols[i] = NewFloat64(s.Name, f64s[i])
+		case KindString:
+			cols[i] = NewString(s.Name, strs[i])
+		}
+	}
+	return NewRelation(name, cols...)
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.ColumnNames()); err != nil {
+		return fmt.Errorf("storage: writing CSV header: %w", err)
+	}
+	rec := make([]string, r.NumCols())
+	for i := 0; i < r.NumRows(); i++ {
+		for j, v := range r.Row(i) {
+			rec[j] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("storage: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,50 @@
+// Package storage implements the in-memory columnar storage substrate: typed
+// columns, dictionary encoding for strings, relations, and per-column
+// statistics (sortedness, density, distinct count) — the data properties the
+// DQO optimiser reasons about.
+package storage
+
+import "fmt"
+
+// Kind identifies the physical type of a column.
+type Kind uint8
+
+// Column kinds. String columns are dictionary-encoded: the column stores
+// uint32 codes, the dictionary stores the distinct strings. The paper notes
+// that "the keys of a dictionary-compressed column are a natural candidate"
+// for static perfect hashing; dictionary codes are dense by construction.
+const (
+	KindInvalid Kind = iota
+	KindUint32
+	KindUint64
+	KindInt64
+	KindFloat64
+	KindString
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindUint32:
+		return "uint32"
+	case KindUint64:
+		return "uint64"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the defined column kinds.
+func (k Kind) Valid() bool { return k > KindInvalid && k <= KindString }
+
+// Integer reports whether k is an integer kind (the kinds for which density
+// is defined and which can serve as grouping/join keys).
+func (k Kind) Integer() bool {
+	return k == KindUint32 || k == KindUint64 || k == KindInt64 || k == KindString
+}

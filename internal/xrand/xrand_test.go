@@ -1,0 +1,201 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	s1 := NewSplitMix64(1234567)
+	s2 := NewSplitMix64(1234567)
+	for i := 0; i < 1000; i++ {
+		if a, b := s1.Next(), s2.Next(); a != b {
+			t.Fatalf("splitmix64 not deterministic at draw %d: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestSplitMix64Distinct(t *testing.T) {
+	s := NewSplitMix64(42)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Next()
+		if seen[v] {
+			t.Fatalf("splitmix64 repeated value %x within 10000 draws", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same seed diverged at draw %d: %x vs %x", i, x, y)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nCoversRange(t *testing.T) {
+	r := New(11)
+	const n = 8
+	var hit [n]bool
+	for i := 0; i < 1000; i++ {
+		hit[r.Uint64n(n)] = true
+	}
+	for v, ok := range hit {
+		if !ok {
+			t.Fatalf("Uint64n(%d) never produced %d in 1000 draws", n, v)
+		}
+	}
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	var count [n]int
+	for i := 0; i < draws; i++ {
+		count[r.Uint64n(n)]++
+	}
+	want := draws / n
+	for v, c := range count {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d has %d draws, want ~%d", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(21)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		out := make([]int, n)
+		r.Perm(out)
+		seen := make([]bool, n)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUint32PreservesMultiset(t *testing.T) {
+	r := New(8)
+	f := func(xs []uint32) bool {
+		cp := append([]uint32(nil), xs...)
+		r.ShuffleUint32(cp)
+		count := map[uint32]int{}
+		for _, v := range xs {
+			count[v]++
+		}
+		for _, v := range cp {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(13)
+	z := NewZipf(r, 100, 1.2)
+	var count [100]int
+	for i := 0; i < 50000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		count[v]++
+	}
+	if count[0] <= count[50] {
+		t.Fatalf("Zipf(1.2) not skewed: count[0]=%d count[50]=%d", count[0], count[50])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(17)
+	z := NewZipf(r, 10, 0)
+	var count [10]int
+	for i := 0; i < 100000; i++ {
+		count[z.Next()]++
+	}
+	for v, c := range count {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Zipf(0) bucket %d has %d draws, want ~10000", v, c)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

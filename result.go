@@ -1,0 +1,112 @@
+package dqo
+
+import (
+	"fmt"
+	"strings"
+
+	"dqo/internal/core"
+	"dqo/internal/storage"
+)
+
+// Result is the output of a query: a result relation plus the plan that
+// produced it.
+type Result struct {
+	rel  *storage.Relation
+	plan *core.Result
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return r.rel.NumRows() }
+
+// Columns returns the result column names in order.
+func (r *Result) Columns() []string { return r.rel.ColumnNames() }
+
+// EstimatedCost returns the optimiser's cost estimate for the executed plan.
+func (r *Result) EstimatedCost() float64 { return r.plan.Best.Cost }
+
+// PlanExplain renders the executed plan.
+func (r *Result) PlanExplain() string { return r.plan.Best.Explain() }
+
+// Uint32Column returns a uint32 result column by name.
+func (r *Result) Uint32Column(name string) ([]uint32, error) {
+	c, ok := r.rel.Column(name)
+	if !ok {
+		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	}
+	if c.Kind() != storage.KindUint32 {
+		return nil, fmt.Errorf("dqo: column %q is %s, not uint32", name, c.Kind())
+	}
+	return c.Uint32s(), nil
+}
+
+// Int64Column returns an int64 result column by name.
+func (r *Result) Int64Column(name string) ([]int64, error) {
+	c, ok := r.rel.Column(name)
+	if !ok {
+		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	}
+	if c.Kind() != storage.KindInt64 {
+		return nil, fmt.Errorf("dqo: column %q is %s, not int64", name, c.Kind())
+	}
+	return c.Int64s(), nil
+}
+
+// Float64Column returns a float64 result column by name.
+func (r *Result) Float64Column(name string) ([]float64, error) {
+	c, ok := r.rel.Column(name)
+	if !ok {
+		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	}
+	if c.Kind() != storage.KindFloat64 {
+		return nil, fmt.Errorf("dqo: column %q is %s, not float64", name, c.Kind())
+	}
+	return c.Float64s(), nil
+}
+
+// Row returns row i rendered as strings, one per column.
+func (r *Result) Row(i int) []string {
+	vals := r.rel.Row(i)
+	out := make([]string, len(vals))
+	for j, v := range vals {
+		out[j] = v.String()
+	}
+	return out
+}
+
+// String renders the result as an aligned text table (all rows).
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, r.rel.NumCols())
+	names := r.rel.ColumnNames()
+	for j, n := range names {
+		widths[j] = len(n)
+	}
+	rows := make([][]string, r.NumRows())
+	for i := 0; i < r.NumRows(); i++ {
+		rows[i] = r.Row(i)
+		for j, v := range rows[i] {
+			if len(v) > widths[j] {
+				widths[j] = len(v)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			if j == len(vals)-1 {
+				b.WriteString(v) // no trailing padding
+				continue
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", r.NumRows())
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package dqo
+
+import (
+	"fmt"
+	"io"
+
+	"dqo/internal/storage"
+)
+
+// Table is a named base relation registered with a DB.
+type Table struct {
+	rel *storage.Relation
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.rel.Name() }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return t.rel.ColumnNames() }
+
+// DeclareCorrelation records that dep is a monotone, non-decreasing function
+// of key — the "correlated" data property of the paper, which the optimiser
+// exploits to keep order knowledge across joins. Use VerifyCorrelation to
+// check a declaration against the data.
+func (t *Table) DeclareCorrelation(key, dep string) { t.rel.DeclareCorr(key, dep) }
+
+// VerifyCorrelation checks a correlation against the data (O(n log n)).
+func (t *Table) VerifyCorrelation(key, dep string) error { return t.rel.VerifyCorr(key, dep) }
+
+// TableBuilder assembles a table column by column. All columns must have
+// equal length; errors are reported by Build.
+type TableBuilder struct {
+	name string
+	cols []*storage.Column
+	err  error
+}
+
+// NewTableBuilder starts a table named name.
+func NewTableBuilder(name string) *TableBuilder {
+	return &TableBuilder{name: name}
+}
+
+// Uint32 appends a uint32 column (the canonical key type; 4-byte unsigned
+// keys are what the paper's experiments use).
+func (b *TableBuilder) Uint32(name string, vals []uint32) *TableBuilder {
+	b.cols = append(b.cols, storage.NewUint32(name, vals))
+	return b
+}
+
+// Uint64 appends a uint64 column.
+func (b *TableBuilder) Uint64(name string, vals []uint64) *TableBuilder {
+	b.cols = append(b.cols, storage.NewUint64(name, vals))
+	return b
+}
+
+// Int64 appends an int64 column.
+func (b *TableBuilder) Int64(name string, vals []int64) *TableBuilder {
+	b.cols = append(b.cols, storage.NewInt64(name, vals))
+	return b
+}
+
+// Float64 appends a float64 column.
+func (b *TableBuilder) Float64(name string, vals []float64) *TableBuilder {
+	b.cols = append(b.cols, storage.NewFloat64(name, vals))
+	return b
+}
+
+// String appends a dictionary-encoded string column. Dictionary codes are
+// dense, so string columns are natural SPH candidates (paper Section 2.1).
+func (b *TableBuilder) String(name string, vals []string) *TableBuilder {
+	b.cols = append(b.cols, storage.NewString(name, vals))
+	return b
+}
+
+// Build finalises the table.
+func (b *TableBuilder) Build() (*Table, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	rel, err := storage.NewRelation(b.name, b.cols...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
+
+// MustBuild is Build that panics on error, for statically correct tables.
+func (b *TableBuilder) MustBuild() *Table {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ColumnKind selects a CSV column type for LoadCSV.
+type ColumnKind uint8
+
+// Column kinds accepted by LoadCSV.
+const (
+	Uint32Col ColumnKind = iota
+	Uint64Col
+	Int64Col
+	Float64Col
+	StringCol
+)
+
+// CSVColumn declares one column of a CSV file.
+type CSVColumn struct {
+	Name string
+	Kind ColumnKind
+}
+
+// LoadCSV reads a table from CSV data with a header row matching the spec.
+func LoadCSV(name string, r io.Reader, spec []CSVColumn) (*Table, error) {
+	sspec := make([]storage.ColumnSpec, len(spec))
+	for i, c := range spec {
+		var k storage.Kind
+		switch c.Kind {
+		case Uint32Col:
+			k = storage.KindUint32
+		case Uint64Col:
+			k = storage.KindUint64
+		case Int64Col:
+			k = storage.KindInt64
+		case Float64Col:
+			k = storage.KindFloat64
+		case StringCol:
+			k = storage.KindString
+		default:
+			return nil, fmt.Errorf("dqo: invalid column kind %d for %q", c.Kind, c.Name)
+		}
+		sspec[i] = storage.ColumnSpec{Name: c.Name, Kind: k}
+	}
+	rel, err := storage.ReadCSV(r, name, sspec)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{rel: rel}, nil
+}
