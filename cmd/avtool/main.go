@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	avtool [-budget 4194304] [-rrows 20000] [-srows 90000] [-dense=true] [-sorted=false]
+//	avtool [-budget 4194304] [-rrows 20000] [-srows 90000] [-dense=true] [-sorted=false] [-run]
+//
+// With -run, the workload's hottest query is re-optimised with the selected
+// views installed and executed through the morsel executor; the measured
+// per-operator profile is printed next to the optimiser's cost estimates.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +36,7 @@ func main() {
 		dense  = flag.Bool("dense", true, "dense key domains")
 		sorted = flag.Bool("sorted", false, "tables stored sorted")
 		seed   = flag.Uint64("seed", 42, "dataset seed")
+		run    = flag.Bool("run", false, "execute the hottest query with the selected AVs and print its profile")
 	)
 	flag.Parse()
 
@@ -83,6 +89,21 @@ func main() {
 	}
 	fmt.Printf("\nworkload plan cost: %.0f -> %.0f (%.2fx) within %d bytes\n",
 		greedy.CostWithout, greedy.CostWith, greedy.Improvement(), greedy.TotalBytes)
+
+	if *run {
+		cat := av.NewCatalog()
+		for _, v := range greedy.Views {
+			cat.Add(v)
+		}
+		prov := av.Qualified{Cat: cat, Aliases: map[string]string{"R": "R", "S": "S"}}
+		mode := core.DQO().WithAVs(prov, prov).WithCracked(prov)
+		res, err := core.Optimize(workload[0].Plan, mode)
+		fatal(err)
+		rel, prof, err := core.ExecuteContext(context.Background(), res.Best, core.ExecOptions{})
+		fatal(err)
+		fmt.Printf("\nexecuted %q with the selected views: %d result rows\n", workload[0].Name, rel.NumRows())
+		fmt.Print(prof.String())
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ func main() {
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
 		repeats    = flag.Int("repeats", 1, "timing repeats per figure4 point (min is reported)")
 		execute    = flag.Bool("execute", false, "figure5: also execute and time the winning plans")
+		morsel     = flag.Int("morsel", 0, "figure5 -execute: executor morsel size in rows (0 = default)")
 		seed       = flag.Uint64("seed", 42, "dataset seed")
 		calibrate  = flag.Bool("calibrate", false, "fit the calibrated cost model to this machine and print its coefficients")
 		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
@@ -66,11 +67,11 @@ func main() {
 	case "figure4":
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
 	case "figure5":
-		run("figure5", func() error { return runFigure5(*execute, *seed) })
+		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 	case "ablations":
 		run("ablations", func() error { return runAblations(*n, *seed) })
 	case "all":
-		run("figure5", func() error { return runFigure5(*execute, *seed) })
+		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
 		run("ablations", func() error { return runAblations(*n, *seed) })
 	default:
@@ -107,9 +108,10 @@ func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csv
 	return nil
 }
 
-func runFigure5(execute bool, seed uint64) error {
+func runFigure5(execute bool, morsel int, seed uint64) error {
 	cfg := benchkit.DefaultFigure5()
 	cfg.Execute = execute
+	cfg.MorselSize = morsel
 	cfg.Seed = seed
 	_, err := benchkit.RunFigure5(cfg, os.Stdout)
 	return err

@@ -15,14 +15,21 @@
 //	\av sph     <tbl> <col> materialise an SPH-directory AV
 //	\av crack   <tbl> <col> materialise an adaptive (cracked) index AV
 //	\avs                    list materialised AVs
+//	\stats                  toggle the per-operator execution profile
 //	\demo sorted|unsorted [sparse]   regenerate demo tables
 //	\quit
+//
+// Ctrl-C during a query cancels that query (through the morsel executor's
+// context plumbing) and returns to the prompt; it does not exit the shell.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dqo"
@@ -33,6 +40,7 @@ func main() {
 	db := dqo.Open()
 	loadDemo(db, true, true)
 	mode := dqo.ModeDQO
+	showStats := false
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
 	fmt.Println(`Try: SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A LIMIT 5`)
@@ -51,7 +59,7 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line)
+			runQuery(db, mode, line, showStats)
 			continue
 		}
 		fields := strings.Fields(line)
@@ -129,6 +137,13 @@ func main() {
 			}
 		case `\avs`:
 			fmt.Println(db.DescribeAVs())
+		case `\stats`:
+			showStats = !showStats
+			if showStats {
+				fmt.Println("per-operator stats on.")
+			} else {
+				fmt.Println("per-operator stats off.")
+			}
 		case `\demo`:
 			sorted := len(fields) > 1 && fields[1] == "sorted"
 			dense := !(len(fields) > 2 && fields[2] == "sparse")
@@ -148,16 +163,29 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string) {
-	res, err := db.Query(mode, query)
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool) {
+	// Ctrl-C while the query runs cancels the context; the executor unwinds
+	// at the next morsel boundary and we return to the prompt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	res, err := db.QueryContext(ctx, mode, query)
+	stop()
 	if err != nil {
-		fmt.Println("error:", err)
+		// stop() cancels ctx, so inspect the error itself: only a query the
+		// executor aborted reports the context's error.
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("query cancelled")
+		} else {
+			fmt.Println("error:", err)
+		}
 		return
 	}
 	if res.NumRows() > 20 {
 		fmt.Printf("(showing plan cost %.0f, first 20 of %d rows)\n", res.EstimatedCost(), res.NumRows())
 	}
 	fmt.Print(clip(res.String(), 20))
+	if showStats {
+		fmt.Print(res.StatsString())
+	}
 }
 
 // clip keeps at most n data lines of a rendered table.

@@ -1,12 +1,14 @@
 package dqo
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 
 	"dqo/internal/av"
 	"dqo/internal/core"
+	"dqo/internal/exec"
 	"dqo/internal/hashtable"
 	"dqo/internal/logical"
 	"dqo/internal/physio"
@@ -172,25 +174,42 @@ func (db *DB) compile(mode Mode, query string) (*core.Result, *sql.SelectStmt, e
 	return res, stmt, err
 }
 
-// Query optimises and executes a SQL query under the given mode.
+// Query optimises and executes a SQL query under the given mode. It is
+// QueryContext with a background context.
 func (db *DB) Query(mode Mode, query string) (*Result, error) {
+	return db.QueryContext(context.Background(), mode, query)
+}
+
+// QueryContext optimises and executes a SQL query under the given mode,
+// through the morsel-driven execution layer. Cancelling ctx aborts the
+// query at the next morsel boundary and returns ctx's error; the returned
+// Result carries the per-operator execution profile (Result.Stats). A
+// LIMIT clause runs as an early-exit operator: upstream operators stop as
+// soon as the first N rows are produced. Cancellation is checked on entry
+// and throughout execution, but not inside the optimiser itself: a ctx
+// cancelled mid-optimisation takes effect before the first morsel runs.
+func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, stmt, err := db.compile(mode, query)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := core.Execute(res.Best)
+	root, err := core.Compile(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Limit >= 0 {
+		root = exec.NewLimit(root, stmt.Limit)
+	}
+	ec := exec.NewExecContext(ctx, 0, 0)
+	rel, err := exec.Run(ec, root)
 	if err != nil {
 		return nil, err
 	}
 	rel = applyAliases(rel, stmt)
-	if stmt.Limit >= 0 && rel.NumRows() > stmt.Limit {
-		idx := make([]int32, stmt.Limit)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		rel = rel.Gather(idx)
-	}
-	return &Result{rel: rel, plan: res}, nil
+	return &Result{rel: rel, plan: res, profile: exec.CollectProfile(root)}, nil
 }
 
 // Explain returns the chosen physical plan for a query without executing

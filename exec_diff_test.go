@@ -1,0 +1,195 @@
+package dqo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dqo/internal/core"
+	"dqo/internal/exec"
+	"dqo/internal/storage"
+)
+
+// corpusDB assembles every table the dqo_test.go corpus queries touch into
+// one database: the paper's R/S pair, a builder table, a string-keyed
+// table, and a CSV import, plus the AV kinds the planner can exploit.
+func corpusDB(t testing.TB) *DB {
+	t.Helper()
+	db := testDB(t, false, false, true)
+	tab := NewTableBuilder("t").
+		Uint32("k", []uint32{2, 1, 2}).
+		Int64("v", []int64{10, 20, 30}).
+		MustBuild()
+	if err := db.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	orders := NewTableBuilder("orders").
+		String("city", []string{"ber", "par", "ber", "rom", "par", "ber"}).
+		Int64("amount", []int64{10, 20, 30, 40, 50, 60}).
+		MustBuild()
+	if err := db.Register(orders); err != nil {
+		t.Fatal(err)
+	}
+	people, err := LoadCSV("people", strings.NewReader("id,name,score\n1,ada,9.5\n2,bob,7.25\n3,cyd,8.0\n"), []CSVColumn{
+		{"id", Uint32Col}, {"name", StringCol}, {"score", Float64Col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(people); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeSPHAV("R", "ID"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeHashIndexAV("S", "R_ID"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeCrackedAV("R", "A"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// corpusQueries is the query corpus from dqo_test.go: joins, groupings,
+// sorts, filters, limits, string keys, floats, and AV-answered plans.
+var corpusQueries = []string{
+	paperSQL,
+	paperSQL + " ORDER BY R.A",
+	"SELECT ID, A FROM R WHERE A < 10 ORDER BY ID LIMIT 7",
+	"SELECT ID FROM R LIMIT 5",
+	"SELECT ID FROM R ORDER BY ID LIMIT 2",
+	"SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY k",
+	"SELECT city, SUM(amount) AS total FROM orders GROUP BY city",
+	"SELECT name, score FROM people WHERE id = 2",
+	"SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A",
+}
+
+// bulkQuery runs a query through the retained pre-morsel interpreter
+// (core.ExecuteBulk) with the facade's old LIMIT truncation semantics.
+func bulkQuery(t *testing.T, db *DB, mode Mode, query string) *storage.Relation {
+	t.Helper()
+	res, stmt, err := db.compile(mode, query)
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", mode, query, err)
+	}
+	rel, err := core.ExecuteBulk(res.Best)
+	if err != nil {
+		t.Fatalf("%s/%s: bulk execute: %v", mode, query, err)
+	}
+	if stmt.Limit >= 0 && rel.NumRows() > stmt.Limit {
+		rel = rel.Slice(0, stmt.Limit)
+	}
+	return applyAliases(rel, stmt)
+}
+
+// morselQuery runs the same query through the morsel executor at an
+// explicit morsel size.
+func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel int) *storage.Relation {
+	t.Helper()
+	res, stmt, err := db.compile(mode, query)
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v", mode, query, err)
+	}
+	root, err := core.Compile(res.Best)
+	if err != nil {
+		t.Fatalf("%s/%s: plan compile: %v", mode, query, err)
+	}
+	if stmt.Limit >= 0 {
+		root = exec.NewLimit(root, stmt.Limit)
+	}
+	ec := exec.NewExecContext(context.Background(), morsel, 0)
+	rel, err := exec.Run(ec, root)
+	if err != nil {
+		t.Fatalf("%s/%s/morsel=%d: run: %v", mode, query, morsel, err)
+	}
+	return applyAliases(rel, stmt)
+}
+
+// TestMorselDifferential checks that every corpus query returns an
+// identical relation through the old bulk interpreter and the morsel
+// executor, for every mode, across morsel sizes from degenerate (1 row) to
+// whole-relation.
+func TestMorselDifferential(t *testing.T) {
+	db := corpusDB(t)
+	morselSizes := []int{1, 7, 1024, 1 << 30}
+	for _, query := range corpusQueries {
+		for _, mode := range declaredModes {
+			want := bulkQuery(t, db, mode, query)
+			for _, morsel := range morselSizes {
+				got := morselQuery(t, db, mode, query, morsel)
+				if !got.Equal(want) {
+					t.Errorf("%s / %q / morsel=%d: relations differ\nbulk:\n%s\nmorsel:\n%s",
+						mode, query, morsel, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	db := corpusDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, ModeDQO, paperSQL); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// A live context behaves exactly like Query.
+	res, err := db.QueryContext(context.Background(), ModeDQO, paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 100 {
+		t.Fatalf("%d rows", res.NumRows())
+	}
+}
+
+// TestStatsCoverFigure5Plan is the acceptance check for the execution
+// profile: every operator in the paper's Figure 5 query plan must report
+// rows produced and nonzero wall time.
+func TestStatsCoverFigure5Plan(t *testing.T) {
+	db := testDB(t, false, false, true)
+	res, err := db.Query(ModeDQO, paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res.Stats()
+	if len(stats) < 4 {
+		t.Fatalf("profile has %d operators, want scan+scan+join+group at least:\n%s", len(stats), res.StatsString())
+	}
+	if stats[0].Depth != 0 {
+		t.Fatalf("profile not in pre-order: %+v", stats[0])
+	}
+	for _, s := range stats {
+		if s.RowsOut == 0 {
+			t.Errorf("operator %q reports zero rows out", s.Label)
+		}
+		if s.Wall == 0 {
+			t.Errorf("operator %q reports zero wall time", s.Label)
+		}
+		if s.Batches == 0 {
+			t.Errorf("operator %q reports zero batches", s.Label)
+		}
+		if s.Self < 0 || s.Self > s.Wall {
+			t.Errorf("operator %q: self %v outside [0, wall=%v]", s.Label, s.Self, s.Wall)
+		}
+	}
+	text := res.StatsString()
+	for _, want := range []string{"operator", "rows_out", "wall"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("StatsString missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestQueryContextTimeout(t *testing.T) {
+	db := testDB(t, false, false, true)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	if _, err := db.QueryContext(ctx, ModeDQO, paperSQL); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}

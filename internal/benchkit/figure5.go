@@ -1,12 +1,14 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"dqo/internal/core"
 	"dqo/internal/datagen"
+	"dqo/internal/exec"
 	"dqo/internal/expr"
 	"dqo/internal/logical"
 	"dqo/internal/physical"
@@ -24,6 +26,9 @@ type Figure5Config struct {
 	AGroups int // paper: 20,000
 	Seed    uint64
 	Execute bool // additionally run both winning plans and time them
+	// MorselSize is the executor batch size used when Execute is set;
+	// <= 0 selects the executor default.
+	MorselSize int
 }
 
 // DefaultFigure5 returns the paper's cardinalities.
@@ -44,6 +49,7 @@ type Figure5Cell struct {
 	SQOPlan, DQOPlan        string // compact plan summaries
 	SQOMillis, DQOMillis    float64
 	ExecFactor              float64
+	DQOProfile              exec.Profile // per-operator stats of the executed DQO plan
 }
 
 // RunFigure5 computes the grid and prints it in the paper's layout.
@@ -97,11 +103,11 @@ func runFigure5Cell(cfg Figure5Config, rSorted, sSorted, dense bool) (Figure5Cel
 	}
 	if cfg.Execute {
 		var err error
-		cell.SQOMillis, err = timePlan(sqo.Best)
+		cell.SQOMillis, _, err = timePlan(sqo.Best, cfg.MorselSize)
 		if err != nil {
 			return cell, fmt.Errorf("benchkit: executing SQO plan: %w", err)
 		}
-		cell.DQOMillis, err = timePlan(dqo.Best)
+		cell.DQOMillis, cell.DQOProfile, err = timePlan(dqo.Best, cfg.MorselSize)
 		if err != nil {
 			return cell, fmt.Errorf("benchkit: executing DQO plan: %w", err)
 		}
@@ -135,15 +141,16 @@ func planSummary(p *core.Plan) string {
 	}
 }
 
-func timePlan(p *core.Plan) (float64, error) {
+// timePlan runs p through the morsel executor and reports wall time plus
+// the per-operator execution profile.
+func timePlan(p *core.Plan, morsel int) (float64, exec.Profile, error) {
 	start := time.Now()
-	out, err := core.Execute(p)
+	_, prof, err := core.ExecuteContext(context.Background(), p, core.ExecOptions{MorselSize: morsel})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	ms := float64(time.Since(start).Microseconds()) / 1000.0
-	_ = out
-	return ms, nil
+	return ms, prof, nil
 }
 
 func printFigure5(cfg Figure5Config, cells []Figure5Cell, w io.Writer) {
@@ -192,6 +199,12 @@ func printFigure5(cfg Figure5Config, cells []Figure5Cell, w io.Writer) {
 		for _, c := range cells {
 			label := fmt.Sprintf("R%s S%s %s", sortedness(c.RSorted), sortedness(c.SSorted), density(c.Dense))
 			fmt.Fprintf(w, "%-22s %10.2f %10.2f %7.2fx\n", label, c.SQOMillis, c.DQOMillis, c.ExecFactor)
+		}
+		for _, c := range cells {
+			if !c.RSorted && !c.SSorted && c.Dense && len(c.DQOProfile) > 0 {
+				fmt.Fprintln(w, "\n# per-operator profile of the DQO plan (R unsorted, S unsorted, dense):")
+				fmt.Fprint(w, c.DQOProfile.String())
+			}
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"dqo/internal/exec"
+	"dqo/internal/physical"
+	"dqo/internal/storage"
+)
+
+// This file is the plan → operator-tree compiler: it lowers an optimised
+// Plan onto the unified morsel-driven execution layer (internal/exec).
+// Streaming operators (scan, filter, project) become morsel-at-a-time
+// operators; sorts, joins, and groupings keep their whole-relation kernel
+// cores but run behind the same Open/Next/Close interface, draining their
+// inputs morsel by morsel (join inputs concurrently) and emitting
+// per-operator execution statistics.
+
+// ExecOptions configures a morsel-executor run.
+type ExecOptions struct {
+	// MorselSize is the batch row count; <= 0 selects
+	// exec.DefaultMorselSize.
+	MorselSize int
+	// Workers bounds the query's worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Compile lowers an optimised plan to its operator tree. The tree is
+// single-use: compile a fresh one per execution.
+func Compile(p *Plan) (exec.Operator, error) {
+	switch p.Op {
+	case OpScan:
+		return exec.NewScan(p.Label(), p.Rel), nil
+	case OpFilter:
+		if p.Crack != nil {
+			// The cracked index answers the filter with base-table row
+			// positions, so it subsumes the scan below it.
+			child := p.Children[0]
+			if child.Op != OpScan {
+				return nil, fmt.Errorf("core: cracked filter over %v, want Scan", child.Op)
+			}
+			crack, lo, hi := p.Crack, p.CrackLo, p.CrackHi
+			return exec.NewIndexScan(p.Label(), child.Rel, func() []int32 {
+				return crack.Range64(lo, hi)
+			}), nil
+		}
+		child, err := Compile(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(p.Label(), child, p.Pred), nil
+	case OpProject:
+		child, err := Compile(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(p.Label(), child, p.Cols), nil
+	case OpSort:
+		child, err := Compile(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		key, kind := p.SortKey, p.SortKind
+		return exec.NewBreaker1(p.Label(), child, func(in *storage.Relation) (*storage.Relation, error) {
+			return physical.SortRel(in, key, kind)
+		}), nil
+	case OpGroup:
+		child, err := Compile(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		key, aggs, kind, opt, dom := p.GroupKey, p.Aggs, p.Group.Kind, p.Group.Opt, p.KeyDom
+		return exec.NewBreaker1(p.Label(), child, func(in *storage.Relation) (*storage.Relation, error) {
+			return physical.GroupByRelDom(in, key, aggs, kind, opt, dom)
+		}), nil
+	case OpJoin:
+		left, err := Compile(p.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(p.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		node := p
+		var kernel func(l, r *storage.Relation) (*storage.Relation, error)
+		switch {
+		case p.Index != nil:
+			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
+				return executeIndexJoin(node, l, r)
+			}
+		case p.Swapped:
+			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
+				return physical.JoinRelDomSwapped(l, r, node.LeftKey, node.RightKey, node.Join.Kind, node.Join.Opt, node.KeyDom)
+			}
+		default:
+			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
+				return physical.JoinRelDom(l, r, node.LeftKey, node.RightKey, node.Join.Kind, node.Join.Opt, node.KeyDom)
+			}
+		}
+		return exec.NewBreaker2(p.Label(), left, right, kernel), nil
+	default:
+		return nil, fmt.Errorf("core: cannot compile operator %v", p.Op)
+	}
+}
+
+// ExecuteContext compiles p and runs it through the morsel executor under
+// ctx, returning the result relation and the per-operator execution
+// profile. A cancelled context aborts the run at the next morsel boundary
+// with ctx's error.
+func ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) (*storage.Relation, exec.Profile, error) {
+	root, err := Compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	ec := exec.NewExecContext(ctx, opts.MorselSize, opts.Workers)
+	rel, err := exec.Run(ec, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, exec.CollectProfile(root), nil
+}
+
+// Execute runs the plan through the morsel executor with default options
+// and returns its result relation.
+func Execute(p *Plan) (*storage.Relation, error) {
+	rel, _, err := ExecuteContext(context.Background(), p, ExecOptions{})
+	return rel, err
+}

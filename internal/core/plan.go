@@ -205,13 +205,17 @@ func normalizeStrings(xs []string) []string {
 	return out
 }
 
-// Execute runs the plan and returns its result relation.
-func Execute(p *Plan) (*storage.Relation, error) {
+// ExecuteBulk runs the plan with the pre-morsel whole-relation
+// interpreter: every operator fully materialises its result before the
+// parent runs. Retained as the reference implementation for differential
+// tests against the morsel executor (Execute); new code should use Execute
+// or ExecuteContext.
+func ExecuteBulk(p *Plan) (*storage.Relation, error) {
 	switch p.Op {
 	case OpScan:
 		return p.Rel, nil
 	case OpFilter:
-		in, err := Execute(p.Children[0])
+		in, err := ExecuteBulk(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
@@ -220,23 +224,23 @@ func Execute(p *Plan) (*storage.Relation, error) {
 		}
 		return physical.FilterRel(in, p.Pred)
 	case OpProject:
-		in, err := Execute(p.Children[0])
+		in, err := ExecuteBulk(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return physical.ProjectRel(in, p.Cols...)
 	case OpSort:
-		in, err := Execute(p.Children[0])
+		in, err := ExecuteBulk(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return physical.SortRel(in, p.SortKey, p.SortKind)
 	case OpJoin:
-		left, err := Execute(p.Children[0])
+		left, err := ExecuteBulk(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		right, err := Execute(p.Children[1])
+		right, err := ExecuteBulk(p.Children[1])
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +252,7 @@ func Execute(p *Plan) (*storage.Relation, error) {
 		}
 		return physical.JoinRelDom(left, right, p.LeftKey, p.RightKey, p.Join.Kind, p.Join.Opt, p.KeyDom)
 	case OpGroup:
-		in, err := Execute(p.Children[0])
+		in, err := ExecuteBulk(p.Children[0])
 		if err != nil {
 			return nil, err
 		}

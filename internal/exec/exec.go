@@ -1,0 +1,214 @@
+// Package exec is the unified morsel-driven execution layer. Every physical
+// operator implements the same Open/Next/Close interface over fixed-size
+// morsels of column data (zero-copy storage.Relation row-range views), with
+// an ExecContext carrying context.Context cancellation, a bounded worker
+// pool, and per-operator counters (rows in/out, batches, wall time, peak
+// allocation).
+//
+// Streaming operators (scan, filter, project, limit) process one morsel at
+// a time; pipeline breakers (sort, join, group) keep their whole-relation
+// kernel cores but adopt the interface: they drain their inputs morsel by
+// morsel — join inputs concurrently via the worker pool — run the bulk
+// kernel once, and stream the result back out in morsel chunks. The plan →
+// operator-tree compiler lives in internal/core; this package is
+// deliberately plan-agnostic.
+//
+// Protocol invariants:
+//   - Next returns (nil, nil) when exhausted.
+//   - Every operator emits at least one (possibly empty) batch before
+//     exhaustion, so the schema always reaches the consumer.
+//   - Next checks cancellation at every batch boundary, so a cancelled
+//     query unwinds within one morsel of work per pipeline stage.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"dqo/internal/storage"
+)
+
+// DefaultMorselSize is the batch row count used when the caller does not
+// choose one. Large enough to amortise per-batch overhead, small enough
+// that a morsel of a handful of columns stays L2-resident.
+const DefaultMorselSize = 4096
+
+// Operator is the uniform execution interface. Operators are single-use:
+// Open, a sequence of Next calls, Close.
+type Operator interface {
+	// Label describes the operator for EXPLAIN/stats output.
+	Label() string
+	// Open prepares the operator (and recursively its inputs) for Next.
+	Open(ec *ExecContext) error
+	// Next returns the next batch, or (nil, nil) when exhausted.
+	Next(ec *ExecContext) (*storage.Relation, error)
+	// Close releases resources. It must be safe after a failed Open/Next.
+	Close(ec *ExecContext) error
+	// Stats exposes the operator's execution counters.
+	Stats() *OpStats
+	// Children returns the input operators, for profile traversal.
+	Children() []Operator
+}
+
+// ExecContext carries the per-query execution state shared by every
+// operator in one plan: cancellation, the morsel size, and the worker pool
+// used by parallel drains.
+type ExecContext struct {
+	ctx        context.Context
+	MorselSize int
+	Pool       *Pool
+}
+
+// NewExecContext returns an execution context. morsel <= 0 selects
+// DefaultMorselSize; workers <= 0 selects the pool default.
+func NewExecContext(ctx context.Context, morsel, workers int) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if morsel <= 0 {
+		morsel = DefaultMorselSize
+	}
+	return &ExecContext{ctx: ctx, MorselSize: morsel, Pool: NewPool(workers)}
+}
+
+// Context returns the cancellation context.
+func (ec *ExecContext) Context() context.Context { return ec.ctx }
+
+// Err returns the context's cancellation error, if any.
+func (ec *ExecContext) Err() error { return ec.ctx.Err() }
+
+// OpStats are the per-operator execution counters. Wall time is inclusive
+// of children (operators pull synchronously); the profile derives self time
+// by subtraction.
+type OpStats struct {
+	RowsIn    int64         // rows pulled from inputs
+	RowsOut   int64         // rows emitted
+	Batches   int64         // batches emitted
+	Wall      time.Duration // time spent in Next, inclusive of children
+	PeakBytes int64         // high-water estimate of bytes held (batches + materialised state)
+}
+
+// base supplies the label/stats boilerplate shared by all operators.
+type base struct {
+	label string
+	stats OpStats
+}
+
+func (b *base) Label() string   { return b.label }
+func (b *base) Stats() *OpStats { return &b.stats }
+
+// timed starts the inclusive wall clock for one Next call; invoke the
+// returned func on exit (defer).
+func (b *base) timed() func() {
+	start := time.Now()
+	return func() { b.stats.Wall += time.Since(start) }
+}
+
+// emitted records an outgoing batch.
+func (b *base) emitted(batch *storage.Relation) {
+	b.stats.Batches++
+	b.stats.RowsOut += int64(batch.NumRows())
+	if n := batch.MemBytes(); n > b.stats.PeakBytes {
+		b.stats.PeakBytes = n
+	}
+}
+
+// Run drives root to completion under ec and reassembles the emitted
+// batches into one relation. On error (including cancellation) the
+// operator tree is closed before returning.
+func Run(ec *ExecContext, root Operator) (*storage.Relation, error) {
+	if err := root.Open(ec); err != nil {
+		root.Close(ec)
+		return nil, err
+	}
+	var parts []*storage.Relation
+	for {
+		batch, err := root.Next(ec)
+		if err != nil {
+			root.Close(ec)
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		if batch.NumRows() > 0 || len(parts) == 0 {
+			parts = append(parts, batch)
+		}
+	}
+	if err := root.Close(ec); err != nil {
+		return nil, err
+	}
+	return storage.Concat(parts)
+}
+
+// OpStat is one row of an execution profile: an operator's counters plus
+// its position in the plan tree.
+type OpStat struct {
+	Label     string
+	Depth     int
+	RowsIn    int64
+	RowsOut   int64
+	Batches   int64
+	Wall      time.Duration
+	Self      time.Duration // Wall minus children's Wall
+	PeakBytes int64
+}
+
+// Profile is the per-operator execution profile of one query, in pre-order
+// (root first).
+type Profile []OpStat
+
+// CollectProfile walks the operator tree and snapshots every operator's
+// counters, deriving self time from the inclusive wall times.
+func CollectProfile(root Operator) Profile {
+	var out Profile
+	var rec func(op Operator, depth int)
+	rec = func(op Operator, depth int) {
+		st := *op.Stats()
+		self := st.Wall
+		for _, c := range op.Children() {
+			self -= c.Stats().Wall
+		}
+		if self < 0 {
+			self = 0
+		}
+		out = append(out, OpStat{
+			Label: op.Label(), Depth: depth,
+			RowsIn: st.RowsIn, RowsOut: st.RowsOut, Batches: st.Batches,
+			Wall: st.Wall, Self: self, PeakBytes: st.PeakBytes,
+		})
+		for _, c := range op.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return out
+}
+
+// String renders the profile as an aligned table.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %10s %10s %8s %12s %12s %10s\n",
+		"operator", "rows_in", "rows_out", "batches", "wall", "self", "peak")
+	for _, s := range p {
+		label := strings.Repeat("  ", s.Depth) + s.Label
+		fmt.Fprintf(&b, "%-42s %10d %10d %8d %12s %12s %10s\n",
+			label, s.RowsIn, s.RowsOut, s.Batches,
+			s.Wall.Round(time.Microsecond), s.Self.Round(time.Microsecond),
+			fmtBytes(s.PeakBytes))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

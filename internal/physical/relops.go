@@ -12,8 +12,18 @@ import (
 
 // This file lifts the kernel algorithms to whole relations: filter, project,
 // sort, group-by, and join operators that consume and produce
-// storage.Relation values. The interpreter in internal/core executes plans
-// by composing these.
+// storage.Relation values. The bulk interpreter in internal/core
+// (ExecuteBulk) composes these directly; the morsel executor
+// (internal/exec) splits them into two classes:
+//
+//   - FilterRel and ProjectRel are morsel-decomposable: applying them to
+//     each row-range chunk of a relation and concatenating the outputs
+//     yields exactly the whole-relation result, so the executor runs them
+//     per morsel. TestRelopsMorselDecomposable pins this contract.
+//   - SortRel, GroupByRel*, and JoinRel* are pipeline breakers — their
+//     results depend on the whole input — so the executor materialises
+//     their inputs and invokes them once, behind the same operator
+//     interface.
 
 // keyColumn extracts a uint32 key view of a column usable for grouping and
 // joining (uint32 values or dictionary codes).

@@ -1,0 +1,141 @@
+package storage
+
+import "fmt"
+
+// This file supports the morsel-driven execution layer (internal/exec):
+// zero-copy row-range views of relations, and re-assembly of a stream of
+// such batches into one relation.
+
+// Slice returns a relation viewing rows [lo, hi) of r without copying any
+// column data. Declared order correlations carry over (a contiguous row
+// subset of a correlated relation stays correlated); column statistics are
+// recomputed lazily per view.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	cols := make([]*Column, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	out := MustNewRelation(r.name, cols...)
+	out.corrs = append([][2]string(nil), r.corrs...)
+	return out
+}
+
+// Concat concatenates batches with identical schemas (column names and
+// kinds, in order) into a single relation named after the first batch. A
+// single-batch input is returned as-is, without copying. String columns
+// sharing one dictionary keep it; batches with differing dictionaries are
+// re-interned into a fresh one.
+func Concat(parts []*Relation) (*Relation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("storage: Concat of no batches")
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if p.NumCols() != first.NumCols() {
+			return nil, fmt.Errorf("storage: Concat: schema mismatch (%d vs %d columns)", p.NumCols(), first.NumCols())
+		}
+	}
+	cols := make([]*Column, first.NumCols())
+	for j := range cols {
+		parts_j := make([]*Column, len(parts))
+		for i, p := range parts {
+			parts_j[i] = p.cols[j]
+		}
+		c, err := concatColumns(parts_j)
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = c
+	}
+	return NewRelation(first.name, cols...)
+}
+
+// concatColumns concatenates same-name, same-kind columns in order.
+func concatColumns(cols []*Column) (*Column, error) {
+	first := cols[0]
+	total := 0
+	for _, c := range cols {
+		if c.name != first.name || c.kind != first.kind {
+			return nil, fmt.Errorf("storage: Concat: column mismatch (%s %q vs %s %q)",
+				first.kind, first.name, c.kind, c.name)
+		}
+		total += c.Len()
+	}
+	switch first.kind {
+	case KindUint32:
+		out := make([]uint32, 0, total)
+		for _, c := range cols {
+			out = append(out, c.u32...)
+		}
+		return &Column{name: first.name, kind: first.kind, u32: out}, nil
+	case KindUint64:
+		out := make([]uint64, 0, total)
+		for _, c := range cols {
+			out = append(out, c.u64...)
+		}
+		return &Column{name: first.name, kind: first.kind, u64: out}, nil
+	case KindInt64:
+		out := make([]int64, 0, total)
+		for _, c := range cols {
+			out = append(out, c.i64...)
+		}
+		return &Column{name: first.name, kind: first.kind, i64: out}, nil
+	case KindFloat64:
+		out := make([]float64, 0, total)
+		for _, c := range cols {
+			out = append(out, c.f64...)
+		}
+		return &Column{name: first.name, kind: first.kind, f64: out}, nil
+	case KindString:
+		shared := first.dict
+		for _, c := range cols {
+			if c.dict != shared {
+				shared = nil
+				break
+			}
+		}
+		out := make([]uint32, 0, total)
+		if shared != nil {
+			for _, c := range cols {
+				out = append(out, c.u32...)
+			}
+			return &Column{name: first.name, kind: KindString, u32: out, dict: shared}, nil
+		}
+		// Differing dictionaries: re-intern by decoded value.
+		d := NewDict()
+		for _, c := range cols {
+			for _, code := range c.u32 {
+				out = append(out, d.Intern(c.dict.Lookup(code)))
+			}
+		}
+		return &Column{name: first.name, kind: KindString, u32: out, dict: d}, nil
+	default:
+		return nil, fmt.Errorf("storage: Concat on invalid column %q", first.name)
+	}
+}
+
+// elemBytes is the per-row storage footprint of a column kind; dictionary
+// payloads are shared and therefore not attributed to views.
+func elemBytes(k Kind) int64 {
+	switch k {
+	case KindUint32, KindString:
+		return 4
+	case KindUint64, KindInt64, KindFloat64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// MemBytes estimates the resident column-data bytes of the relation, used
+// by the executor's per-operator peak-allocation counters.
+func (r *Relation) MemBytes() int64 {
+	var total int64
+	for _, c := range r.cols {
+		total += int64(c.Len()) * elemBytes(c.kind)
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package storage
+
+import "testing"
+
+func chunkTestRel(t *testing.T) *Relation {
+	t.Helper()
+	return MustNewRelation("t",
+		NewUint32("k", []uint32{5, 3, 8, 1, 9, 2}),
+		NewInt64("v", []int64{-1, 0, 7, 3, 2, 8}),
+		NewFloat64("f", []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5}),
+		NewString("s", []string{"a", "b", "a", "c", "b", "a"}),
+	)
+}
+
+func TestRelationSlice(t *testing.T) {
+	r := chunkTestRel(t)
+	r.DeclareCorr("k", "v")
+	s := r.Slice(2, 5)
+	if s.NumRows() != 3 || s.NumCols() != 4 {
+		t.Fatalf("slice shape %dx%d", s.NumRows(), s.NumCols())
+	}
+	if got := s.MustColumn("k").Uint32s(); got[0] != 8 || got[2] != 9 {
+		t.Fatalf("slice rows wrong: %v", got)
+	}
+	if s.Row(0)[3].S != "a" {
+		t.Fatalf("string slice lost dictionary: %v", s.Row(0))
+	}
+	if len(s.Corrs()) != 1 {
+		t.Fatal("slice dropped declared correlations")
+	}
+	if empty := r.Slice(0, 0); empty.NumRows() != 0 || empty.NumCols() != 4 {
+		t.Fatal("empty slice lost schema")
+	}
+}
+
+func TestConcatRoundTrip(t *testing.T) {
+	r := chunkTestRel(t)
+	parts := []*Relation{r.Slice(0, 2), r.Slice(2, 3), r.Slice(3, 6)}
+	got, err := Concat(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) || got.Name() != "t" {
+		t.Fatalf("concat of slices differs from original:\n%s", got)
+	}
+}
+
+func TestConcatSinglePartIsIdentity(t *testing.T) {
+	r := chunkTestRel(t)
+	got, err := Concat([]*Relation{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatal("single-part concat copied")
+	}
+	if _, err := Concat(nil); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+}
+
+func TestConcatMergesForeignDictionaries(t *testing.T) {
+	a := MustNewRelation("x", NewString("s", []string{"red", "blue"}))
+	b := MustNewRelation("x", NewString("s", []string{"blue", "green"}))
+	got, err := Concat([]*Relation{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"red", "blue", "blue", "green"}
+	for i, w := range want {
+		if got.Row(i)[0].S != w {
+			t.Fatalf("row %d = %q, want %q", i, got.Row(i)[0].S, w)
+		}
+	}
+}
+
+func TestConcatRejectsSchemaMismatch(t *testing.T) {
+	a := MustNewRelation("x", NewUint32("k", []uint32{1}))
+	b := MustNewRelation("x", NewInt64("k", []int64{1}))
+	if _, err := Concat([]*Relation{a, b}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	c := MustNewRelation("x", NewUint32("other", []uint32{1}))
+	if _, err := Concat([]*Relation{a, c}); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	r := chunkTestRel(t)
+	// 6 rows × (4 + 8 + 8 + 4) bytes.
+	if got := r.MemBytes(); got != 6*24 {
+		t.Fatalf("MemBytes = %d, want %d", got, 6*24)
+	}
+}

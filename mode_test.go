@@ -1,0 +1,51 @@
+package dqo
+
+import "testing"
+
+// declaredModes must list every Mode constant; the round-trip test below
+// keeps String and coreMode in sync with the declaration block in db.go.
+var declaredModes = []Mode{ModeSQO, ModeDQO, ModeDQOCalibrated}
+
+func TestModeRoundTrip(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		name string
+	}{
+		{ModeSQO, "sqo"},
+		{ModeDQO, "dqo"},
+		{ModeDQOCalibrated, "dqo-calibrated"},
+	}
+	if len(cases) != len(declaredModes) {
+		t.Fatalf("round-trip table covers %d modes, %d declared", len(cases), len(declaredModes))
+	}
+	seen := map[string]bool{}
+	for _, tc := range cases {
+		if got := tc.mode.String(); got != tc.name {
+			t.Errorf("Mode(%d).String() = %q, want %q", tc.mode, got, tc.name)
+		}
+		cm, err := tc.mode.coreMode()
+		if err != nil {
+			t.Errorf("Mode(%d).coreMode(): %v", tc.mode, err)
+			continue
+		}
+		// The core mode must round-trip to the same name the facade reports,
+		// so Explain headers, plan-cache keys, and API docs agree.
+		if cm.Name != tc.mode.String() {
+			t.Errorf("Mode(%d): core name %q != String() %q", tc.mode, cm.Name, tc.mode.String())
+		}
+		if seen[cm.Name] {
+			t.Errorf("duplicate core mode name %q", cm.Name)
+		}
+		seen[cm.Name] = true
+	}
+}
+
+func TestModeUnknown(t *testing.T) {
+	bad := Mode(99)
+	if got := bad.String(); got != "unknown" {
+		t.Fatalf("Mode(99).String() = %q", got)
+	}
+	if _, err := bad.coreMode(); err == nil {
+		t.Fatal("Mode(99).coreMode() succeeded")
+	}
+}

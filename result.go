@@ -3,17 +3,49 @@ package dqo
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"dqo/internal/core"
+	"dqo/internal/exec"
 	"dqo/internal/storage"
 )
 
-// Result is the output of a query: a result relation plus the plan that
-// produced it.
+// Result is the output of a query: a result relation, the plan that
+// produced it, and the per-operator execution profile.
 type Result struct {
-	rel  *storage.Relation
-	plan *core.Result
+	rel     *storage.Relation
+	plan    *core.Result
+	profile exec.Profile
 }
+
+// OpStat is one operator's measured execution profile: what actually
+// happened at run time, as opposed to the optimiser's estimates. Depth is
+// the operator's depth in the executed plan tree (0 = root).
+type OpStat struct {
+	Label     string
+	Depth     int
+	RowsIn    int64         // rows pulled from inputs
+	RowsOut   int64         // rows emitted
+	Batches   int64         // morsel batches emitted
+	Wall      time.Duration // time in the operator, inclusive of inputs
+	Self      time.Duration // Wall minus the inputs' Wall
+	PeakBytes int64         // high-water estimate of bytes held
+}
+
+// Stats returns the per-operator execution profile in pre-order (root
+// operator first), measured by the morsel executor. It is the feedback
+// half of the optimise/execute loop: estimated cost and cardinality come
+// from PlanExplain, measured rows and time come from here.
+func (r *Result) Stats() []OpStat {
+	out := make([]OpStat, len(r.profile))
+	for i, s := range r.profile {
+		out[i] = OpStat(s)
+	}
+	return out
+}
+
+// StatsString renders the execution profile as an aligned table.
+func (r *Result) StatsString() string { return r.profile.String() }
 
 // NumRows returns the number of result rows.
 func (r *Result) NumRows() int { return r.rel.NumRows() }
