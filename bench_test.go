@@ -8,6 +8,7 @@ package dqo
 // (cmd/dqobench does the same with progress output).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -18,12 +19,14 @@ import (
 	"dqo/internal/benchkit"
 	"dqo/internal/core"
 	"dqo/internal/datagen"
+	"dqo/internal/exec"
 	"dqo/internal/expr"
 	"dqo/internal/hashtable"
 	"dqo/internal/logical"
 	"dqo/internal/physical"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
+	"dqo/internal/storage"
 	"dqo/internal/xrand"
 )
 
@@ -330,6 +333,106 @@ func BenchmarkAblationEngine(b *testing.B) {
 		b.Run("bundle-"+strat.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := physical.GroupByRelBundle(rel, "key", aggs, strat, hashtable.Murmur3Fin, 1, props.Domain{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts sweeps 1, 2, 4 plus GOMAXPROCS when larger: on a
+// single-core runner this measures parallel-kernel overhead, on multi-core
+// hardware it measures speedup. Serial (workers=1) always runs the
+// pre-existing serial kernel.
+func benchWorkerCounts() []int {
+	ps := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		ps = append(ps, g)
+	}
+	return ps
+}
+
+// BenchmarkScalingGroupBy measures the radix-partitioned parallel hash
+// aggregation (per-worker partial tables merged at the end) against the
+// serial HG kernel.
+func BenchmarkScalingGroupBy(b *testing.B) {
+	n := benchN()
+	rel := datagen.GroupingRelation(42, n, 10000, datagen.Quadrant{Sorted: false, Dense: false})
+	aggs := []expr.AggSpec{{Func: expr.AggCount}, {Func: expr.AggSum, Col: "val"}}
+	for _, p := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := physical.GroupOptions{Scheme: hashtable.Chained, Hash: hashtable.Murmur3Fin, Parallel: p}
+				if _, err := physical.GroupByRel(rel, "key", aggs, physical.HG, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingJoin measures the radix-partitioned parallel hash join
+// (serial build per partition, parallel probe) against the serial HJ kernel.
+func BenchmarkScalingJoin(b *testing.B) {
+	n := benchN()
+	cfg := datagen.FKConfig{RRows: n / 10, SRows: n, AGroups: 10000, Dense: false}
+	r, s := datagen.FKPair(42, cfg)
+	for _, p := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := physical.JoinOptions{Hash: hashtable.Murmur3Fin, Parallel: p}
+				if _, err := physical.JoinRel(r, s, "ID", "R_ID", physical.HJ, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingSort measures parallel sorted-run generation + k-way
+// merge against the serial radix sort.
+func BenchmarkScalingSort(b *testing.B) {
+	n := benchN()
+	rel := datagen.GroupingRelation(42, n, 10000, datagen.Quadrant{Sorted: false, Dense: false})
+	for _, p := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := physical.SortRelPar(rel, "key", sortx.Radix, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMorselPipelineAllocs reports allocs/op for a filter+project
+// morsel pipeline through the executor — the sync.Pool-backed morsel
+// buffer reuse (satellite: pooled column buffers) should keep the
+// steady-state allocation count flat in the number of morsels.
+func BenchmarkMorselPipelineAllocs(b *testing.B) {
+	n := benchN() / 4
+	rel := datagen.GroupingRelation(42, n, 10000, datagen.Quadrant{Sorted: false, Dense: false})
+	pred := expr.Bin{Op: expr.OpLt, L: expr.Col{Name: "val"}, R: expr.IntLit{V: 500}}
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var root exec.Operator
+				if p > 1 {
+					pipe := exec.NewPipe("scan", rel, p)
+					pipe.AddStage("filter", func(in *storage.Relation) (*storage.Relation, error) {
+						return physical.FilterRel(in, pred)
+					})
+					pipe.AddStage("project", func(in *storage.Relation) (*storage.Relation, error) {
+						return physical.ProjectRel(in, "key")
+					})
+					root = pipe
+				} else {
+					root = exec.NewProject("project",
+						exec.NewFilter("filter", exec.NewScan("scan", rel), pred), []string{"key"})
+				}
+				ec := exec.NewExecContext(context.Background(), 0, p)
+				if _, err := exec.Run(ec, root); err != nil {
 					b.Fatal(err)
 				}
 			}

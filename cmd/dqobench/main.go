@@ -6,12 +6,15 @@
 //	dqobench -experiment figure4 [-n 100000000] [-quadrant unsorted-dense] [-zoom] [-repeats 3]
 //	dqobench -experiment figure5 [-execute]
 //	dqobench -experiment ablations [-n 10000000]
+//	dqobench -experiment scaling [-n 100000000] [-workers 8]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
 // figure5 reproduces Section 4.3 (DQO vs SQO improvement factors; with
 // -execute the winning plans are also run and timed); ablations runs the
-// A1-A5 design-choice sweeps of DESIGN.md.
+// A1-A5 design-choice sweeps of DESIGN.md; scaling sweeps the
+// morsel-parallel kernels (group-by, join, sort, filter pipe) from 1 to
+// -workers workers and prints per-query speedup over serial.
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -35,6 +38,7 @@ func main() {
 		execute    = flag.Bool("execute", false, "figure5: also execute and time the winning plans")
 		morsel     = flag.Int("morsel", 0, "figure5 -execute: executor morsel size in rows (0 = default)")
 		seed       = flag.Uint64("seed", 42, "dataset seed")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scaling: maximum worker count for the parallel sweep")
 		calibrate  = flag.Bool("calibrate", false, "fit the calibrated cost model to this machine and print its coefficients")
 		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
 	)
@@ -70,10 +74,13 @@ func main() {
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 	case "ablations":
 		run("ablations", func() error { return runAblations(*n, *seed) })
+	case "scaling":
+		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
 		run("ablations", func() error { return runAblations(*n, *seed) })
+		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -141,5 +148,16 @@ func runAblations(n int, seed uint64) error {
 	}
 	fmt.Println()
 	_, err := benchkit.RunAblationAV(benchkit.DefaultFigure5(), os.Stdout)
+	return err
+}
+
+func runScaling(n, workers int, seed uint64) error {
+	// The scaling sweep runs at a tenth of the figure4 scale: four kernels
+	// times the full worker sweep at each point.
+	sn := n / 10
+	if sn < 100000 {
+		sn = 100000
+	}
+	_, err := benchkit.RunScaling(sn, 10000, workers, seed, os.Stdout)
 	return err
 }

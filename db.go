@@ -145,8 +145,10 @@ func (c catalogView) Table(name string) (*storage.Relation, bool) {
 	return rel, ok
 }
 
-// compile parses, binds, and optimises a query.
-func (db *DB) compile(mode Mode, query string) (*core.Result, *sql.SelectStmt, error) {
+// compile parses, binds, and optimises a query. workers > 0 overrides the
+// degree of parallelism offered to the optimiser's enumeration (0 keeps the
+// mode's default).
+func (db *DB) compile(mode Mode, query string, workers int) (*core.Result, *sql.SelectStmt, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, nil, err
@@ -159,6 +161,9 @@ func (db *DB) compile(mode Mode, query string) (*core.Result, *sql.SelectStmt, e
 	if err != nil {
 		return nil, nil, err
 	}
+	if workers > 0 {
+		cm.DOP = workers
+	}
 	prov := av.Qualified{Cat: db.avs, Aliases: aliasMap(stmt)}
 	cm = cm.WithAVs(prov, prov).WithCracked(prov)
 
@@ -166,7 +171,10 @@ func (db *DB) compile(mode Mode, query string) (*core.Result, *sql.SelectStmt, e
 	useCache := db.cachePlans
 	db.mu.RUnlock()
 	if useCache {
-		key := mode.String() + "|" + stmt.String()
+		// The chosen plan depends on the DOP dimension, so the cache key
+		// must too: the same statement planned at different worker counts
+		// may pick different (serial vs parallel) granules.
+		key := fmt.Sprintf("%s|dop=%d|%s", mode, cm.DOP, stmt)
 		res, _, err := db.planCache.Optimize(key, node, cm)
 		return res, stmt, err
 	}
@@ -180,19 +188,37 @@ func (db *DB) Query(mode Mode, query string) (*Result, error) {
 	return db.QueryContext(context.Background(), mode, query)
 }
 
+// QueryOptions tunes optimisation and execution of one query.
+type QueryOptions struct {
+	// Workers bounds the query's worker pool AND the degree of parallelism
+	// the optimiser enumerates plans at; <= 0 selects GOMAXPROCS. Workers=1
+	// plans and executes fully serially.
+	Workers int
+	// MorselSize is the execution batch row count; <= 0 selects
+	// exec.DefaultMorselSize.
+	MorselSize int
+}
+
 // QueryContext optimises and executes a SQL query under the given mode,
 // through the morsel-driven execution layer. Cancelling ctx aborts the
 // query at the next morsel boundary and returns ctx's error; the returned
 // Result carries the per-operator execution profile (Result.Stats). A
 // LIMIT clause runs as an early-exit operator: upstream operators stop as
-// soon as the first N rows are produced. Cancellation is checked on entry
-// and throughout execution, but not inside the optimiser itself: a ctx
-// cancelled mid-optimisation takes effect before the first morsel runs.
+// soon as the first N rows are produced — under a parallel pipeline this
+// also cancels in-flight sibling morsel tasks. Cancellation is checked on
+// entry and throughout execution, but not inside the optimiser itself: a
+// ctx cancelled mid-optimisation takes effect before the first morsel runs.
 func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Result, error) {
+	return db.QueryContextOptions(ctx, mode, query, QueryOptions{})
+}
+
+// QueryContextOptions is QueryContext with explicit worker-pool and morsel
+// sizing.
+func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, opts QueryOptions) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, stmt, err := db.compile(mode, query)
+	res, stmt, err := db.compile(mode, query, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +229,7 @@ func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Resul
 	if stmt.Limit >= 0 {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
-	ec := exec.NewExecContext(ctx, 0, 0)
+	ec := exec.NewExecContext(ctx, opts.MorselSize, opts.Workers)
 	rel, err := exec.Run(ec, root)
 	if err != nil {
 		return nil, err
@@ -215,7 +241,7 @@ func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Resul
 // Explain returns the chosen physical plan for a query without executing
 // it: operators, estimated costs and cardinalities, and property vectors.
 func (db *DB) Explain(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query)
+	res, _, err := db.compile(mode, query, 0)
 	if err != nil {
 		return "", err
 	}
@@ -228,7 +254,7 @@ func (db *DB) Explain(mode Mode, query string) (string, error) {
 // ExplainDeep is Explain plus the granule tree (the paper's Figure 3 view)
 // of every chosen join and grouping implementation.
 func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query)
+	res, _, err := db.compile(mode, query, 0)
 	if err != nil {
 		return "", err
 	}
@@ -239,7 +265,7 @@ func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
 // step-by-step unnesting chain from each logical operator to the fully
 // resolved deep implementation, with the physicality measure at every step.
 func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query)
+	res, _, err := db.compile(mode, query, 0)
 	if err != nil {
 		return "", err
 	}

@@ -3,12 +3,16 @@ package dqo
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"dqo/internal/core"
+	"dqo/internal/cost"
 	"dqo/internal/exec"
+	"dqo/internal/physio"
+	"dqo/internal/sql"
 	"dqo/internal/storage"
 )
 
@@ -69,9 +73,10 @@ var corpusQueries = []string{
 
 // bulkQuery runs a query through the retained pre-morsel interpreter
 // (core.ExecuteBulk) with the facade's old LIMIT truncation semantics.
-func bulkQuery(t *testing.T, db *DB, mode Mode, query string) *storage.Relation {
+// workers is the DOP offered to the optimiser (1 = serial plans only).
+func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query)
+	res, stmt, err := db.compile(mode, query, workers)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}
@@ -86,10 +91,11 @@ func bulkQuery(t *testing.T, db *DB, mode Mode, query string) *storage.Relation 
 }
 
 // morselQuery runs the same query through the morsel executor at an
-// explicit morsel size.
-func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel int) *storage.Relation {
+// explicit morsel size and worker-pool size (the optimiser also plans at
+// that DOP, matching QueryContextOptions).
+func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query)
+	res, stmt, err := db.compile(mode, query, workers)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}
@@ -100,32 +106,213 @@ func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel int) *sto
 	if stmt.Limit >= 0 {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
-	ec := exec.NewExecContext(context.Background(), morsel, 0)
+	ec := exec.NewExecContext(context.Background(), morsel, workers)
 	rel, err := exec.Run(ec, root)
 	if err != nil {
-		t.Fatalf("%s/%s/morsel=%d: run: %v", mode, query, morsel, err)
+		t.Fatalf("%s/%s/morsel=%d/workers=%d: run: %v", mode, query, morsel, workers, err)
 	}
 	return applyAliases(rel, stmt)
+}
+
+// workerCounts is the DOP sweep used by the differentials: serial, two
+// workers, and every core.
+func workerCounts() []int {
+	out := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		out = append(out, n)
+	}
+	return out
 }
 
 // TestMorselDifferential checks that every corpus query returns an
 // identical relation through the old bulk interpreter and the morsel
 // executor, for every mode, across morsel sizes from degenerate (1 row) to
-// whole-relation.
+// whole-relation and worker counts from serial to every core. The serial
+// bulk interpreter is the single reference: parallelism must never change
+// a result, only its latency.
 func TestMorselDifferential(t *testing.T) {
 	db := corpusDB(t)
 	morselSizes := []int{1, 7, 1024, 1 << 30}
 	for _, query := range corpusQueries {
 		for _, mode := range declaredModes {
-			want := bulkQuery(t, db, mode, query)
-			for _, morsel := range morselSizes {
-				got := morselQuery(t, db, mode, query, morsel)
-				if !got.Equal(want) {
-					t.Errorf("%s / %q / morsel=%d: relations differ\nbulk:\n%s\nmorsel:\n%s",
-						mode, query, morsel, want, got)
+			want := bulkQuery(t, db, mode, query, 1)
+			for _, workers := range workerCounts() {
+				for _, morsel := range morselSizes {
+					got := morselQuery(t, db, mode, query, morsel, workers)
+					if !got.Equal(want) {
+						t.Errorf("%s / %q / morsel=%d / workers=%d: relations differ\nbulk:\n%s\nmorsel:\n%s",
+							mode, query, morsel, workers, want, got)
+					}
 				}
 			}
 		}
+	}
+}
+
+// forcedParallelMode returns a deep optimisation mode whose cost model makes
+// parallel variants strictly cheaper than serial ones (no fixed fork/merge
+// overhead), so even the tiny differential corpus plans parallel granules.
+func forcedParallelMode(dop int) core.Mode {
+	m := cost.NewCalibrated()
+	m.ParallelFixedNS = 0
+	return core.Mode{
+		Name: "forced-parallel", Depth: physio.Deep,
+		TrackDensity: true, TrackProbeOrder: true,
+		DOP: dop, Model: m,
+	}
+}
+
+// parallelNodes counts plan nodes carrying a parallel granule choice.
+func parallelNodes(p *core.Plan) int {
+	n := 0
+	if p.DOP > 1 {
+		n++
+	}
+	for _, c := range p.Children {
+		n += parallelNodes(c)
+	}
+	return n
+}
+
+// TestParallelPlanDifferential forces parallel plans over the full corpus
+// and checks byte-identical results against the serial reference at every
+// (workers, morsel) combination — the acceptance criterion that makes DOP a
+// pure cost dimension. The corpus is tiny, so the calibrated model would
+// never naturally parallelise it; the forced mode removes the fixed
+// overhead so parallel granules win wherever they are enumerated.
+func TestParallelPlanDifferential(t *testing.T) {
+	db := corpusDB(t)
+	sawParallel := 0
+	for _, query := range corpusQueries {
+		stmt, err := sql.Parse(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := sql.Bind(stmt, catalogView{db})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := core.Optimize(node, forcedParallelMode(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ExecuteBulk(serial.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stmt.Limit >= 0 && want.NumRows() > stmt.Limit {
+			want = want.Slice(0, stmt.Limit)
+		}
+		for _, workers := range []int{2, runtime.NumCPU()} {
+			res, err := core.Optimize(node, forcedParallelMode(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sawParallel += parallelNodes(res.Best)
+			for _, morsel := range []int{1, 7, 1024} {
+				root, err := core.Compile(res.Best)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stmt.Limit >= 0 {
+					root = exec.NewLimit(root, stmt.Limit)
+				}
+				ec := exec.NewExecContext(context.Background(), morsel, workers)
+				got, err := exec.Run(ec, root)
+				if err != nil {
+					t.Fatalf("%q workers=%d morsel=%d: %v", query, workers, morsel, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("%q workers=%d morsel=%d: parallel plan diverges from serial\nserial:\n%s\nparallel:\n%s",
+						query, workers, morsel, want, got)
+				}
+			}
+		}
+	}
+	if sawParallel == 0 {
+		t.Fatal("forced-parallel mode never produced a parallel plan node; differential is vacuous")
+	}
+}
+
+// bigSeqDB registers a table large enough that the calibrated model picks a
+// parallel filter pipe through the public facade.
+func bigSeqDB(t testing.TB, n int) *DB {
+	t.Helper()
+	ids := make([]uint32, n)
+	vals := make([]int64, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+		vals[i] = int64(i % 97)
+	}
+	db := Open()
+	tab := NewTableBuilder("big").Uint32("id", ids).Int64("v", vals).MustBuild()
+	if err := db.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestLimitUnderParallelPipeline is the LIMIT regression through the full
+// query path: an early-exit LIMIT over a parallel filter pipe must return
+// the exact order-preserved prefix the serial plan returns, at degenerate
+// and regular morsel sizes, and must cancel the in-flight sibling morsels
+// rather than scanning the table to the end.
+func TestLimitUnderParallelPipeline(t *testing.T) {
+	const n = 200_000
+	db := bigSeqDB(t, n)
+	query := "SELECT id FROM big WHERE v >= 0 LIMIT 10"
+	for _, morsel := range []int{1, 7, 1024} {
+		for _, workers := range []int{2, 8} {
+			res, err := db.QueryContextOptions(context.Background(), ModeDQOCalibrated, query,
+				QueryOptions{Workers: workers, MorselSize: morsel})
+			if err != nil {
+				t.Fatalf("morsel=%d workers=%d: %v", morsel, workers, err)
+			}
+			ids, err := res.Uint32Column("big.id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 10 {
+				t.Fatalf("morsel=%d workers=%d: %d rows, want 10", morsel, workers, len(ids))
+			}
+			for i, id := range ids {
+				if id != uint32(i) {
+					t.Fatalf("morsel=%d workers=%d: row %d = id %d; prefix not order-preserved", morsel, workers, i, id)
+				}
+			}
+			// Early exit: the scan must have stopped within the pipe's
+			// claim window of the limit, nowhere near all n rows.
+			for _, s := range res.Stats() {
+				if strings.HasPrefix(s.Label, "Scan") && s.RowsOut > int64(n/2) {
+					t.Fatalf("morsel=%d workers=%d: scanned %d of %d rows after LIMIT 10:\n%s",
+						morsel, workers, s.RowsOut, n, res.StatsString())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelQueryCancellation cancels a parallel query mid-flight and
+// checks the workers unwind without leaking goroutines.
+func TestParallelQueryCancellation(t *testing.T) {
+	db := bigSeqDB(t, 500_000)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
+		_, err := db.QueryContextOptions(ctx, ModeDQOCalibrated,
+			"SELECT v, COUNT(*) FROM big WHERE v >= 1 GROUP BY v",
+			QueryOptions{Workers: 8, MorselSize: 512})
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("run %d: got %v, want nil or deadline/cancel", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked under parallel cancellation: %d -> %d", before, g)
 	}
 }
 

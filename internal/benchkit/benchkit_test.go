@@ -236,3 +236,28 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("CSV wrong:\n%s", got)
 	}
 }
+
+func TestRunScaling(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunScaling(100000, 1000, 4, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*3 { // 4 queries x workers {1, 2, 4}
+		t.Fatalf("scaling: %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Millis < 0 || r.Speedup <= 0 {
+			t.Fatalf("scaling: bad row %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Fatalf("scaling: serial baseline speedup %v, want 1.0", r.Speedup)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"speedup", "group-by", "join", "sort", "filter pipe"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scaling output missing %q", want)
+		}
+	}
+}

@@ -105,7 +105,11 @@ func executeAdaptive(p *Plan, mode Mode, rep *AdaptiveReport) (*storage.Relation
 	actualDom := actual.Domain(p.GroupKey)
 
 	// Re-decide: cheapest applicable choice under the actual properties.
-	choices := physio.GroupChoices(p.GroupKey, mode.Depth)
+	dop := 1
+	if mode.Depth == physio.Deep && mode.DOP > 1 {
+		dop = mode.DOP
+	}
+	choices := physio.GroupChoices(p.GroupKey, mode.Depth, dop)
 	if mode.GroupFilter != nil {
 		if filtered := mode.GroupFilter(p.GroupKey, choices); len(filtered) > 0 {
 			choices = filtered

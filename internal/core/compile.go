@@ -28,11 +28,21 @@ type ExecOptions struct {
 
 // Compile lowers an optimised plan to its operator tree. The tree is
 // single-use: compile a fresh one per execution.
+//
+// Streaming segments the optimiser marked parallel (Plan.DOP > 1 on a
+// filter/project chain over a scan) lower to an exec.Pipe that fans morsels
+// across the worker pool; everything else lowers to the serial operators, so
+// DOP = 1 plans execute exactly as before the parallel dimension existed.
 func Compile(p *Plan) (exec.Operator, error) {
 	switch p.Op {
 	case OpScan:
 		return exec.NewScan(p.Label(), p.Rel), nil
 	case OpFilter:
+		if p.DOP > 1 {
+			if op, ok := compilePipe(p); ok {
+				return op, nil
+			}
+		}
 		if p.Crack != nil {
 			// The cracked index answers the filter with base-table row
 			// positions, so it subsumes the scan below it.
@@ -51,6 +61,11 @@ func Compile(p *Plan) (exec.Operator, error) {
 		}
 		return exec.NewFilter(p.Label(), child, p.Pred), nil
 	case OpProject:
+		if p.DOP > 1 {
+			if op, ok := compilePipe(p); ok {
+				return op, nil
+			}
+		}
 		child, err := Compile(p.Children[0])
 		if err != nil {
 			return nil, err
@@ -61,19 +76,30 @@ func Compile(p *Plan) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		key, kind := p.SortKey, p.SortKind
-		return exec.NewBreaker1(p.Label(), child, func(in *storage.Relation) (*storage.Relation, error) {
+		key, kind, dop := p.SortKey, p.SortKind, p.DOP
+		b := exec.NewBreaker1(p.Label(), child, func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+			if dop > 1 {
+				return physical.SortRelPar(in, key, kind, ec.EffectiveDOP(dop))
+			}
 			return physical.SortRel(in, key, kind)
-		}), nil
+		})
+		b.SetDOP(dop)
+		return b, nil
 	case OpGroup:
 		child, err := Compile(p.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		key, aggs, kind, opt, dom := p.GroupKey, p.Aggs, p.Group.Kind, p.Group.Opt, p.KeyDom
-		return exec.NewBreaker1(p.Label(), child, func(in *storage.Relation) (*storage.Relation, error) {
-			return physical.GroupByRelDom(in, key, aggs, kind, opt, dom)
-		}), nil
+		b := exec.NewBreaker1(p.Label(), child, func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+			o := opt
+			if o.Parallel > 1 {
+				o.Parallel = ec.EffectiveDOP(o.Parallel)
+			}
+			return physical.GroupByRelDom(in, key, aggs, kind, o, dom)
+		})
+		b.SetDOP(opt.Parallel)
+		return b, nil
 	case OpJoin:
 		left, err := Compile(p.Children[0])
 		if err != nil {
@@ -84,25 +110,69 @@ func Compile(p *Plan) (exec.Operator, error) {
 			return nil, err
 		}
 		node := p
-		var kernel func(l, r *storage.Relation) (*storage.Relation, error)
+		clamp := func(ec *exec.ExecContext) physical.JoinOptions {
+			o := node.Join.Opt
+			if o.Parallel > 1 {
+				o.Parallel = ec.EffectiveDOP(o.Parallel)
+			}
+			return o
+		}
+		var kernel func(ec *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error)
 		switch {
 		case p.Index != nil:
-			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
+			kernel = func(_ *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
 				return executeIndexJoin(node, l, r)
 			}
 		case p.Swapped:
-			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
-				return physical.JoinRelDomSwapped(l, r, node.LeftKey, node.RightKey, node.Join.Kind, node.Join.Opt, node.KeyDom)
+			kernel = func(ec *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
+				return physical.JoinRelDomSwapped(l, r, node.LeftKey, node.RightKey, node.Join.Kind, clamp(ec), node.KeyDom)
 			}
 		default:
-			kernel = func(l, r *storage.Relation) (*storage.Relation, error) {
-				return physical.JoinRelDom(l, r, node.LeftKey, node.RightKey, node.Join.Kind, node.Join.Opt, node.KeyDom)
+			kernel = func(ec *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
+				return physical.JoinRelDom(l, r, node.LeftKey, node.RightKey, node.Join.Kind, clamp(ec), node.KeyDom)
 			}
 		}
-		return exec.NewBreaker2(p.Label(), left, right, kernel), nil
+		b := exec.NewBreaker2(p.Label(), left, right, kernel)
+		b.SetDOP(p.Join.Opt.Parallel)
+		return b, nil
 	default:
 		return nil, fmt.Errorf("core: cannot compile operator %v", p.Op)
 	}
+}
+
+// compilePipe lowers a parallel streaming segment — a filter/project chain
+// the optimiser marked with DOP > 1, bottoming out at a plain scan — onto
+// the morsel-parallel pipe driver. Stages run per morsel on the worker pool
+// and the pipe re-emits batches in input order, so the result is identical
+// to the serial chain. Returns false if the chain has an unexpected shape
+// (e.g. a cracked filter); the caller then falls back to serial lowering.
+func compilePipe(p *Plan) (exec.Operator, bool) {
+	var chain []*Plan
+	n := p
+	for (n.Op == OpFilter && n.Crack == nil) || n.Op == OpProject {
+		chain = append(chain, n)
+		n = n.Children[0]
+	}
+	if n.Op != OpScan || len(chain) == 0 {
+		return nil, false
+	}
+	pipe := exec.NewPipe(n.Label(), n.Rel, p.DOP)
+	for i := len(chain) - 1; i >= 0; i-- {
+		st := chain[i]
+		switch st.Op {
+		case OpFilter:
+			pred := st.Pred
+			pipe.AddStage(st.Label(), func(in *storage.Relation) (*storage.Relation, error) {
+				return physical.FilterRel(in, pred)
+			})
+		case OpProject:
+			cols := st.Cols
+			pipe.AddStage(st.Label(), func(in *storage.Relation) (*storage.Relation, error) {
+				return physical.ProjectRel(in, cols...)
+			})
+		}
+	}
+	return pipe, true
 }
 
 // ExecuteContext compiles p and runs it through the morsel executor under

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"runtime"
+
 	"dqo/internal/cost"
 	"dqo/internal/physio"
 )
@@ -23,6 +25,12 @@ type Mode struct {
 	// data sortedness as in traditional dynamic programming, DQO also
 	// considers ... the density of the grouping keys."
 	TrackDensity bool
+	// DOP is the degree of parallelism offered to the enumeration: deep
+	// modes with DOP > 1 also enumerate parallel variants of the
+	// DOP-invariant kernels, priced by the model's Parallel term, so
+	// serial-vs-parallel is decided per granule rather than globally.
+	// DOP <= 1 enumerates serial plans only.
+	DOP int
 	// TrackProbeOrder lets the optimiser know that probe-major joins
 	// (HJ/SPHJ/BSJ) emit pairs in probe order, so a sorted probe input
 	// yields sorted output. Classical shallow optimisation assumes hash
@@ -63,13 +71,18 @@ func SQO() Mode {
 }
 
 // DQO returns the deep configuration with the paper's Table 2 cost model.
+// The Table 2 model is blind to parallelism (Parallel returns its input), so
+// parallel variants tie with their serial twins and ties resolve serial —
+// DQO's plans are unchanged by the DOP dimension.
 func DQO() Mode {
-	return Mode{Name: "dqo", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true, Model: cost.Paper{}}
+	return Mode{Name: "dqo", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true,
+		DOP: runtime.GOMAXPROCS(0), Model: cost.Paper{}}
 }
 
 // DQOCalibrated returns the deep configuration with the molecule-aware
 // calibrated cost model — the setting in which deep enumeration can pay off
-// below the algorithm-family level.
+// below the algorithm-family level, including the serial-vs-parallel choice.
 func DQOCalibrated() Mode {
-	return Mode{Name: "dqo-calibrated", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true, Model: cost.NewCalibrated()}
+	return Mode{Name: "dqo-calibrated", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true,
+		DOP: runtime.GOMAXPROCS(0), Model: cost.NewCalibrated()}
 }

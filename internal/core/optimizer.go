@@ -146,6 +146,32 @@ func (o *optimizer) sortKinds() []sortx.Kind {
 	return []sortx.Kind{sortx.Radix}
 }
 
+// dop returns the degree of parallelism offered to deep enumeration; shallow
+// modes and modes with DOP <= 1 enumerate serial plans only.
+func (o *optimizer) dop() int {
+	if o.mode.Depth != physio.Deep || o.mode.DOP <= 1 {
+		return 1
+	}
+	return o.mode.DOP
+}
+
+// isStreamSegment reports whether p is a scan→filter→project chain a
+// parallel pipe can be fanned over: every stage is morsel-decomposable and
+// the source is a plain (or AV-variant) table scan. Cracked filters are
+// excluded — the adaptive index replaces the scan with position lists.
+func isStreamSegment(p *Plan) bool {
+	for {
+		switch {
+		case p.Op == OpScan:
+			return true
+		case p.Op == OpFilter && p.Crack == nil, p.Op == OpProject:
+			p = p.Children[0]
+		default:
+			return false
+		}
+	}
+}
+
 func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 	switch n := n.(type) {
 	case *logical.Scan:
@@ -194,6 +220,19 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 			}
 			o.stats.Alternatives++
 			out = append(out, p)
+			// Parallel variant: fan the streaming segment below across a
+			// morsel pipe. The pipe re-emits morsels in input order, so the
+			// properties are identical to the serial filter — parallelism is
+			// purely a cost trade the model prices with its Parallel term.
+			if dop := o.dop(); dop > 1 && isStreamSegment(c) {
+				o.stats.Alternatives++
+				out = append(out, &Plan{
+					Op: OpFilter, Children: []*Plan{c}, Pred: n.Pred, DOP: dop,
+					Props: c.Props,
+					Rows:  rows,
+					Cost:  c.Cost + o.mode.Model.Parallel(o.mode.Model.Filter(c.Rows), dop),
+				})
+			}
 		}
 		// Adaptive-index AV: a range filter directly over a base scan can be
 		// answered by the cracked index, touching only qualifying pieces.
@@ -231,8 +270,15 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 		}
 		var out []*Plan
 		for _, c := range children {
+			dop := 0
+			if c.Op == OpFilter || c.Op == OpProject {
+				// Projection is zero-cost; it inherits the child's pipe
+				// membership so a project above a parallel filter stays
+				// inside the same morsel pipe.
+				dop = c.DOP
+			}
 			p := &Plan{
-				Op: OpProject, Children: []*Plan{c}, Cols: n.Cols,
+				Op: OpProject, Children: []*Plan{c}, Cols: n.Cols, DOP: dop,
 				Props: c.Props.Project(n.Cols...),
 				Rows:  c.Rows,
 				Cost:  c.Cost,
@@ -260,7 +306,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 				continue
 			}
 			for _, sk := range o.sortKinds() {
-				out = append(out, o.sortPlan(c, n.Key, sk, false))
+				out = append(out, o.sortVariants(c, n.Key, sk, false)...)
 			}
 		}
 		return o.keepPareto(out), nil
@@ -303,6 +349,24 @@ func (o *optimizer) sortPlan(child *Plan, key string, sk sortx.Kind, enforcer bo
 	}
 }
 
+// sortVariants enumerates the serial sort plus, at deep DOP > 1, its
+// parallel twin (per-worker sorted runs + k-way merge — identical output, so
+// identical properties; only the cost differs).
+func (o *optimizer) sortVariants(child *Plan, key string, sk sortx.Kind, enforcer bool) []*Plan {
+	out := []*Plan{o.sortPlan(child, key, sk, enforcer)}
+	if dop := o.dop(); dop > 1 {
+		o.stats.Alternatives++
+		out = append(out, &Plan{
+			Op: OpSort, Children: []*Plan{child},
+			SortKey: key, SortKind: sk, Enforcer: enforcer, DOP: dop,
+			Props: child.Props.AfterSortBy(key),
+			Rows:  child.Rows,
+			Cost:  child.Cost + o.mode.Model.Parallel(o.mode.Model.SortBy(child.Rows, sk), dop),
+		})
+	}
+	return out
+}
+
 // withEnforcers returns the candidate input plans for an operator that
 // might want its input sorted by key: the originals plus, for each plan not
 // already sorted on key, sort-enforced variants.
@@ -313,7 +377,7 @@ func (o *optimizer) withEnforcers(plans []*Plan, key string) []*Plan {
 			continue
 		}
 		for _, sk := range o.sortKinds() {
-			out = append(out, o.sortPlan(p, key, sk, true))
+			out = append(out, o.sortVariants(p, key, sk, true)...)
 		}
 	}
 	return o.keepPareto(out)
@@ -334,11 +398,11 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 	rows := logical.Estimate(n)
 	keyDistinct := logical.ColDistinct(n.Left, n.LeftKey)
 	rightDistinct := logical.ColDistinct(n.Right, n.RightKey)
-	choices := physio.JoinChoices(n.LeftKey, n.RightKey, o.mode.Depth)
+	choices := physio.JoinChoices(n.LeftKey, n.RightKey, o.mode.Depth, o.dop())
 	// Join commutativity: the same algorithm families with build and probe
 	// roles exchanged. Requirements and costs are evaluated with the right
 	// input as the build side; the output schema is unchanged.
-	swapChoices := physio.JoinChoices(n.RightKey, n.LeftKey, o.mode.Depth)
+	swapChoices := physio.JoinChoices(n.RightKey, n.LeftKey, o.mode.Depth, o.dop())
 
 	var out []*Plan
 	for _, lp := range lefts {
@@ -353,6 +417,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 				p := &Plan{
 					Op: OpJoin, Children: []*Plan{lp, rp},
 					Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey,
+					DOP:    ch.Opt.Parallel,
 					KeyDom: lp.Props.Domain(n.LeftKey),
 					Props:  o.restrict(outProps),
 					Rows:   rows,
@@ -370,6 +435,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 				p := &Plan{
 					Op: OpJoin, Children: []*Plan{lp, rp},
 					Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey, Swapped: true,
+					DOP:    ch.Opt.Parallel,
 					KeyDom: rp.Props.Domain(n.RightKey),
 					Props:  o.restrict(outProps),
 					Rows:   rows,
@@ -431,7 +497,7 @@ func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
 
 	groups := logical.ColDistinct(n.Input, n.Key)
 	rows := logical.Estimate(n)
-	choices := physio.GroupChoices(n.Key, o.mode.Depth)
+	choices := physio.GroupChoices(n.Key, o.mode.Depth, o.dop())
 	if o.mode.GroupFilter != nil {
 		if filtered := o.mode.GroupFilter(n.Key, choices); len(filtered) > 0 {
 			choices = filtered
@@ -450,6 +516,7 @@ func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
 			p := &Plan{
 				Op: OpGroup, Children: []*Plan{c},
 				Group: ch, GroupKey: n.Key, Aggs: n.Aggs,
+				DOP:    ch.Opt.Parallel,
 				KeyDom: c.Props.Domain(n.Key),
 				Props:  o.restrict(outProps),
 				Rows:   rows,

@@ -81,6 +81,12 @@ type Plan struct {
 	Crack            RangeIndex
 	CrackLo, CrackHi uint64
 
+	// DOP is this operator's chosen degree of parallelism (0 or 1 =
+	// serial). For joins/groups/sorts it mirrors the chosen kernel's
+	// Parallel molecule; for filters/projects it marks membership in a
+	// parallel streaming pipe segment.
+	DOP int
+
 	// Derived bookkeeping.
 	Props props.Set // output property vector
 	Rows  float64   // estimated output cardinality

@@ -36,6 +36,12 @@ type Model interface {
 	// Join returns the cost of joining build rows (with keyDistinct distinct
 	// keys) against probe rows.
 	Join(c physio.JoinChoice, build, probe, keyDistinct float64) float64
+	// Parallel returns the cost of running work costing c serially across
+	// dop workers, including fork/merge overhead. Models that cannot see
+	// parallelism (Paper) return c unchanged, which makes parallel variants
+	// tie with serial ones — and ties resolve to the first-enumerated
+	// (serial) variant, preserving those models' plans exactly.
+	Parallel(c float64, dop int) float64
 }
 
 func log2(x float64) float64 {
@@ -64,6 +70,11 @@ func (Paper) Name() string { return "paper" }
 
 // Scan implements Model.
 func (Paper) Scan(rows float64) float64 { return 0 }
+
+// Parallel implements Model. The paper's Table 2 model counts abstract
+// element operations and is blind to multicore, so work costs the same at
+// any degree of parallelism.
+func (Paper) Parallel(c float64, dop int) float64 { return c }
 
 // Filter implements Model.
 func (Paper) Filter(rows float64) float64 { return rows }
@@ -176,6 +187,16 @@ func (*Calibrated) Name() string { return "calibrated" }
 // Scan implements Model.
 func (*Calibrated) Scan(rows float64) float64 { return 0.25 * rows }
 
+// Parallel implements Model: Amdahl-style speedup with an efficiency factor
+// plus a fixed fork/merge overhead, the same term SPHG's parallel load has
+// always used. dop <= 1 is serial and free of overhead.
+func (m *Calibrated) Parallel(c float64, dop int) float64 {
+	if dop <= 1 {
+		return c
+	}
+	return c/(float64(dop)*m.ParallelEff) + m.ParallelFixedNS
+}
+
 // Filter implements Model.
 func (*Calibrated) Filter(rows float64) float64 { return 1.5 * rows }
 
@@ -210,6 +231,11 @@ func (m *Calibrated) Group(c physio.GroupChoice, rows, groups float64) float64 {
 	switch c.Kind {
 	case physical.HG:
 		perRow := m.SchemeNS[c.Opt.Scheme] + m.HashNS[c.Opt.Hash] + m.cachePenalty(groups)
+		if p := c.Opt.Parallel; p > 1 {
+			// Parallel partial tables, merged sequentially: one AddState per
+			// group per partial table.
+			return m.Parallel(perRow*rows, p) + perRow*groups*float64(p)
+		}
 		return perRow * rows
 	case physical.SPHG:
 		base := m.SPHRowNS * rows
@@ -220,7 +246,8 @@ func (m *Calibrated) Group(c physio.GroupChoice, rows, groups float64) float64 {
 	case physical.OG:
 		return m.OGRowNS * rows
 	case physical.SOG:
-		return m.sortCost(rows, c.Opt.Sort) + m.OGRowNS*rows
+		// Parallel sort runs + merges; the OG pass stays serial.
+		return m.Parallel(m.sortCost(rows, c.Opt.Sort), c.Opt.Parallel) + m.OGRowNS*rows
 	case physical.BSG:
 		return (m.BSRowLogNS*log2(groups) + 2) * rows
 	default:
@@ -234,13 +261,18 @@ func (m *Calibrated) Join(c physio.JoinChoice, build, probe, keyDistinct float64
 	switch c.Kind {
 	case physical.HJ:
 		perRow := m.SchemeNS[hashtable.Chained] + m.HashNS[c.Opt.Hash] + m.cachePenalty(keyDistinct)
-		return perRow*(build+probe) + emit
+		// Radix-partitioned build and chunked probe both parallelise.
+		return m.Parallel(perRow*(build+probe), c.Opt.Parallel) + emit
 	case physical.SPHJ:
-		return m.SPHRowNS*(build+probe) + emit
+		// Build stays serial (chain order is the output contract); only the
+		// probe side fans out.
+		return m.SPHRowNS*build + m.Parallel(m.SPHRowNS*probe, c.Opt.Parallel) + emit
 	case physical.OJ:
 		return m.OGRowNS*(build+probe) + emit
 	case physical.SOJ:
-		return m.sortCost(build, c.Opt.Sort) + m.sortCost(probe, c.Opt.Sort) + m.OGRowNS*(build+probe) + emit
+		// Both argsorts parallelise; the merge pass stays serial.
+		return m.Parallel(m.sortCost(build, c.Opt.Sort)+m.sortCost(probe, c.Opt.Sort), c.Opt.Parallel) +
+			m.OGRowNS*(build+probe) + emit
 	case physical.BSJ:
 		return m.sortCost(build, c.Opt.Sort) + (m.BSRowLogNS*log2(keyDistinct)+2)*probe + emit
 	default:

@@ -25,6 +25,8 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dqo/internal/storage"
@@ -79,15 +81,30 @@ func (ec *ExecContext) Context() context.Context { return ec.ctx }
 // Err returns the context's cancellation error, if any.
 func (ec *ExecContext) Err() error { return ec.ctx.Err() }
 
+// EffectiveDOP clamps a plan's chosen degree of parallelism to the
+// context's worker-pool size; the result is always >= 1.
+func (ec *ExecContext) EffectiveDOP(planned int) int {
+	if planned < 1 {
+		planned = 1
+	}
+	if w := ec.Pool.Workers(); planned > w {
+		planned = w
+	}
+	return planned
+}
+
 // OpStats are the per-operator execution counters. Wall time is inclusive
 // of children (operators pull synchronously); the profile derives self time
-// by subtraction.
+// by subtraction. All counters are updated with atomic adds — parallel
+// pipelines have several workers feeding one operator's stats — but the
+// fields stay plain int64 so a profile snapshot is an ordinary struct copy.
 type OpStats struct {
 	RowsIn    int64         // rows pulled from inputs
 	RowsOut   int64         // rows emitted
 	Batches   int64         // batches emitted
 	Wall      time.Duration // time spent in Next, inclusive of children
 	PeakBytes int64         // high-water estimate of bytes held (batches + materialised state)
+	DOP       int64         // effective degree of parallelism (0 = serial operator)
 }
 
 // base supplies the label/stats boilerplate shared by all operators.
@@ -103,15 +120,38 @@ func (b *base) Stats() *OpStats { return &b.stats }
 // returned func on exit (defer).
 func (b *base) timed() func() {
 	start := time.Now()
-	return func() { b.stats.Wall += time.Since(start) }
+	return func() { atomic.AddInt64((*int64)(&b.stats.Wall), int64(time.Since(start))) }
+}
+
+// addRowsIn credits rows pulled from an input.
+func (b *base) addRowsIn(n int64) { atomic.AddInt64(&b.stats.RowsIn, n) }
+
+// peak raises the high-water byte estimate to at least n.
+func (b *base) peak(n int64) {
+	for {
+		old := atomic.LoadInt64(&b.stats.PeakBytes)
+		if n <= old || atomic.CompareAndSwapInt64(&b.stats.PeakBytes, old, n) {
+			return
+		}
+	}
 }
 
 // emitted records an outgoing batch.
 func (b *base) emitted(batch *storage.Relation) {
-	b.stats.Batches++
-	b.stats.RowsOut += int64(batch.NumRows())
-	if n := batch.MemBytes(); n > b.stats.PeakBytes {
-		b.stats.PeakBytes = n
+	atomic.AddInt64(&b.stats.Batches, 1)
+	atomic.AddInt64(&b.stats.RowsOut, int64(batch.NumRows()))
+	b.peak(batch.MemBytes())
+}
+
+// snapshot returns an atomically loaded copy of the counters.
+func (s *OpStats) snapshot() OpStats {
+	return OpStats{
+		RowsIn:    atomic.LoadInt64(&s.RowsIn),
+		RowsOut:   atomic.LoadInt64(&s.RowsOut),
+		Batches:   atomic.LoadInt64(&s.Batches),
+		Wall:      time.Duration(atomic.LoadInt64((*int64)(&s.Wall))),
+		PeakBytes: atomic.LoadInt64(&s.PeakBytes),
+		DOP:       atomic.LoadInt64(&s.DOP),
 	}
 }
 
@@ -123,7 +163,8 @@ func Run(ec *ExecContext, root Operator) (*storage.Relation, error) {
 		root.Close(ec)
 		return nil, err
 	}
-	var parts []*storage.Relation
+	parts := getParts()
+	defer func() { putParts(parts) }() // closure: parts may be regrown by append
 	for {
 		batch, err := root.Next(ec)
 		if err != nil {
@@ -143,6 +184,24 @@ func Run(ec *ExecContext, root Operator) (*storage.Relation, error) {
 	return storage.Concat(parts)
 }
 
+// partsPool recycles the batch-accumulator slices of Run and drain; only the
+// slice headers are pooled (entries are nilled on release), never the
+// relations they point to.
+var partsPool = sync.Pool{
+	New: func() any { return make([]*storage.Relation, 0, 64) },
+}
+
+func getParts() []*storage.Relation {
+	return partsPool.Get().([]*storage.Relation)[:0]
+}
+
+func putParts(p []*storage.Relation) {
+	for i := range p {
+		p[i] = nil
+	}
+	partsPool.Put(p[:0]) //nolint:staticcheck // slice header allocation is amortised
+}
+
 // OpStat is one row of an execution profile: an operator's counters plus
 // its position in the plan tree.
 type OpStat struct {
@@ -154,6 +213,7 @@ type OpStat struct {
 	Wall      time.Duration
 	Self      time.Duration // Wall minus children's Wall
 	PeakBytes int64
+	DOP       int64 // effective degree of parallelism (1 = serial)
 }
 
 // Profile is the per-operator execution profile of one query, in pre-order
@@ -166,18 +226,22 @@ func CollectProfile(root Operator) Profile {
 	var out Profile
 	var rec func(op Operator, depth int)
 	rec = func(op Operator, depth int) {
-		st := *op.Stats()
+		st := op.Stats().snapshot()
 		self := st.Wall
 		for _, c := range op.Children() {
-			self -= c.Stats().Wall
+			self -= time.Duration(atomic.LoadInt64((*int64)(&c.Stats().Wall)))
 		}
 		if self < 0 {
 			self = 0
 		}
+		dop := st.DOP
+		if dop < 1 {
+			dop = 1
+		}
 		out = append(out, OpStat{
 			Label: op.Label(), Depth: depth,
 			RowsIn: st.RowsIn, RowsOut: st.RowsOut, Batches: st.Batches,
-			Wall: st.Wall, Self: self, PeakBytes: st.PeakBytes,
+			Wall: st.Wall, Self: self, PeakBytes: st.PeakBytes, DOP: dop,
 		})
 		for _, c := range op.Children() {
 			rec(c, depth+1)
@@ -190,12 +254,16 @@ func CollectProfile(root Operator) Profile {
 // String renders the profile as an aligned table.
 func (p Profile) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-42s %10s %10s %8s %12s %12s %10s\n",
-		"operator", "rows_in", "rows_out", "batches", "wall", "self", "peak")
+	fmt.Fprintf(&b, "%-42s %10s %10s %8s %5s %12s %12s %10s\n",
+		"operator", "rows_in", "rows_out", "batches", "dop", "wall", "self", "peak")
 	for _, s := range p {
 		label := strings.Repeat("  ", s.Depth) + s.Label
-		fmt.Fprintf(&b, "%-42s %10d %10d %8d %12s %12s %10s\n",
-			label, s.RowsIn, s.RowsOut, s.Batches,
+		dop := s.DOP
+		if dop < 1 {
+			dop = 1
+		}
+		fmt.Fprintf(&b, "%-42s %10d %10d %8d %5d %12s %12s %10s\n",
+			label, s.RowsIn, s.RowsOut, s.Batches, dop,
 			s.Wall.Round(time.Microsecond), s.Self.Round(time.Microsecond),
 			fmtBytes(s.PeakBytes))
 	}

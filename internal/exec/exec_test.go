@@ -118,7 +118,7 @@ func TestLimitZero(t *testing.T) {
 func TestBreaker1KernelRunsOnce(t *testing.T) {
 	rel := testRel(t, 25)
 	calls := 0
-	rev := NewBreaker1("reverse", NewScan("scan", rel), func(in *storage.Relation) (*storage.Relation, error) {
+	rev := NewBreaker1("reverse", NewScan("scan", rel), func(_ *ExecContext, in *storage.Relation) (*storage.Relation, error) {
 		calls++
 		idx := make([]int32, in.NumRows())
 		for i := range idx {
@@ -143,7 +143,7 @@ func TestBreaker2ConcurrentDrain(t *testing.T) {
 	left := testRel(t, 40)
 	right := testRel(t, 60)
 	join := NewBreaker2("cross-count", NewScan("l", left), NewScan("r", right),
-		func(l, r *storage.Relation) (*storage.Relation, error) {
+		func(_ *ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
 			n := int64(l.NumRows()) * int64(r.NumRows())
 			return storage.NewRelation("out", storage.NewInt64("n", []int64{n}))
 		})
@@ -177,7 +177,7 @@ func TestCancellationUnwindsWithoutLeaks(t *testing.T) {
 	join := NewBreaker2("join",
 		&blocking{base: base{label: "block-l"}},
 		&blocking{base: base{label: "block-r"}},
-		func(l, r *storage.Relation) (*storage.Relation, error) {
+		func(_ *ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
 			t.Error("kernel ran despite cancellation")
 			return l, nil
 		})

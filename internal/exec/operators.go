@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"dqo/internal/expr"
 	"dqo/internal/physical"
 	"dqo/internal/storage"
@@ -87,7 +89,7 @@ func (f *Filter) Next(ec *ExecContext) (*storage.Relation, error) {
 	if err != nil || in == nil {
 		return nil, err
 	}
-	f.stats.RowsIn += int64(in.NumRows())
+	f.addRowsIn(int64(in.NumRows()))
 	// FilterRel is morsel-decomposable (see its contract in
 	// internal/physical), so the bulk kernel applies per batch unchanged.
 	batch, err := physical.FilterRel(in, f.pred)
@@ -132,7 +134,7 @@ func (p *Project) Next(ec *ExecContext) (*storage.Relation, error) {
 	if err != nil || in == nil {
 		return nil, err
 	}
-	p.stats.RowsIn += int64(in.NumRows())
+	p.addRowsIn(int64(in.NumRows()))
 	batch, err := physical.ProjectRel(in, p.cols...)
 	if err != nil {
 		return nil, err
@@ -152,13 +154,17 @@ func (p *Project) Children() []Operator { return []Operator{p.child} }
 
 // Limit emits at most n rows and then stops pulling its input entirely —
 // LIMIT queries do only the work needed to produce the first n rows of
-// whatever order the plan below yields.
+// whatever order the plan below yields. As soon as the cap is reached, the
+// child is closed early, which cancels any in-flight sibling morsel tasks a
+// parallel pipeline below may still be running (all Close implementations
+// are idempotent, so the final tree Close is a no-op for the child).
 type Limit struct {
 	base
-	child Operator
-	n     int
-	seen  int
-	done  bool
+	child  Operator
+	n      int
+	seen   int
+	done   bool
+	closed bool
 }
 
 // NewLimit returns a limit of child to n rows.
@@ -167,7 +173,20 @@ func NewLimit(child Operator, n int) *Limit {
 }
 
 // Open implements Operator.
-func (l *Limit) Open(ec *ExecContext) error { l.seen, l.done = 0, false; return l.child.Open(ec) }
+func (l *Limit) Open(ec *ExecContext) error {
+	l.seen, l.done, l.closed = 0, false, false
+	return l.child.Open(ec)
+}
+
+// finish closes the child early, once.
+func (l *Limit) finish(ec *ExecContext) error {
+	l.done = true
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.child.Close(ec)
+}
 
 // Next implements Operator.
 func (l *Limit) Next(ec *ExecContext) (*storage.Relation, error) {
@@ -183,23 +202,33 @@ func (l *Limit) Next(ec *ExecContext) (*storage.Relation, error) {
 		return nil, err
 	}
 	if in == nil {
-		l.done = true
+		if err := l.finish(ec); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
-	l.stats.RowsIn += int64(in.NumRows())
+	l.addRowsIn(int64(in.NumRows()))
 	if remaining := l.n - l.seen; in.NumRows() > remaining {
 		in = in.Slice(0, remaining)
 	}
 	l.seen += in.NumRows()
 	if l.seen >= l.n {
-		l.done = true
+		if err := l.finish(ec); err != nil {
+			return nil, err
+		}
 	}
 	l.emitted(in)
 	return in, nil
 }
 
 // Close implements Operator.
-func (l *Limit) Close(ec *ExecContext) error { return l.child.Close(ec) }
+func (l *Limit) Close(ec *ExecContext) error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.child.Close(ec)
+}
 
 // Children implements Operator.
 func (l *Limit) Children() []Operator { return []Operator{l.child} }
@@ -235,11 +264,9 @@ func (s *IndexScan) Next(ec *ExecContext) (*storage.Relation, error) {
 		return nil, err
 	}
 	if s.out == nil {
-		s.stats.RowsIn += int64(s.rel.NumRows())
+		s.addRowsIn(int64(s.rel.NumRows()))
 		s.out = s.rel.Gather(s.probe())
-		if n := s.out.MemBytes(); n > s.stats.PeakBytes {
-			s.stats.PeakBytes = n
-		}
+		s.peak(s.out.MemBytes())
 	}
 	return emitChunk(ec, &s.base, s.out, &s.pos)
 }
@@ -259,19 +286,29 @@ func (s *IndexScan) Children() []Operator { return nil }
 type Breaker1 struct {
 	base
 	child  Operator
-	kernel func(*storage.Relation) (*storage.Relation, error)
+	kernel func(*ExecContext, *storage.Relation) (*storage.Relation, error)
+	dop    int // planned degree of parallelism for the kernel (<=1 serial)
 	out    *storage.Relation
 	pos    int
 }
 
 // NewBreaker1 returns a unary breaker applying kernel to the materialised
-// input.
-func NewBreaker1(label string, child Operator, kernel func(*storage.Relation) (*storage.Relation, error)) *Breaker1 {
+// input. The kernel receives the execution context so it can clamp its
+// planned degree of parallelism to the pool (ec.EffectiveDOP).
+func NewBreaker1(label string, child Operator, kernel func(*ExecContext, *storage.Relation) (*storage.Relation, error)) *Breaker1 {
 	return &Breaker1{base: base{label: label}, child: child, kernel: kernel}
 }
 
+// SetDOP records the plan's chosen degree of parallelism for stats display;
+// the kernel closure applies the same value itself.
+func (b *Breaker1) SetDOP(dop int) { b.dop = dop }
+
 // Open implements Operator.
-func (b *Breaker1) Open(ec *ExecContext) error { b.out, b.pos = nil, 0; return b.child.Open(ec) }
+func (b *Breaker1) Open(ec *ExecContext) error {
+	b.out, b.pos = nil, 0
+	b.stats.DOP = int64(ec.EffectiveDOP(b.dop))
+	return b.child.Open(ec)
+}
 
 // Next implements Operator.
 func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
@@ -284,15 +321,13 @@ func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.stats.RowsIn += rows
-		out, err := b.kernel(in)
+		b.addRowsIn(rows)
+		out, err := b.kernel(ec, in)
 		if err != nil {
 			return nil, err
 		}
 		b.out = out
-		if n := in.MemBytes() + out.MemBytes(); n > b.stats.PeakBytes {
-			b.stats.PeakBytes = n
-		}
+		b.peak(in.MemBytes() + out.MemBytes())
 	}
 	return emitChunk(ec, &b.base, b.out, &b.pos)
 }
@@ -309,20 +344,27 @@ func (b *Breaker1) Children() []Operator { return []Operator{b.child} }
 type Breaker2 struct {
 	base
 	left, right Operator
-	kernel      func(l, r *storage.Relation) (*storage.Relation, error)
+	kernel      func(ec *ExecContext, l, r *storage.Relation) (*storage.Relation, error)
+	dop         int
 	out         *storage.Relation
 	pos         int
 }
 
 // NewBreaker2 returns a binary breaker applying kernel to the two
-// materialised inputs.
-func NewBreaker2(label string, left, right Operator, kernel func(l, r *storage.Relation) (*storage.Relation, error)) *Breaker2 {
+// materialised inputs. The kernel receives the execution context so it can
+// clamp its planned degree of parallelism to the pool (ec.EffectiveDOP).
+func NewBreaker2(label string, left, right Operator, kernel func(ec *ExecContext, l, r *storage.Relation) (*storage.Relation, error)) *Breaker2 {
 	return &Breaker2{base: base{label: label}, left: left, right: right, kernel: kernel}
 }
+
+// SetDOP records the plan's chosen degree of parallelism for stats display;
+// the kernel closure applies the same value itself.
+func (b *Breaker2) SetDOP(dop int) { b.dop = dop }
 
 // Open implements Operator.
 func (b *Breaker2) Open(ec *ExecContext) error {
 	b.out, b.pos = nil, 0
+	b.stats.DOP = int64(ec.EffectiveDOP(b.dop))
 	if err := b.left.Open(ec); err != nil {
 		return err
 	}
@@ -353,15 +395,13 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.stats.RowsIn += lRows + rRows
-		out, err := b.kernel(l, r)
+		b.addRowsIn(lRows + rRows)
+		out, err := b.kernel(ec, l, r)
 		if err != nil {
 			return nil, err
 		}
 		b.out = out
-		if n := l.MemBytes() + r.MemBytes() + out.MemBytes(); n > b.stats.PeakBytes {
-			b.stats.PeakBytes = n
-		}
+		b.peak(l.MemBytes() + r.MemBytes() + out.MemBytes())
 	}
 	return emitChunk(ec, &b.base, b.out, &b.pos)
 }
@@ -386,7 +426,8 @@ func (b *Breaker2) Children() []Operator { return []Operator{b.left, b.right} }
 // Breaker2 runs two drains concurrently that feed the same RowsIn counter,
 // so the credit happens after the pool barrier.
 func drain(ec *ExecContext, op Operator) (*storage.Relation, int64, error) {
-	var parts []*storage.Relation
+	parts := getParts()
+	defer func() { putParts(parts) }() // closure: parts may be regrown by append
 	var rows int64
 	for {
 		if err := ec.Err(); err != nil {
@@ -418,7 +459,7 @@ func drain(ec *ExecContext, op Operator) (*storage.Relation, int64, error) {
 func emitChunk(ec *ExecContext, b *base, out *storage.Relation, pos *int) (*storage.Relation, error) {
 	n := out.NumRows()
 	if *pos >= n {
-		if b.stats.Batches > 0 {
+		if atomic.LoadInt64(&b.stats.Batches) > 0 {
 			return nil, nil
 		}
 		batch := out.Slice(0, 0)
@@ -431,7 +472,7 @@ func emitChunk(ec *ExecContext, b *base, out *storage.Relation, pos *int) (*stor
 	}
 	batch := out.Slice(*pos, hi)
 	*pos = hi
-	b.stats.Batches++
-	b.stats.RowsOut += int64(batch.NumRows())
+	atomic.AddInt64(&b.stats.Batches, 1)
+	atomic.AddInt64(&b.stats.RowsOut, int64(batch.NumRows()))
 	return batch, nil
 }

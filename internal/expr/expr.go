@@ -162,13 +162,15 @@ func EvalPredicate(e Expr, rel *storage.Relation) ([]bool, error) {
 	return r.bools, nil
 }
 
-// Selectivity runs the predicate and returns the selected row indexes.
+// Selectivity runs the predicate and returns the selected row indexes. The
+// returned slice is drawn from the storage buffer pool; callers that consume
+// it immediately (e.g. via Gather) may release it with storage.PutInt32s.
 func Selectivity(e Expr, rel *storage.Relation) ([]int32, error) {
 	bools, err := EvalPredicate(e, rel)
 	if err != nil {
 		return nil, err
 	}
-	idx := make([]int32, 0, len(bools)/2)
+	idx := storage.GetInt32s(len(bools))
 	for i, b := range bools {
 		if b {
 			idx = append(idx, int32(i))

@@ -53,6 +53,9 @@ func (a *AggState) Merge(b AggState) {
 type AggTable interface {
 	// Add folds value v into the group of key.
 	Add(key uint32, v int64)
+	// AddState merges a whole partial state into the group of key; used when
+	// merging per-worker partial tables after a parallel build.
+	AddState(key uint32, st AggState)
 	// Len returns the number of distinct keys.
 	Len() int
 	// ForEach visits every (key, state) pair in unspecified order.
@@ -161,6 +164,23 @@ func (t *chainedTable) Add(key uint32, v int64) {
 	t.entries = append(t.entries, e)
 }
 
+func (t *chainedTable) AddState(key uint32, st AggState) {
+	b := t.fn.Hash(key) & t.mask
+	for i := t.heads[b]; i >= 0; i = t.entries[i].next {
+		if t.entries[i].key == key {
+			t.entries[i].st.Merge(st)
+			return
+		}
+	}
+	if len(t.entries) >= len(t.heads) {
+		t.grow()
+		b = t.fn.Hash(key) & t.mask
+	}
+	e := chainedEntry{key: key, next: t.heads[b], st: st}
+	t.heads[b] = int32(len(t.entries))
+	t.entries = append(t.entries, e)
+}
+
 func (t *chainedTable) grow() {
 	nb := len(t.heads) * 2
 	t.heads = make([]int32, nb)
@@ -233,6 +253,13 @@ func (t *openTable) Add(key uint32, v int64) {
 	} else {
 		t.addLinear(key, v)
 	}
+}
+
+func (t *openTable) AddState(key uint32, st AggState) {
+	if t.n*100 >= len(t.keys)*t.maxLoadPct {
+		t.grow()
+	}
+	t.insertState(key, st)
 }
 
 func (t *openTable) addLinear(key uint32, v int64) {

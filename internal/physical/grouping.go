@@ -84,7 +84,7 @@ type GroupOptions struct {
 	Scheme   hashtable.Scheme // HG: collision handling
 	Hash     hashtable.Func   // HG: hash function
 	Sort     sortx.Kind       // SOG: sort algorithm
-	Parallel int              // SPHG: load-loop goroutines; <=1 is serial
+	Parallel int              // HG/SPHG load loop + SOG sort goroutines; <=1 is serial
 }
 
 // maxSPHWidth bounds the group-array width SPHG will allocate (16 Mi groups
@@ -109,6 +109,9 @@ type GroupResult struct {
 func Group(kind GroupKind, keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (*GroupResult, error) {
 	switch kind {
 	case HG:
+		if opt.Parallel > 1 {
+			return groupHashParallel(keys, vals, dom, opt), nil
+		}
 		return groupHash(keys, vals, dom, opt), nil
 	case SPHG:
 		return groupSPH(keys, vals, dom, opt)
@@ -360,7 +363,9 @@ func hasDuplicates(keys []uint32) bool {
 	return false
 }
 
-// groupSortOrder is SOG: copy the input, sort key/value pairs, then OG.
+// groupSortOrder is SOG: copy the input, sort key/value pairs, then OG. With
+// opt.Parallel > 1 the sort runs as per-worker runs + pairwise merges, which
+// produces the identical (stable) ordering, so the result is DOP-invariant.
 func groupSortOrder(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (*GroupResult, error) {
 	sk := make([]uint32, len(keys))
 	copy(sk, keys)
@@ -368,7 +373,13 @@ func groupSortOrder(keys []uint32, vals []int64, dom props.Domain, opt GroupOpti
 	if vals != nil {
 		sv = make([]int64, len(vals))
 		copy(sv, vals)
-		sortx.SortPairsUint32Int64(opt.Sort, sk, sv)
+		if opt.Parallel > 1 {
+			sortx.ParallelSortPairsUint32Int64(opt.Sort, sk, sv, opt.Parallel)
+		} else {
+			sortx.SortPairsUint32Int64(opt.Sort, sk, sv)
+		}
+	} else if opt.Parallel > 1 {
+		sortx.ParallelSortUint32(opt.Sort, sk, opt.Parallel)
 	} else {
 		sortx.SortUint32(opt.Sort, sk)
 	}

@@ -69,8 +69,9 @@ func (k JoinKind) Requirements(leftCol, rightCol string) (left, right []props.Re
 
 // JoinOptions selects the molecule choices inside a join algorithm.
 type JoinOptions struct {
-	Hash hashtable.Func // HJ: hash function
-	Sort sortx.Kind     // SOJ/BSJ: sort algorithm
+	Hash     hashtable.Func // HJ: hash function
+	Sort     sortx.Kind     // SOJ/BSJ: sort algorithm
+	Parallel int            // HJ/SPHJ/SOJ worker goroutines; <=1 is serial
 }
 
 // JoinResult holds matching row pairs: for every i, left row LeftIdx[i]
@@ -90,11 +91,16 @@ func (r *JoinResult) Len() int { return len(r.LeftIdx) }
 func Join(kind JoinKind, left, right []uint32, leftDom props.Domain, opt JoinOptions) (*JoinResult, error) {
 	switch kind {
 	case HJ:
-		res := joinHash(left, right, opt)
+		var res *JoinResult
+		if opt.Parallel > 1 {
+			res = joinHashParallel(left, right, opt)
+		} else {
+			res = joinHash(left, right, opt)
+		}
 		res.SortedByKey = sortx.IsSortedUint32(right) // probe-major emission
 		return res, nil
 	case SPHJ:
-		res, err := joinSPH(left, right, leftDom)
+		res, err := joinSPH(left, right, leftDom, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +137,10 @@ func joinHash(left, right []uint32, opt JoinOptions) *JoinResult {
 
 // joinSPH is SPHJ: left keys index a dense array of chain heads, so a probe
 // is a single array access. Duplicate left keys are chained through next.
-func joinSPH(left, right []uint32, leftDom props.Domain) (*JoinResult, error) {
+// The build is always serial (chain insertion order is the output contract);
+// with opt.Parallel > 1 the probe runs over contiguous right chunks whose
+// pair lists concatenate in chunk order — the serial emission order exactly.
+func joinSPH(left, right []uint32, leftDom props.Domain, opt JoinOptions) (*JoinResult, error) {
 	lo64, hi64, ok := leftDom.DenseDomain()
 	if !ok {
 		return nil, fmt.Errorf("physical: SPHJ requires a known dense left key domain, have %+v", leftDom)
@@ -153,6 +162,9 @@ func joinSPH(left, right []uint32, leftDom props.Domain) (*JoinResult, error) {
 		}
 		next[i] = heads[k-lo]
 		heads[k-lo] = int32(i)
+	}
+	if opt.Parallel > 1 && len(right) >= minParallelChunk {
+		return sphProbeParallel(heads, next, lo, hi, right, opt.Parallel), nil
 	}
 	res := &JoinResult{}
 	for j, k := range right {
@@ -214,10 +226,18 @@ func mergePairs(left, right []uint32, emit func(li, ri int32)) {
 }
 
 // joinSortMerge is SOJ: argsort both sides, merge the sorted views, and map
-// row indexes back through the permutations.
+// row indexes back through the permutations. With opt.Parallel > 1 the two
+// argsorts run as parallel stable runs + merges (identical permutations to
+// the serial sorts); the merge itself stays serial.
 func joinSortMerge(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
-	lperm := sortx.ArgSortUint32(opt.Sort, left)
-	rperm := sortx.ArgSortUint32(opt.Sort, right)
+	var lperm, rperm []int32
+	if opt.Parallel > 1 {
+		lperm = sortx.ParallelArgSortUint32(opt.Sort, left, opt.Parallel)
+		rperm = sortx.ParallelArgSortUint32(opt.Sort, right, opt.Parallel)
+	} else {
+		lperm = sortx.ArgSortUint32(opt.Sort, left)
+		rperm = sortx.ArgSortUint32(opt.Sort, right)
+	}
 	lsorted := make([]uint32, len(left))
 	for i, p := range lperm {
 		lsorted[i] = left[p]

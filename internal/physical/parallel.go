@@ -1,0 +1,314 @@
+package physical
+
+import (
+	"sync"
+
+	"dqo/internal/hashtable"
+	"dqo/internal/props"
+	"dqo/internal/sortx"
+)
+
+// Parallel kernel variants. Every one of them is DOP-invariant: its output is
+// byte-identical to the serial kernel for any worker count, so the optimiser
+// can treat the degree of parallelism as a pure cost dimension — plans that
+// differ only in DOP produce the same relation. The orderings that make this
+// hold are spelled out per kernel below.
+
+// minParallelChunk is the smallest per-worker share of the input worth
+// forking goroutines for; below it the serial kernels win outright.
+const minParallelChunk = 1 << 12
+
+// groupHashParallel is HG with a parallel load: per-chunk chained tables are
+// built concurrently over contiguous input chunks, then merged sequentially
+// in chunk order via AddState into one table.
+//
+// Output-order proof: a chained table's ForEach order is first-seen order.
+// Merging the per-chunk first-seen sequences in chunk order yields keys
+// ordered by (first chunk containing the key, first position within that
+// chunk) — which is exactly the global first-seen order, because chunks are
+// contiguous input ranges. Hence the merged arena order equals the serial
+// table's arena order, and the result matches groupHash exactly.
+//
+// Only the Chained scheme has a content-deterministic iteration order (open
+// addressing slot order depends on insertion history), so other schemes fall
+// back to the serial kernel.
+func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) *GroupResult {
+	workers := opt.Parallel
+	if max := len(keys) / minParallelChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 || opt.Scheme != hashtable.Chained {
+		return groupHash(keys, vals, dom, opt)
+	}
+	chunk := (len(keys) + workers - 1) / workers
+	nChunks := (len(keys) + chunk - 1) / chunk
+	parts := make([]hashtable.AggTable, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			tab := hashtable.NewAgg(opt.Scheme, opt.Hash, 0)
+			if vals == nil {
+				for _, k := range keys[lo:hi] {
+					tab.Add(k, 0)
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					tab.Add(keys[i], vals[i])
+				}
+			}
+			parts[c] = tab
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	hint := 0
+	if dom.Known {
+		hint = int(dom.Distinct)
+	}
+	tab := hashtable.NewAgg(opt.Scheme, opt.Hash, hint)
+	for _, pt := range parts {
+		pt.ForEach(tab.AddState)
+	}
+	res := &GroupResult{
+		Keys:   make([]uint32, 0, tab.Len()),
+		States: make([]hashtable.AggState, 0, tab.Len()),
+	}
+	tab.ForEach(func(k uint32, st hashtable.AggState) {
+		res.Keys = append(res.Keys, k)
+		res.States = append(res.States, st)
+	})
+	res.Sorted = sortx.IsSortedUint32(res.Keys)
+	return res
+}
+
+// joinPartBits sizes the radix partition directory: a few partitions per
+// worker for balance, capped so the per-partition bookkeeping stays small.
+func joinPartBits(workers int) uint {
+	bits := uint(0)
+	for 1<<bits < workers {
+		bits++
+	}
+	bits += 2
+	if bits > 8 {
+		bits = 8
+	}
+	return bits
+}
+
+// joinPartition maps a key to its partition. Deliberately independent of the
+// plan's hash-function choice (opt.Hash): partitioning by the same function
+// that buckets within a partition would make every partition-local table
+// degenerate (all keys sharing high bits), and an Identity hash choice would
+// skew partitions. A fixed Fibonacci multiply taking the high bits avoids
+// both, and — being internal to the kernel — never changes the output.
+func joinPartition(key uint32, bits uint) int {
+	return int((uint64(key) * 0x9E3779B97F4A7C15) >> (64 - bits))
+}
+
+// joinHashParallel is HJ with radix-partitioned parallel build and parallel
+// probe, equal to joinHash output for any worker count.
+//
+// Output-order proof: the scatter is partition-preserving — per-chunk
+// histograms plus prefix sums give every input chunk a disjoint write window
+// per partition, so within each partition, rows keep their original relative
+// order. All rows with a given key land in one partition; the partition's
+// Multi is built in ascending partition-local (= original) order, so Probe
+// visits matches in descending original row order — the same order the
+// serial table yields. The probe side is split into contiguous chunks whose
+// pair lists are concatenated in chunk order, keeping j ascending globally.
+// Pairs therefore appear in (j ascending, i descending per key) order — the
+// serial order — and the output is independent of the partition count.
+func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
+	workers := opt.Parallel
+	if workers <= 1 || len(left) < minParallelChunk || len(right) < minParallelChunk {
+		return joinHash(left, right, opt)
+	}
+	bits := joinPartBits(workers)
+	nPart := 1 << bits
+
+	// Scatter the build side into partitions, preserving order per partition.
+	n := len(left)
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	hist := make([][]int32, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			counts := make([]int32, nPart)
+			for _, k := range left[lo:hi] {
+				counts[joinPartition(k, bits)]++
+			}
+			hist[c] = counts
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	partStart := make([]int32, nPart+1)
+	offs := make([][]int32, nChunks)
+	for c := range offs {
+		offs[c] = make([]int32, nPart)
+	}
+	var run int32
+	for p := 0; p < nPart; p++ {
+		partStart[p] = run
+		for c := 0; c < nChunks; c++ {
+			offs[c][p] = run
+			run += hist[c][p]
+		}
+	}
+	partStart[nPart] = run
+
+	partKeys := make([]uint32, n)
+	partIdx := make([]int32, n)
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			off := offs[c]
+			for i := lo; i < hi; i++ {
+				p := joinPartition(left[i], bits)
+				o := off[p]
+				partKeys[o] = left[i]
+				partIdx[o] = int32(i)
+				off[p] = o + 1
+			}
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	// Build one Multi per partition; worker w strides partitions w, w+W, …
+	tables := make([]*hashtable.Multi, nPart)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < nPart; p += workers {
+				seg := partKeys[partStart[p]:partStart[p+1]]
+				m := hashtable.NewMulti(opt.Hash, len(seg))
+				for l, k := range seg {
+					m.Insert(k, int32(l))
+				}
+				tables[p] = m
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Probe in contiguous right chunks; concatenate pair lists in chunk order.
+	type pairChunk struct {
+		li, ri []int32
+	}
+	pn := len(right)
+	pChunk := (pn + workers - 1) / workers
+	pChunks := (pn + pChunk - 1) / pChunk
+	out := make([]pairChunk, pChunks)
+	for c := 0; c < pChunks; c++ {
+		lo := c * pChunk
+		hi := lo + pChunk
+		if hi > pn {
+			hi = pn
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var pc pairChunk
+			for j := lo; j < hi; j++ {
+				k := right[j]
+				p := joinPartition(k, bits)
+				base := partStart[p]
+				tables[p].Probe(k, func(l int32) {
+					pc.li = append(pc.li, partIdx[base+l])
+					pc.ri = append(pc.ri, int32(j))
+				})
+			}
+			out[c] = pc
+		}(c, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, pc := range out {
+		total += len(pc.li)
+	}
+	res := &JoinResult{
+		LeftIdx:  make([]int32, 0, total),
+		RightIdx: make([]int32, 0, total),
+	}
+	for _, pc := range out {
+		res.LeftIdx = append(res.LeftIdx, pc.li...)
+		res.RightIdx = append(res.RightIdx, pc.ri...)
+	}
+	return res
+}
+
+// sphProbeParallel probes the SPHJ dense directory in contiguous right
+// chunks, concatenating pair lists in chunk order. The build stays serial
+// (chain insertion order is the output contract); probing a read-only
+// directory in ascending-j chunks and concatenating in chunk order yields
+// exactly the serial probe's emission order.
+func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, workers int) *JoinResult {
+	type pairChunk struct {
+		li, ri []int32
+	}
+	n := len(right)
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	out := make([]pairChunk, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		b := c * chunk
+		e := b + chunk
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(c, b, e int) {
+			defer wg.Done()
+			var pc pairChunk
+			for j := b; j < e; j++ {
+				k := right[j]
+				if k < lo || k > hi {
+					continue
+				}
+				for li := heads[k-lo]; li >= 0; li = next[li] {
+					pc.li = append(pc.li, li)
+					pc.ri = append(pc.ri, int32(j))
+				}
+			}
+			out[c] = pc
+		}(c, b, e)
+	}
+	wg.Wait()
+	total := 0
+	for _, pc := range out {
+		total += len(pc.li)
+	}
+	res := &JoinResult{
+		LeftIdx:  make([]int32, 0, total),
+		RightIdx: make([]int32, 0, total),
+	}
+	for _, pc := range out {
+		res.LeftIdx = append(res.LeftIdx, pc.li...)
+		res.RightIdx = append(res.RightIdx, pc.ri...)
+	}
+	return res
+}

@@ -56,7 +56,9 @@ func FilterRel(rel *storage.Relation, pred expr.Expr) (*storage.Relation, error)
 	if err != nil {
 		return nil, err
 	}
-	return rel.Gather(idx), nil
+	out := rel.Gather(idx)
+	storage.PutInt32s(idx) // Gather copies; no reference survives
+	return out, nil
 }
 
 // ProjectRel returns rel restricted to the named columns.
@@ -77,6 +79,27 @@ func SortRel(rel *storage.Relation, keyCol string, kind sortx.Kind) (*storage.Re
 	st := c.Stats() // computed on the gathered data; records Sorted = true
 	if !st.Sorted {
 		return nil, fmt.Errorf("physical: SortRel postcondition violated on %q", keyCol)
+	}
+	return out, nil
+}
+
+// SortRelPar is SortRel with the argsort and the gather fanned across
+// workers. Both parallel kernels are DOP-invariant, so the output is
+// identical to SortRel for any worker count.
+func SortRelPar(rel *storage.Relation, keyCol string, kind sortx.Kind, workers int) (*storage.Relation, error) {
+	if workers <= 1 {
+		return SortRel(rel, keyCol, kind)
+	}
+	keys, err := keyColumn(rel, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	perm := sortx.ParallelArgSortUint32(kind, keys, workers)
+	out := rel.GatherPar(perm, workers)
+	c := out.MustColumn(keyCol)
+	st := c.Stats()
+	if !st.Sorted {
+		return nil, fmt.Errorf("physical: SortRelPar postcondition violated on %q", keyCol)
 	}
 	return out, nil
 }
@@ -289,8 +312,8 @@ func joinRelImpl(left, right *storage.Relation, leftKey, rightKey string, kind J
 			return nil, err
 		}
 	}
-	lgath := left.Gather(res.LeftIdx)
-	rgath := right.Gather(res.RightIdx)
+	lgath := left.GatherPar(res.LeftIdx, opt.Parallel)
+	rgath := right.GatherPar(res.RightIdx, opt.Parallel)
 	cols := make([]*storage.Column, 0, lgath.NumCols()+rgath.NumCols())
 	cols = append(cols, lgath.Columns()...)
 	used := map[string]bool{}

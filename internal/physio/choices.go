@@ -2,7 +2,6 @@ package physio
 
 import (
 	"fmt"
-	"runtime"
 
 	"dqo/internal/hashtable"
 	"dqo/internal/physical"
@@ -20,12 +19,19 @@ type GroupChoice struct {
 	Tree *Granule
 }
 
-// Label returns e.g. "HG(chained,murmur3fin)" or "SPHG".
+// Label returns e.g. "HG(chained,murmur3fin)" or "SPHG"; parallel variants
+// carry a ",parallel=N" suffix so EXPLAIN output names the full molecule set.
 func (c GroupChoice) Label() string {
 	switch c.Kind {
 	case physical.HG:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("HG(%s,%s,parallel=%d)", c.Opt.Scheme, c.Opt.Hash, c.Opt.Parallel)
+		}
 		return fmt.Sprintf("HG(%s,%s)", c.Opt.Scheme, c.Opt.Hash)
 	case physical.SOG:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("SOG(%s,parallel=%d)", c.Opt.Sort, c.Opt.Parallel)
+		}
 		return fmt.Sprintf("SOG(%s)", c.Opt.Sort)
 	case physical.SPHG:
 		if c.Opt.Parallel > 1 {
@@ -46,13 +52,25 @@ type JoinChoice struct {
 	Tree      *Granule
 }
 
-// Label returns e.g. "HJ(murmur3fin)".
+// Label returns e.g. "HJ(murmur3fin)"; parallel variants carry a
+// ",parallel=N" (or "(parallel=N)") suffix.
 func (c JoinChoice) Label() string {
 	switch c.Kind {
 	case physical.HJ:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("HJ(%s,parallel=%d)", c.Opt.Hash, c.Opt.Parallel)
+		}
 		return fmt.Sprintf("HJ(%s)", c.Opt.Hash)
 	case physical.SOJ:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("SOJ(%s,parallel=%d)", c.Opt.Sort, c.Opt.Parallel)
+		}
 		return fmt.Sprintf("SOJ(%s)", c.Opt.Sort)
+	case physical.SPHJ:
+		if c.Opt.Parallel > 1 {
+			return fmt.Sprintf("SPHJ(parallel=%d)", c.Opt.Parallel)
+		}
+		return c.Kind.String()
 	case physical.BSJ:
 		return fmt.Sprintf("BSJ(%s)", c.Opt.Sort)
 	default:
@@ -63,8 +81,11 @@ func (c JoinChoice) Label() string {
 // GroupChoices enumerates the implementations of grouping on keyCol at the
 // given depth. Shallow yields one choice per family with the paper's
 // textbook defaults (the "translate to hash-based grouping" arrow of
-// Figure 3); Deep unnests the molecule space.
-func GroupChoices(keyCol string, depth Depth) []GroupChoice {
+// Figure 3); Deep unnests the molecule space. dop > 1 additionally offers
+// parallel variants of every family whose kernel is DOP-invariant
+// (SPHG/HG-chained/SOG), making the degree of parallelism one more molecule
+// dimension the optimiser prices rather than a runtime default.
+func GroupChoices(keyCol string, depth Depth, dop int) []GroupChoice {
 	var out []GroupChoice
 	add := func(kind physical.GroupKind, opt physical.GroupOptions) {
 		out = append(out, GroupChoice{
@@ -76,7 +97,9 @@ func GroupChoices(keyCol string, depth Depth) []GroupChoice {
 	}
 	// Order-based choices come first: on cost ties the optimiser keeps the
 	// earlier alternative, and the paper's sorted/sorted cell is won by the
-	// order-based implementations.
+	// order-based implementations. Serial variants likewise precede their
+	// parallel twins, so a model that cannot see parallelism (Paper) keeps
+	// its plans unchanged on ties.
 	if depth == Shallow {
 		add(physical.OG, physical.GroupOptions{})
 		add(physical.SPHG, physical.GroupOptions{}) // serial load
@@ -87,9 +110,6 @@ func GroupChoices(keyCol string, depth Depth) []GroupChoice {
 	}
 	add(physical.OG, physical.GroupOptions{})
 	add(physical.SPHG, physical.GroupOptions{})
-	if p := runtime.GOMAXPROCS(0); p > 1 {
-		add(physical.SPHG, physical.GroupOptions{Parallel: p})
-	}
 	for _, scheme := range hashtable.Schemes() {
 		for _, fn := range hashtable.Funcs() {
 			add(physical.HG, physical.GroupOptions{Scheme: scheme, Hash: fn})
@@ -99,12 +119,23 @@ func GroupChoices(keyCol string, depth Depth) []GroupChoice {
 		add(physical.SOG, physical.GroupOptions{Sort: sk})
 	}
 	add(physical.BSG, physical.GroupOptions{})
+	if dop > 1 {
+		add(physical.SPHG, physical.GroupOptions{Parallel: dop})
+		// Only the chained scheme's merge order is deterministic (arena
+		// first-seen order); open addressing stays serial-only.
+		for _, fn := range hashtable.Funcs() {
+			add(physical.HG, physical.GroupOptions{Scheme: hashtable.Chained, Hash: fn, Parallel: dop})
+		}
+		add(physical.SOG, physical.GroupOptions{Sort: sortx.Radix, Parallel: dop})
+	}
 	return out
 }
 
 // JoinChoices enumerates the implementations of an equi-join of lcol with
-// rcol at the given depth.
-func JoinChoices(lcol, rcol string, depth Depth) []JoinChoice {
+// rcol at the given depth. dop > 1 additionally offers parallel variants of
+// the DOP-invariant join kernels (radix-partitioned HJ, chunked-probe SPHJ,
+// parallel-sort SOJ), serial twins first so ties stay serial.
+func JoinChoices(lcol, rcol string, depth Depth, dop int) []JoinChoice {
 	var out []JoinChoice
 	add := func(kind physical.JoinKind, opt physical.JoinOptions) {
 		l, r := kind.Requirements(lcol, rcol)
@@ -136,6 +167,13 @@ func JoinChoices(lcol, rcol string, depth Depth) []JoinChoice {
 	for _, sk := range sortx.Kinds() {
 		add(physical.BSJ, physical.JoinOptions{Sort: sk})
 	}
+	if dop > 1 {
+		add(physical.SPHJ, physical.JoinOptions{Parallel: dop})
+		for _, fn := range hashtable.Funcs() {
+			add(physical.HJ, physical.JoinOptions{Hash: fn, Parallel: dop})
+		}
+		add(physical.SOJ, physical.JoinOptions{Sort: sortx.Radix, Parallel: dop})
+	}
 	return out
 }
 
@@ -146,12 +184,16 @@ func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string
 		New("update", LevelMolecule, "branch-lean accumulate"))
 	switch kind {
 	case physical.HG:
+		loopDetail := "serial insert"
+		if opt.Parallel > 1 {
+			loopDetail = fmt.Sprintf("parallel insert (%d workers, merged partials)", opt.Parallel)
+		}
 		return New("Γ", LevelOrganelle, "hash-based grouping on "+keyCol,
 			New("partitionBy", LevelMacro, "hash table",
 				New("index", LevelMacro, "dynamic hash table",
 					New("scheme", LevelMolecule, opt.Scheme.String()),
 					New("hashfunc", LevelMolecule, opt.Hash.String())),
-				New("loop", LevelMolecule, "serial insert")),
+				New("loop", LevelMolecule, loopDetail)),
 			agg)
 	case physical.SPHG:
 		loopDetail := "serial load"
@@ -170,8 +212,12 @@ func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string
 				New("scan", LevelMolecule, "single sequential pass")),
 			agg)
 	case physical.SOG:
+		sortDetail := "key/payload sort"
+		if opt.Parallel > 1 {
+			sortDetail = fmt.Sprintf("parallel sorted runs + merge (%d workers)", opt.Parallel)
+		}
 		return New("Γ", LevelOrganelle, "sort & order-based grouping on "+keyCol,
-			New("sort", LevelMacro, "key/payload sort",
+			New("sort", LevelMacro, sortDetail,
 				New("algorithm", LevelMolecule, opt.Sort.String())),
 			New("partitionBy", LevelMacro, "run detection on sorted copy",
 				New("scan", LevelMolecule, "single sequential pass")),
@@ -196,18 +242,27 @@ func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol strin
 		New("gather", LevelMolecule, "columnar row gather"))
 	switch kind {
 	case physical.HJ:
+		build, probe := "chained multimap", "serial probe"
+		if opt.Parallel > 1 {
+			build = fmt.Sprintf("radix-partitioned chained multimap (%d workers)", opt.Parallel)
+			probe = fmt.Sprintf("parallel probe (%d workers)", opt.Parallel)
+		}
 		return New("⋈", LevelOrganelle, "hash join on "+on,
-			New("build", LevelMacro, "chained multimap",
+			New("build", LevelMacro, build,
 				New("hashfunc", LevelMolecule, opt.Hash.String())),
 			New("probe", LevelMacro, "per-row lookup",
-				New("loop", LevelMolecule, "serial probe")),
+				New("loop", LevelMolecule, probe)),
 			emit)
 	case physical.SPHJ:
+		probe := "serial probe"
+		if opt.Parallel > 1 {
+			probe = fmt.Sprintf("parallel probe (%d workers)", opt.Parallel)
+		}
 		return New("⋈", LevelOrganelle, "SPH join on "+on,
 			New("build", LevelMacro, "dense array of chain heads",
 				New("hashfunc", LevelMolecule, "identity (minimal perfect)")),
 			New("probe", LevelMacro, "direct array addressing",
-				New("loop", LevelMolecule, "serial probe")),
+				New("loop", LevelMolecule, probe)),
 			emit)
 	case physical.OJ:
 		return New("⋈", LevelOrganelle, "merge join on "+on,
@@ -215,8 +270,12 @@ func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol strin
 				New("dupblocks", LevelMolecule, "duplicate block cross product")),
 			emit)
 	case physical.SOJ:
+		sortDetail := "both inputs"
+		if opt.Parallel > 1 {
+			sortDetail = fmt.Sprintf("both inputs, parallel runs + merge (%d workers)", opt.Parallel)
+		}
 		return New("⋈", LevelOrganelle, "sort-merge join on "+on,
-			New("sort", LevelMacro, "both inputs",
+			New("sort", LevelMacro, sortDetail,
 				New("algorithm", LevelMolecule, opt.Sort.String())),
 			New("merge", LevelMacro, "two sorted cursors",
 				New("dupblocks", LevelMolecule, "duplicate block cross product")),

@@ -1,7 +1,6 @@
 package physio
 
 import (
-	"runtime"
 	"strings"
 	"testing"
 
@@ -65,7 +64,7 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestGroupChoicesShallow(t *testing.T) {
-	cs := GroupChoices("k", Shallow)
+	cs := GroupChoices("k", Shallow, 1)
 	if len(cs) != 5 {
 		t.Fatalf("shallow grouping choices = %d, want 5 (one per family)", len(cs))
 	}
@@ -84,14 +83,10 @@ func TestGroupChoicesShallow(t *testing.T) {
 }
 
 func TestGroupChoicesDeepExpandsMolecules(t *testing.T) {
-	cs := GroupChoices("k", Deep)
-	// 12 HG variants + SPHG serial (+ parallel on multicore) + OG + 3 SOG + BSG.
-	min := 12 + 1 + 1 + 3 + 1
-	if runtime.GOMAXPROCS(0) > 1 {
-		min++
-	}
-	if len(cs) != min {
-		t.Fatalf("deep grouping choices = %d, want %d", len(cs), min)
+	cs := GroupChoices("k", Deep, 1)
+	// 12 HG variants + SPHG + OG + 3 SOG + BSG, all serial at dop=1.
+	if want := 12 + 1 + 1 + 3 + 1; len(cs) != want {
+		t.Fatalf("deep grouping choices = %d, want %d", len(cs), want)
 	}
 	labels := map[string]bool{}
 	for _, c := range cs {
@@ -109,16 +104,72 @@ func TestGroupChoicesDeepExpandsMolecules(t *testing.T) {
 }
 
 func TestJoinChoicesCounts(t *testing.T) {
-	if n := len(JoinChoices("a", "b", Shallow)); n != 5 {
+	if n := len(JoinChoices("a", "b", Shallow, 1)); n != 5 {
 		t.Fatalf("shallow join choices = %d, want 5", n)
 	}
-	if n := len(JoinChoices("a", "b", Deep)); n != 4+1+1+3+3 {
+	if n := len(JoinChoices("a", "b", Deep, 1)); n != 4+1+1+3+3 {
 		t.Fatalf("deep join choices = %d, want 12", n)
 	}
 }
 
+// dop > 1 appends parallel variants of the DOP-invariant kernels after their
+// serial twins: SPHG + 4 chained HG + radix SOG for grouping, SPHJ + 4 HJ +
+// radix SOJ for joins. Shallow enumeration never parallelises.
+func TestParallelChoicesAppendAfterSerial(t *testing.T) {
+	gs := GroupChoices("k", Deep, 4)
+	if want := (12 + 1 + 1 + 3 + 1) + 6; len(gs) != want {
+		t.Fatalf("deep grouping choices at dop=4 = %d, want %d", len(gs), want)
+	}
+	labels := map[string]int{}
+	for i, c := range gs {
+		labels[c.Label()] = i
+	}
+	for serial, par := range map[string]string{
+		"SPHG":                      "SPHG(parallel=4)",
+		"HG(chained,murmur3fin)":    "HG(chained,murmur3fin,parallel=4)",
+		"SOG(radix)":                "SOG(radix,parallel=4)",
+		"HG(chained,multiplyshift)": "HG(chained,multiplyshift,parallel=4)",
+	} {
+		si, ok := labels[serial]
+		if !ok {
+			t.Fatalf("missing serial choice %s", serial)
+		}
+		pi, ok := labels[par]
+		if !ok {
+			t.Fatalf("missing parallel choice %s", par)
+		}
+		if pi < si {
+			t.Fatalf("%s enumerated before %s: ties must resolve serial", par, serial)
+		}
+	}
+	for _, c := range gs {
+		if c.Opt.Parallel > 1 && !strings.Contains(c.Tree.Render(), "parallel") {
+			t.Fatalf("%s: granule tree does not mention parallelism:\n%s", c.Label(), c.Tree.Render())
+		}
+	}
+	js := JoinChoices("a", "b", Deep, 4)
+	if want := (4 + 1 + 1 + 3 + 3) + 6; len(js) != want {
+		t.Fatalf("deep join choices at dop=4 = %d, want %d", len(js), want)
+	}
+	jl := map[string]bool{}
+	for _, c := range js {
+		jl[c.Label()] = true
+	}
+	for _, want := range []string{"HJ(murmur3fin,parallel=4)", "SOJ(radix,parallel=4)", "SPHJ(parallel=4)"} {
+		if !jl[want] {
+			t.Fatalf("missing parallel join choice %s", want)
+		}
+	}
+	if n := len(GroupChoices("k", Shallow, 4)); n != 5 {
+		t.Fatalf("shallow grouping at dop=4 = %d choices, want 5 (no parallel variants)", n)
+	}
+	if n := len(JoinChoices("a", "b", Shallow, 4)); n != 5 {
+		t.Fatalf("shallow joins at dop=4 = %d choices, want 5 (no parallel variants)", n)
+	}
+}
+
 func TestChoiceRequirements(t *testing.T) {
-	for _, c := range GroupChoices("k", Deep) {
+	for _, c := range GroupChoices("k", Deep, 1) {
 		switch c.Kind {
 		case physical.SPHG:
 			if len(c.Reqs) != 1 || c.Reqs[0] != (props.Requirement{Kind: props.ReqDense, Column: "k"}) {
@@ -134,7 +185,7 @@ func TestChoiceRequirements(t *testing.T) {
 			}
 		}
 	}
-	for _, c := range JoinChoices("l", "r", Deep) {
+	for _, c := range JoinChoices("l", "r", Deep, 1) {
 		if c.Kind == physical.OJ {
 			if len(c.LeftReqs) != 1 || len(c.RightReqs) != 1 {
 				t.Fatalf("OJ reqs = %v / %v", c.LeftReqs, c.RightReqs)
@@ -149,12 +200,12 @@ func TestChoiceRequirements(t *testing.T) {
 }
 
 func TestDeepTreesAreMorePhysicalThanLogical(t *testing.T) {
-	for _, c := range GroupChoices("k", Deep) {
+	for _, c := range GroupChoices("k", Deep, 1) {
 		if c.Tree.Physicality() <= 0 {
 			t.Fatalf("%s: deep tree has zero physicality", c.Label())
 		}
 	}
-	for _, c := range JoinChoices("a", "b", Deep) {
+	for _, c := range JoinChoices("a", "b", Deep, 1) {
 		if c.Tree.Physicality() <= 0 {
 			t.Fatalf("%s: deep tree has zero physicality", c.Label())
 		}
@@ -162,7 +213,7 @@ func TestDeepTreesAreMorePhysicalThanLogical(t *testing.T) {
 }
 
 func TestUnnestStepsIncreasePhysicality(t *testing.T) {
-	for _, c := range GroupChoices("k", Shallow) {
+	for _, c := range GroupChoices("k", Shallow, 1) {
 		steps := UnnestSteps(c, "k")
 		if len(steps) != 4 {
 			t.Fatalf("%s: %d steps, want 4", c.Label(), len(steps))
@@ -185,7 +236,7 @@ func TestUnnestStepsIncreasePhysicality(t *testing.T) {
 }
 
 func TestLabels(t *testing.T) {
-	cs := GroupChoices("k", Shallow)
+	cs := GroupChoices("k", Shallow, 1)
 	var hg GroupChoice
 	for _, c := range cs {
 		if c.Kind == physical.HG {
@@ -195,7 +246,7 @@ func TestLabels(t *testing.T) {
 	if hg.Label() != "HG(chained,murmur3fin)" {
 		t.Fatalf("HG label = %q", hg.Label())
 	}
-	js := JoinChoices("a", "b", Shallow)
+	js := JoinChoices("a", "b", Shallow, 1)
 	for _, j := range js {
 		if j.Kind == physical.HJ && j.Label() != "HJ(murmur3fin)" {
 			t.Fatalf("HJ label = %q", j.Label())
@@ -210,7 +261,7 @@ func TestLabels(t *testing.T) {
 }
 
 func TestUnnestJoinSteps(t *testing.T) {
-	for _, c := range JoinChoices("a", "b", Shallow) {
+	for _, c := range JoinChoices("a", "b", Shallow, 1) {
 		steps := UnnestJoinSteps(c, "a", "b")
 		if len(steps) != 4 {
 			t.Fatalf("%s: %d steps", c.Label(), len(steps))

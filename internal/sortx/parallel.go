@@ -1,0 +1,277 @@
+package sortx
+
+import (
+	"slices"
+	"sync"
+)
+
+// Parallel sorts: per-worker sorted runs over contiguous input ranges,
+// followed by pairwise merge passes (a binary k-way merge). Every variant is
+// DOP-invariant — the output is byte-identical to its serial counterpart for
+// any worker count — because the run sorts are stable within their range and
+// every merge resolves ties in favour of the earlier (left) run. This lets
+// the optimiser treat the degree of parallelism as a pure cost dimension:
+// plans with different DOP produce the same relation.
+
+// minParallelRun is the smallest per-worker run worth forking a goroutine
+// for; below it the serial kernels win outright.
+const minParallelRun = 1 << 12
+
+// parallelRuns caps the worker count so every run has at least
+// minParallelRun elements; <= 1 means "stay serial".
+func parallelRuns(n, workers int) int {
+	if max := n / minParallelRun; workers > max {
+		workers = max
+	}
+	return workers
+}
+
+// ParallelArgSortUint32 is ArgSortUint32 fanned across workers: each worker
+// stable-sorts a contiguous index run, then runs are merged pairwise with
+// ties taken from the left run. The result equals ArgSortUint32 exactly.
+func ParallelArgSortUint32(k Kind, keys []uint32, workers int) []int32 {
+	n := len(keys)
+	workers = parallelRuns(n, workers)
+	if workers <= 1 {
+		return ArgSortUint32(k, keys)
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			argSortRun(k, keys, part)
+		}(idx[lo:hi])
+	}
+	wg.Wait()
+
+	buf := make([]int32, n)
+	src, dst := idx, buf
+	for width := chunk; width < n; width *= 2 {
+		var mw sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				// Odd run out: carry it to the destination unchanged.
+				copy(dst[lo:n], src[lo:n])
+				break
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				mergeArgRuns(keys, src[lo:mid], src[mid:hi], dst[lo:hi])
+			}(lo, mid, hi)
+		}
+		mw.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+	return idx
+}
+
+// argSortRun stable-sorts one contiguous index run by its keys.
+func argSortRun(k Kind, keys []uint32, part []int32) {
+	if k == Radix {
+		argRadixUint32(keys, part)
+		return
+	}
+	slices.SortStableFunc(part, func(a, b int32) int {
+		ka, kb := keys[a], keys[b]
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// mergeArgRuns merges two sorted index runs; equal keys take the left run
+// first, preserving global stability.
+func mergeArgRuns(keys []uint32, a, b, out []int32) {
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if keys[a[i]] <= keys[b[j]] {
+			out[o] = a[i]
+			i++
+		} else {
+			out[o] = b[j]
+			j++
+		}
+		o++
+	}
+	o += copy(out[o:], a[i:])
+	copy(out[o:], b[j:])
+}
+
+// ParallelSortUint32 sorts xs ascending in place using per-worker runs plus
+// pairwise merges; output equals SortUint32 exactly.
+func ParallelSortUint32(k Kind, xs []uint32, workers int) {
+	n := len(xs)
+	workers = parallelRuns(n, workers)
+	if workers <= 1 {
+		SortUint32(k, xs)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(part []uint32) {
+			defer wg.Done()
+			SortUint32(k, part)
+		}(xs[lo:hi])
+	}
+	wg.Wait()
+
+	buf := make([]uint32, n)
+	src, dst := xs, buf
+	for width := chunk; width < n; width *= 2 {
+		var mw sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				copy(dst[lo:n], src[lo:n])
+				break
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				mergeUint32Runs(src[lo:mid], src[mid:hi], dst[lo:hi])
+			}(lo, mid, hi)
+		}
+		mw.Wait()
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+func mergeUint32Runs(a, b, out []uint32) {
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[o] = a[i]
+			i++
+		} else {
+			out[o] = b[j]
+			j++
+		}
+		o++
+	}
+	o += copy(out[o:], a[i:])
+	copy(out[o:], b[j:])
+}
+
+// ParallelSortPairsUint32Int64 sorts keys ascending, carrying vals along,
+// using per-worker stable runs plus stable pairwise merges; output equals
+// SortPairsUint32Int64 exactly (both are stable).
+func ParallelSortPairsUint32Int64(k Kind, keys []uint32, vals []int64, workers int) {
+	if len(keys) != len(vals) {
+		panic("sortx: ParallelSortPairsUint32Int64 length mismatch")
+	}
+	n := len(keys)
+	workers = parallelRuns(n, workers)
+	if workers <= 1 {
+		SortPairsUint32Int64(k, keys, vals)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(kp []uint32, vp []int64) {
+			defer wg.Done()
+			SortPairsUint32Int64(k, kp, vp)
+		}(keys[lo:hi], vals[lo:hi])
+	}
+	wg.Wait()
+
+	kbuf := make([]uint32, n)
+	vbuf := make([]int64, n)
+	ksrc, kdst := keys, kbuf
+	vsrc, vdst := vals, vbuf
+	for width := chunk; width < n; width *= 2 {
+		var mw sync.WaitGroup
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid >= n {
+				copy(kdst[lo:n], ksrc[lo:n])
+				copy(vdst[lo:n], vsrc[lo:n])
+				break
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			mw.Add(1)
+			go func(lo, mid, hi int) {
+				defer mw.Done()
+				mergePairRuns(ksrc[lo:mid], ksrc[mid:hi], vsrc[lo:mid], vsrc[mid:hi], kdst[lo:hi], vdst[lo:hi])
+			}(lo, mid, hi)
+		}
+		mw.Wait()
+		ksrc, kdst = kdst, ksrc
+		vsrc, vdst = vdst, vsrc
+	}
+	if &ksrc[0] != &keys[0] {
+		copy(keys, ksrc)
+		copy(vals, vsrc)
+	}
+}
+
+func mergePairRuns(ka, kb []uint32, va, vb []int64, kout []uint32, vout []int64) {
+	i, j, o := 0, 0, 0
+	for i < len(ka) && j < len(kb) {
+		if ka[i] <= kb[j] {
+			kout[o] = ka[i]
+			vout[o] = va[i]
+			i++
+		} else {
+			kout[o] = kb[j]
+			vout[o] = vb[j]
+			j++
+		}
+		o++
+	}
+	for ; i < len(ka); i++ {
+		kout[o] = ka[i]
+		vout[o] = va[i]
+		o++
+	}
+	for ; j < len(kb); j++ {
+		kout[o] = kb[j]
+		vout[o] = vb[j]
+		o++
+	}
+}

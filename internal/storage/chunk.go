@@ -39,8 +39,9 @@ func Concat(parts []*Relation) (*Relation, error) {
 		}
 	}
 	cols := make([]*Column, first.NumCols())
+	parts_j := getColScratch(len(parts))
+	defer putColScratch(parts_j)
 	for j := range cols {
-		parts_j := make([]*Column, len(parts))
 		for i, p := range parts {
 			parts_j[i] = p.cols[j]
 		}

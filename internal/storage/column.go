@@ -292,6 +292,48 @@ func (c *Column) Gather(idx []int32) *Column {
 	}
 }
 
+// newGatherDst allocates a gather destination of c's kind with n rows,
+// sharing the dictionary (Gather never rewrites codes).
+func (c *Column) newGatherDst(n int) *Column {
+	out := &Column{name: c.name, kind: c.kind, dict: c.dict}
+	switch c.kind {
+	case KindUint32, KindString:
+		out.u32 = make([]uint32, n)
+	case KindUint64:
+		out.u64 = make([]uint64, n)
+	case KindInt64:
+		out.i64 = make([]int64, n)
+	case KindFloat64:
+		out.f64 = make([]float64, n)
+	default:
+		panic(fmt.Sprintf("storage: gather on invalid column %q", c.name))
+	}
+	return out
+}
+
+// gatherRange writes rows idx[lo:hi] of c into positions [lo, hi) of the
+// preallocated destination; disjoint ranges may be filled concurrently.
+func (c *Column) gatherRange(dst *Column, idx []int32, lo, hi int) {
+	switch c.kind {
+	case KindUint32, KindString:
+		for i := lo; i < hi; i++ {
+			dst.u32[i] = c.u32[idx[i]]
+		}
+	case KindUint64:
+		for i := lo; i < hi; i++ {
+			dst.u64[i] = c.u64[idx[i]]
+		}
+	case KindInt64:
+		for i := lo; i < hi; i++ {
+			dst.i64[i] = c.i64[idx[i]]
+		}
+	case KindFloat64:
+		for i := lo; i < hi; i++ {
+			dst.f64[i] = c.f64[idx[i]]
+		}
+	}
+}
+
 // Slice returns a column viewing rows [lo, hi) of c without copying.
 func (c *Column) Slice(lo, hi int) *Column {
 	nc := *c

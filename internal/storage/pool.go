@@ -1,0 +1,51 @@
+package storage
+
+import "sync"
+
+// Buffer pools for the morsel executor's hot allocations. Only buffers whose
+// lifetime is provably bounded are pooled: selection-index slices (consumed
+// by Gather before the caller returns) and Concat's per-column scratch.
+// Column and Relation shells are never pooled — ProjectRel and Slice alias
+// column pointers into downstream results, so their lifetime is unbounded.
+
+var int32Pool = sync.Pool{
+	New: func() any { return make([]int32, 0, 4096) },
+}
+
+// GetInt32s returns a zero-length []int32 with at least the given capacity,
+// drawn from a pool when possible. Release it with PutInt32s once no live
+// reference to its backing array remains.
+func GetInt32s(capacity int) []int32 {
+	buf := int32Pool.Get().([]int32)
+	if cap(buf) < capacity {
+		return make([]int32, 0, capacity)
+	}
+	return buf[:0]
+}
+
+// PutInt32s returns a buffer obtained from GetInt32s to the pool.
+func PutInt32s(buf []int32) {
+	if cap(buf) == 0 {
+		return
+	}
+	int32Pool.Put(buf[:0]) //nolint:staticcheck // slice header allocation is amortised
+}
+
+var colScratchPool = sync.Pool{
+	New: func() any { return make([]*Column, 0, 16) },
+}
+
+func getColScratch(n int) []*Column {
+	buf := colScratchPool.Get().([]*Column)
+	if cap(buf) < n {
+		return make([]*Column, n)
+	}
+	return buf[:n]
+}
+
+func putColScratch(buf []*Column) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	colScratchPool.Put(buf[:0]) //nolint:staticcheck
+}

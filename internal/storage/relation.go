@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Relation is a named, ordered collection of equal-length columns.
@@ -159,6 +160,39 @@ func (r *Relation) Gather(idx []int32) *Relation {
 	for i, c := range r.cols {
 		cols[i] = c.Gather(idx)
 	}
+	return MustNewRelation(r.name, cols...)
+}
+
+// minGatherPar is the smallest gather worth forking goroutines for.
+const minGatherPar = 1 << 14
+
+// GatherPar is Gather with the row copies fanned across workers: every
+// column's output is preallocated and contiguous ranges of idx are written
+// into disjoint output ranges concurrently, so the result is identical to
+// Gather for any worker count.
+func (r *Relation) GatherPar(idx []int32, workers int) *Relation {
+	if workers <= 1 || len(idx) < minGatherPar {
+		return r.Gather(idx)
+	}
+	cols := make([]*Column, len(r.cols))
+	chunk := (len(idx) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for ci, c := range r.cols {
+		dst := c.newGatherDst(len(idx))
+		cols[ci] = dst
+		for lo := 0; lo < len(idx); lo += chunk {
+			hi := lo + chunk
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			wg.Add(1)
+			go func(src, dst *Column, lo, hi int) {
+				defer wg.Done()
+				src.gatherRange(dst, idx, lo, hi)
+			}(c, dst, lo, hi)
+		}
+	}
+	wg.Wait()
 	return MustNewRelation(r.name, cols...)
 }
 

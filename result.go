@@ -30,6 +30,7 @@ type OpStat struct {
 	Wall      time.Duration // time in the operator, inclusive of inputs
 	Self      time.Duration // Wall minus the inputs' Wall
 	PeakBytes int64         // high-water estimate of bytes held
+	DOP       int64         // effective degree of parallelism (1 = serial)
 }
 
 // Stats returns the per-operator execution profile in pre-order (root
