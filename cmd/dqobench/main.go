@@ -7,6 +7,7 @@
 //	dqobench -experiment figure5 [-execute]
 //	dqobench -experiment ablations [-n 10000000]
 //	dqobench -experiment scaling [-n 100000000] [-workers 8]
+//	dqobench -experiment budget [-n 100000000]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -14,7 +15,10 @@
 // -execute the winning plans are also run and timed); ablations runs the
 // A1-A5 design-choice sweeps of DESIGN.md; scaling sweeps the
 // morsel-parallel kernels (group-by, join, sort, filter pipe) from 1 to
-// -workers workers and prints per-query speedup over serial.
+// -workers workers and prints per-query speedup over serial; budget sweeps
+// a per-query memory limit over a high-cardinality grouping query and shows
+// the optimiser trading hash aggregation for sort-based plans as the budget
+// tightens.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -76,11 +80,14 @@ func main() {
 		run("ablations", func() error { return runAblations(*n, *seed) })
 	case "scaling":
 		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
+	case "budget":
+		run("budget", func() error { return runBudget(*n, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
 		run("ablations", func() error { return runAblations(*n, *seed) })
 		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
+		run("budget", func() error { return runBudget(*n, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -159,5 +166,17 @@ func runScaling(n, workers int, seed uint64) error {
 		sn = 100000
 	}
 	_, err := benchkit.RunScaling(sn, 10000, workers, seed, os.Stdout)
+	return err
+}
+
+func runBudget(n int, seed uint64) error {
+	// The budget sweep runs at a thousandth of the figure4 scale: several
+	// optimise+execute rounds over a half-distinct grouping relation, some
+	// of which land on deliberately slow low-memory plans.
+	bn := n / 1000
+	if bn < 100000 {
+		bn = 100000
+	}
+	_, err := benchkit.RunBudget(bn, bn/2, seed, os.Stdout)
 	return err
 }

@@ -16,11 +16,14 @@
 //	\av crack   <tbl> <col> materialise an adaptive (cracked) index AV
 //	\avs                    list materialised AVs
 //	\stats                  toggle the per-operator execution profile
+//	\mem <bytes|off>        set a per-query memory budget (e.g. \mem 4194304)
+//	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
 //	\demo sorted|unsorted [sparse]   regenerate demo tables
 //	\quit
 //
 // Ctrl-C during a query cancels that query (through the morsel executor's
-// context plumbing) and returns to the prompt; it does not exit the shell.
+// context plumbing) and returns to the prompt; a second Ctrl-C while the
+// query is still unwinding exits the shell cleanly.
 package main
 
 import (
@@ -30,7 +33,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"dqo"
 	"dqo/internal/datagen"
@@ -41,6 +46,7 @@ func main() {
 	loadDemo(db, true, true)
 	mode := dqo.ModeDQO
 	showStats := false
+	opts := dqo.QueryOptions{}
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
 	fmt.Println(`Try: SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A LIMIT 5`)
@@ -59,7 +65,7 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line, showStats)
+			runQuery(db, mode, line, showStats, opts)
 			continue
 		}
 		fields := strings.Fields(line)
@@ -137,6 +143,40 @@ func main() {
 			}
 		case `\avs`:
 			fmt.Println(db.DescribeAVs())
+		case `\mem`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\mem <bytes|off>")
+				continue
+			}
+			if fields[1] == "off" {
+				opts.MemoryLimit = 0
+				fmt.Println("memory budget off.")
+				continue
+			}
+			n, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || n <= 0 {
+				fmt.Println("want a positive byte count or off")
+				continue
+			}
+			opts.MemoryLimit = n
+			fmt.Printf("memory budget %d bytes per query.\n", n)
+		case `\timeout`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\timeout <duration|off>")
+				continue
+			}
+			if fields[1] == "off" {
+				opts.Timeout = 0
+				fmt.Println("timeout off.")
+				continue
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				fmt.Println("want a positive duration (e.g. 500ms, 2s) or off")
+				continue
+			}
+			opts.Timeout = d
+			fmt.Printf("timeout %v per query.\n", d)
 		case `\stats`:
 			showStats = !showStats
 			if showStats {
@@ -163,19 +203,38 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool) {
-	// Ctrl-C while the query runs cancels the context; the executor unwinds
-	// at the next morsel boundary and we return to the prompt.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	res, err := db.QueryContext(ctx, mode, query)
-	stop()
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions) {
+	// First Ctrl-C while the query runs cancels its context; the executor
+	// unwinds at the next morsel boundary and we return to the prompt. A
+	// second Ctrl-C (query stuck or user impatient) exits the shell cleanly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-sig:
+			fmt.Println("\ninterrupted twice — exiting.")
+			os.Exit(0)
+		case <-done:
+		}
+	}()
+	res, err := db.QueryContextOptions(ctx, mode, query, opts)
+	close(done)
+	signal.Stop(sig)
 	if err != nil {
-		// stop() cancels ctx, so inspect the error itself: only a query the
-		// executor aborted reports the context's error.
-		if errors.Is(err, context.Canceled) {
-			fmt.Println("query cancelled")
-		} else {
-			fmt.Println("error:", err)
+		// cancel() above fires after the query returns too, so inspect the
+		// error itself: only a query the executor aborted reports it.
+		printQueryError(err)
+		if showStats && res != nil {
+			fmt.Print(res.StatsString())
 		}
 		return
 	}
@@ -185,6 +244,27 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool) {
 	fmt.Print(clip(res.String(), 20))
 	if showStats {
 		fmt.Print(res.StatsString())
+	}
+}
+
+// printQueryError reports a failed query with a distinct message per kind
+// from the typed error taxonomy, so a cancelled query, an expired deadline,
+// a blown memory budget, a full admission queue, and an engine bug all read
+// differently at the prompt.
+func printQueryError(err error) {
+	switch {
+	case errors.Is(err, dqo.ErrCancelled):
+		fmt.Println("query cancelled")
+	case errors.Is(err, dqo.ErrTimeout):
+		fmt.Println("query timed out:", err)
+	case errors.Is(err, dqo.ErrMemoryBudgetExceeded):
+		fmt.Println("memory budget exceeded:", err)
+	case errors.Is(err, dqo.ErrQueueFull):
+		fmt.Println("rejected by admission control:", err)
+	case errors.Is(err, dqo.ErrInternal):
+		fmt.Println("internal engine error:", err)
+	default:
+		fmt.Println("error:", err)
 	}
 }
 

@@ -5,13 +5,16 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"dqo/internal/av"
 	"dqo/internal/core"
 	"dqo/internal/exec"
+	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/logical"
 	"dqo/internal/physio"
+	"dqo/internal/qerr"
 	"dqo/internal/sql"
 	"dqo/internal/storage"
 )
@@ -69,6 +72,24 @@ type DB struct {
 	avs        *av.Catalog
 	planCache  *av.PlanCache
 	cachePlans bool
+	admission  *govern.Gate
+}
+
+// SetAdmission installs a DB-level admission gate: at most maxActive
+// queries execute at once, at most maxQueue more wait for a slot, and
+// anything beyond that is rejected immediately with ErrQueueFull. A query
+// whose context dies while queued returns ErrCancelled/ErrTimeout without
+// ever running. maxActive <= 0 removes the gate (unlimited admission).
+func (db *DB) SetAdmission(maxActive, maxQueue int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.admission = govern.NewGate(maxActive, maxQueue)
+}
+
+func (db *DB) gate() *govern.Gate {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.admission
 }
 
 // Open returns an empty database.
@@ -147,8 +168,9 @@ func (c catalogView) Table(name string) (*storage.Relation, bool) {
 
 // compile parses, binds, and optimises a query. workers > 0 overrides the
 // degree of parallelism offered to the optimiser's enumeration (0 keeps the
-// mode's default).
-func (db *DB) compile(mode Mode, query string, workers int) (*core.Result, *sql.SelectStmt, error) {
+// mode's default); memLimit > 0 makes the optimiser prune plan alternatives
+// whose estimated peak memory exceeds it.
+func (db *DB) compile(mode Mode, query string, workers int, memLimit int64) (*core.Result, *sql.SelectStmt, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, nil, err
@@ -164,6 +186,9 @@ func (db *DB) compile(mode Mode, query string, workers int) (*core.Result, *sql.
 	if workers > 0 {
 		cm.DOP = workers
 	}
+	if memLimit > 0 {
+		cm.MemBudget = memLimit
+	}
 	prov := av.Qualified{Cat: db.avs, Aliases: aliasMap(stmt)}
 	cm = cm.WithAVs(prov, prov).WithCracked(prov)
 
@@ -171,10 +196,10 @@ func (db *DB) compile(mode Mode, query string, workers int) (*core.Result, *sql.
 	useCache := db.cachePlans
 	db.mu.RUnlock()
 	if useCache {
-		// The chosen plan depends on the DOP dimension, so the cache key
-		// must too: the same statement planned at different worker counts
-		// may pick different (serial vs parallel) granules.
-		key := fmt.Sprintf("%s|dop=%d|%s", mode, cm.DOP, stmt)
+		// The chosen plan depends on the DOP and memory-budget dimensions,
+		// so the cache key must too: the same statement planned at different
+		// worker counts or budgets may pick different granules.
+		key := fmt.Sprintf("%s|dop=%d|mem=%d|%s", mode, cm.DOP, cm.MemBudget, stmt)
 		res, _, err := db.planCache.Optimize(key, node, cm)
 		return res, stmt, err
 	}
@@ -197,6 +222,17 @@ type QueryOptions struct {
 	// MorselSize is the execution batch row count; <= 0 selects
 	// exec.DefaultMorselSize.
 	MorselSize int
+	// MemoryLimit, when > 0, caps the query's working memory in bytes. The
+	// optimiser prunes plan alternatives whose estimated footprint exceeds
+	// it (hash aggregation degrades to sort-based, parallel kernels to
+	// serial), and at run time materialising operators reserve against a
+	// budget that fails the query with ErrMemoryBudgetExceeded rather than
+	// allocating past the limit. 0 means unlimited — plans are byte-identical
+	// to a query without the option.
+	MemoryLimit int64
+	// Timeout, when > 0, bounds the query's wall-clock time; on expiry the
+	// query aborts at the next morsel boundary with ErrTimeout.
+	Timeout time.Duration
 }
 
 // QueryContext optimises and executes a SQL query under the given mode,
@@ -212,13 +248,28 @@ func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Resul
 	return db.QueryContextOptions(ctx, mode, query, QueryOptions{})
 }
 
-// QueryContextOptions is QueryContext with explicit worker-pool and morsel
-// sizing.
+// QueryContextOptions is QueryContext with explicit worker-pool, morsel,
+// memory-limit, deadline, and admission behaviour. Every failure is typed:
+// errors.Is(err, ErrCancelled / ErrTimeout / ErrMemoryBudgetExceeded /
+// ErrQueueFull / ErrInternal) discriminates the cause. When execution fails
+// mid-pipeline, the returned *Result is non-nil alongside the error and
+// carries the plan plus the partial execution profile (Result.Stats,
+// Result.Err); its data accessors report no rows.
 func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, opts QueryOptions) (*Result, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	if err := ctx.Err(); err != nil {
+		return nil, qerr.From(err)
+	}
+	release, err := db.gate().Enter(ctx)
+	if err != nil {
 		return nil, err
 	}
-	res, stmt, err := db.compile(mode, query, opts.Workers)
+	defer release()
+	res, stmt, err := db.compile(mode, query, opts.Workers, opts.MemoryLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -229,10 +280,14 @@ func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, 
 	if stmt.Limit >= 0 {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
-	ec := exec.NewExecContext(ctx, opts.MorselSize, opts.Workers)
+	var mem *govern.Budget
+	if opts.MemoryLimit > 0 {
+		mem = govern.NewBudget(opts.MemoryLimit)
+	}
+	ec := exec.NewExecContextBudget(ctx, opts.MorselSize, opts.Workers, mem)
 	rel, err := exec.Run(ec, root)
 	if err != nil {
-		return nil, err
+		return &Result{plan: res, profile: exec.CollectProfile(root), err: err}, err
 	}
 	rel = applyAliases(rel, stmt)
 	return &Result{rel: rel, plan: res, profile: exec.CollectProfile(root)}, nil
@@ -241,7 +296,7 @@ func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, 
 // Explain returns the chosen physical plan for a query without executing
 // it: operators, estimated costs and cardinalities, and property vectors.
 func (db *DB) Explain(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0)
+	res, _, err := db.compile(mode, query, 0, 0)
 	if err != nil {
 		return "", err
 	}
@@ -254,7 +309,7 @@ func (db *DB) Explain(mode Mode, query string) (string, error) {
 // ExplainDeep is Explain plus the granule tree (the paper's Figure 3 view)
 // of every chosen join and grouping implementation.
 func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0)
+	res, _, err := db.compile(mode, query, 0, 0)
 	if err != nil {
 		return "", err
 	}
@@ -265,7 +320,7 @@ func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
 // step-by-step unnesting chain from each logical operator to the fully
 // resolved deep implementation, with the physicality measure at every step.
 func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0)
+	res, _, err := db.compile(mode, query, 0, 0)
 	if err != nil {
 		return "", err
 	}

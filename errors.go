@@ -1,0 +1,24 @@
+package dqo
+
+import "dqo/internal/qerr"
+
+// The typed error taxonomy every query failure maps onto. Match with
+// errors.Is; the underlying cause (e.g. context.DeadlineExceeded under
+// ErrTimeout) stays reachable through errors.Is/As as well.
+var (
+	// ErrCancelled reports a query aborted by context cancellation.
+	ErrCancelled = qerr.ErrCancelled
+	// ErrTimeout reports a query aborted by its deadline
+	// (QueryOptions.Timeout or a context deadline).
+	ErrTimeout = qerr.ErrTimeout
+	// ErrMemoryBudgetExceeded reports a query that hit its
+	// QueryOptions.MemoryLimit: the reservation that would have passed the
+	// limit failed instead of allocating.
+	ErrMemoryBudgetExceeded = qerr.ErrMemoryBudgetExceeded
+	// ErrQueueFull reports a query rejected by the admission gate
+	// (SetAdmission) because all slots and queue positions were taken.
+	ErrQueueFull = qerr.ErrQueueFull
+	// ErrInternal reports a panic inside the execution engine, converted to
+	// an error with the panic site's stack trace attached.
+	ErrInternal = qerr.ErrInternal
+)

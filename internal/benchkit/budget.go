@@ -1,0 +1,149 @@
+package benchkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dqo/internal/core"
+	"dqo/internal/datagen"
+	"dqo/internal/expr"
+	"dqo/internal/govern"
+	"dqo/internal/logical"
+	"dqo/internal/qerr"
+)
+
+// BudgetRow is one measured point of the memory-budget sweep: a grouping
+// query optimised and executed under one MemoryLimit setting.
+type BudgetRow struct {
+	LimitBytes int64   // 0 = unlimited
+	Plan       string  // compact summary of the chosen plan
+	DOP        int     // chosen grouping parallelism (1 = serial)
+	EstMem     float64 // optimiser's peak-footprint estimate for that plan (bytes)
+	PeakBytes  int64   // runtime high-water mark of the budget (0 when unlimited)
+	Millis     float64
+	Status     string // "ok" or the failure kind
+}
+
+// RunBudget demonstrates graceful degradation under a per-query memory
+// budget on a high-cardinality grouping query. The sweep descends
+// adaptively: each rung's limit is set just below the previous rung's
+// chosen-plan footprint, so every rung forces the optimiser to abandon that
+// plan for the next-cheapest alternative that fits — typically parallel
+// hash aggregation, then serial, then a sort-based plan. The final rung
+// starves the query below any plan's footprint: the optimiser keeps the
+// minimum-footprint fallback and the run fails cleanly with
+// ErrMemoryBudgetExceeded instead of allocating past the limit.
+func RunBudget(n, groups int, seed uint64, w io.Writer) ([]BudgetRow, error) {
+	q := datagen.Quadrant{Sorted: false, Dense: false}
+	rel := datagen.GroupingRelation(seed, n, groups, q)
+	aggs := []expr.AggSpec{{Func: expr.AggCount}, {Func: expr.AggSum, Col: "val"}}
+	query := &logical.GroupBy{
+		Input: &logical.Scan{Table: "T", Rel: rel},
+		Key:   "key",
+		Aggs:  aggs,
+	}
+
+	// The calibrated model prices parallelism, so the unconstrained best
+	// plan is the parallel one and the budget has a DOP rung to take away.
+	// DOP is pinned so the rungs are machine-independent.
+	newMode := func() core.Mode {
+		m := core.DQOCalibrated()
+		m.DOP = 4
+		return m
+	}
+
+	fmt.Fprintf(w, "# memory-budget sweep: SELECT key, COUNT(*), SUM(val) FROM T GROUP BY key\n")
+	fmt.Fprintf(w, "# n=%d groups=%d; each limit sits just below the previous plan's footprint\n", n, groups)
+	fmt.Fprintf(w, "%-14s  %-30s %4s %9s %9s %9s  %s\n",
+		"limit", "chosen plan", "dop", "est MB", "peak MB", "ms", "status")
+
+	var rows []BudgetRow
+	var m0 float64 // unconstrained footprint, anchor for the starvation rung
+	limit := int64(0)
+	for rung := 0; rung < 5; rung++ {
+		mode := newMode()
+		mode.MemBudget = limit
+		res, err := core.Optimize(query, mode)
+		if err != nil {
+			return nil, err
+		}
+		if rung == 0 {
+			m0 = res.Best.Mem
+		}
+		rows = append(rows, runBudgetRung(res, limit, w))
+		next := int64(res.Best.Mem) - 1
+		if limit > 0 && next >= limit {
+			break // fallback regime: no plan fits, nothing left to take away
+		}
+		limit = next
+	}
+
+	// Starvation rung: far below any plan, the query must fail with the
+	// typed error rather than allocate.
+	starve := int64(0.02 * m0)
+	if starve < 1 {
+		starve = 1
+	}
+	mode := newMode()
+	mode.MemBudget = starve
+	res, err := core.Optimize(query, mode)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, runBudgetRung(res, starve, w))
+	return rows, nil
+}
+
+// runBudgetRung executes the chosen plan under the given limit and prints
+// one table row.
+func runBudgetRung(res *core.Result, limit int64, w io.Writer) BudgetRow {
+	var mem *govern.Budget
+	if limit > 0 {
+		mem = govern.NewBudget(limit)
+	}
+	start := time.Now()
+	_, _, runErr := core.ExecuteContext(context.Background(), res.Best, core.ExecOptions{Mem: mem})
+	row := BudgetRow{
+		LimitBytes: limit,
+		Plan:       planSummary(res.Best),
+		DOP:        groupDOP(res.Best),
+		EstMem:     res.Best.Mem,
+		PeakBytes:  mem.Peak(),
+		Millis:     float64(time.Since(start).Microseconds()) / 1000.0,
+		Status:     "ok",
+	}
+	if runErr != nil {
+		switch {
+		case errors.Is(runErr, qerr.ErrMemoryBudgetExceeded):
+			row.Status = "memory budget exceeded"
+		default:
+			row.Status = runErr.Error()
+		}
+	}
+	lim := "unlimited"
+	if limit > 0 {
+		lim = fmt.Sprintf("%.2f MB", float64(limit)/(1<<20))
+	}
+	fmt.Fprintf(w, "%-14s  %-30s %4d %9.2f %9.2f %9.2f  %s\n",
+		lim, row.Plan, row.DOP, row.EstMem/(1<<20), float64(row.PeakBytes)/(1<<20), row.Millis, row.Status)
+	return row
+}
+
+// groupDOP reports the parallelism of the plan's top grouping operator.
+func groupDOP(p *core.Plan) int {
+	if p.Op == core.OpGroup {
+		if dop := p.Group.Opt.Parallel; dop > 1 {
+			return dop
+		}
+		return 1
+	}
+	for _, c := range p.Children {
+		if d := groupDOP(c); d > 0 {
+			return d
+		}
+	}
+	return 1
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dqo/internal/exec"
+	"dqo/internal/govern"
 	"dqo/internal/physical"
 	"dqo/internal/storage"
 )
@@ -24,6 +25,10 @@ type ExecOptions struct {
 	MorselSize int
 	// Workers bounds the query's worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Mem is the query's memory budget; nil = unlimited. Materialising
+	// operators and kernels reserve against it and fail the query with
+	// qerr.ErrMemoryBudgetExceeded instead of allocating past the limit.
+	Mem *govern.Budget
 }
 
 // Compile lowers an optimised plan to its operator tree. The tree is
@@ -78,10 +83,11 @@ func Compile(p *Plan) (exec.Operator, error) {
 		}
 		key, kind, dop := p.SortKey, p.SortKind, p.DOP
 		b := exec.NewBreaker1(p.Label(), child, func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+			w := 1
 			if dop > 1 {
-				return physical.SortRelPar(in, key, kind, ec.EffectiveDOP(dop))
+				w = ec.EffectiveDOP(dop)
 			}
-			return physical.SortRel(in, key, kind)
+			return physical.SortRelParCtl(in, key, kind, w, ec.Ctl())
 		})
 		b.SetDOP(dop)
 		return b, nil
@@ -96,6 +102,7 @@ func Compile(p *Plan) (exec.Operator, error) {
 			if o.Parallel > 1 {
 				o.Parallel = ec.EffectiveDOP(o.Parallel)
 			}
+			o.Ctl = ec.Ctl()
 			return physical.GroupByRelDom(in, key, aggs, kind, o, dom)
 		})
 		b.SetDOP(opt.Parallel)
@@ -115,6 +122,7 @@ func Compile(p *Plan) (exec.Operator, error) {
 			if o.Parallel > 1 {
 				o.Parallel = ec.EffectiveDOP(o.Parallel)
 			}
+			o.Ctl = ec.Ctl()
 			return o
 		}
 		var kernel func(ec *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error)
@@ -178,18 +186,21 @@ func compilePipe(p *Plan) (exec.Operator, bool) {
 // ExecuteContext compiles p and runs it through the morsel executor under
 // ctx, returning the result relation and the per-operator execution
 // profile. A cancelled context aborts the run at the next morsel boundary
-// with ctx's error.
+// with ctx's error. On failure the partial profile (whatever the operators
+// counted before the abort) is returned alongside the typed error, so
+// callers can report how far a failed query got.
 func ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) (*storage.Relation, exec.Profile, error) {
 	root, err := Compile(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	ec := exec.NewExecContext(ctx, opts.MorselSize, opts.Workers)
+	ec := exec.NewExecContextBudget(ctx, opts.MorselSize, opts.Workers, opts.Mem)
 	rel, err := exec.Run(ec, root)
+	prof := exec.CollectProfile(root)
 	if err != nil {
-		return nil, nil, err
+		return nil, prof, err
 	}
-	return rel, exec.CollectProfile(root), nil
+	return rel, prof, nil
 }
 
 // Execute runs the plan through the morsel executor with default options

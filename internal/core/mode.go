@@ -40,6 +40,13 @@ type Mode struct {
 	TrackProbeOrder bool
 	// Model is the cost model to minimise.
 	Model cost.Model
+	// MemBudget, when > 0, makes the optimiser prune alternatives whose
+	// estimated peak working memory (Plan.Mem) exceeds it — hash aggregation
+	// degrades to sort-based, parallel variants with per-worker state to
+	// serial. If every alternative at a site exceeds the budget, the single
+	// smallest survives and the runtime govern.Budget enforces the limit.
+	// 0 leaves enumeration exactly as without the budget dimension.
+	MemBudget int64
 	// Scans optionally supplies Algorithmic-View access paths (sorted
 	// projections) per table.
 	Scans ScanProvider

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"dqo/internal/cost"
 	"dqo/internal/logical"
 	"dqo/internal/physical"
 	"dqo/internal/physio"
@@ -123,6 +125,64 @@ func (o *optimizer) keepPareto(plans []*Plan) []*Plan {
 	return out
 }
 
+// setFootprint derives the node's estimated output row width and peak
+// resident memory (Plan.Width / Plan.Mem) from its children: breakers
+// account their materialised input, kernel working set, and output;
+// streaming operators only what their consumer accumulates. Join and group
+// nodes compute theirs inline where the distinct counts are at hand.
+func setFootprint(p *Plan) {
+	switch p.Op {
+	case OpScan:
+		p.Width = 8
+		if n := p.Rel.NumRows(); n > 0 {
+			p.Width = float64(p.Rel.MemBytes()) / float64(n)
+		}
+		p.Mem = 0 // morsels are zero-copy views of the base table
+	case OpFilter:
+		c := p.Children[0]
+		p.Width = c.Width
+		p.Mem = math.Max(c.Mem, p.Rows*p.Width)
+	case OpProject:
+		c := p.Children[0]
+		p.Width = 8 * float64(len(p.Cols))
+		if c.Width > 0 && p.Width > c.Width {
+			p.Width = c.Width
+		}
+		p.Mem = c.Mem
+	case OpSort:
+		c := p.Children[0]
+		p.Width = c.Width
+		resident := c.Rows*c.Width + cost.MemSort(c.Rows, p.DOP > 1) + p.Rows*p.Width
+		p.Mem = math.Max(c.Mem, resident)
+	}
+}
+
+// pruneMem drops alternatives whose estimated peak memory exceeds the
+// mode's budget; if every alternative exceeds it the single smallest
+// survives, so optimisation still returns a plan and the runtime budget
+// enforces the limit. MemBudget <= 0 returns plans untouched, keeping
+// budget-free enumeration byte-identical.
+func (o *optimizer) pruneMem(plans []*Plan) []*Plan {
+	if o.mode.MemBudget <= 0 || len(plans) == 0 {
+		return plans
+	}
+	budget := float64(o.mode.MemBudget)
+	out := make([]*Plan, 0, len(plans))
+	minP := plans[0]
+	for _, p := range plans {
+		if p.Mem < minP.Mem {
+			minP = p
+		}
+		if p.Mem <= budget {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return []*Plan{minP}
+	}
+	return out
+}
+
 // restrict hides the properties the mode does not track — the SQO/DQO
 // delta. SQO keeps sortedness (and what follows from it) but is blind to
 // density: its property vector simply never contains a dense domain, so
@@ -182,6 +242,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 			Rows:  rows,
 		}
 		p.Cost = o.mode.Model.Scan(p.Rows)
+		setFootprint(p)
 		o.stats.Alternatives++
 		out := []*Plan{p}
 		if o.mode.Scans != nil {
@@ -195,6 +256,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 					Rows:  rows,
 					Cost:  o.mode.Model.Scan(rows),
 				}
+				setFootprint(vp)
 				o.stats.Alternatives++
 				out = append(out, vp)
 			}
@@ -218,6 +280,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 				Rows:  rows,
 				Cost:  c.Cost + o.mode.Model.Filter(c.Rows),
 			}
+			setFootprint(p)
 			o.stats.Alternatives++
 			out = append(out, p)
 			// Parallel variant: fan the streaming segment below across a
@@ -226,12 +289,14 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 			// purely a cost trade the model prices with its Parallel term.
 			if dop := o.dop(); dop > 1 && isStreamSegment(c) {
 				o.stats.Alternatives++
-				out = append(out, &Plan{
+				pp := &Plan{
 					Op: OpFilter, Children: []*Plan{c}, Pred: n.Pred, DOP: dop,
 					Props: c.Props,
 					Rows:  rows,
 					Cost:  c.Cost + o.mode.Model.Parallel(o.mode.Model.Filter(c.Rows), dop),
-				})
+				}
+				setFootprint(pp)
+				out = append(out, pp)
 			}
 		}
 		// Adaptive-index AV: a range filter directly over a base scan can be
@@ -247,8 +312,9 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 							Rows:  logical.Estimate(scan),
 							Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
 						}
+						setFootprint(base)
 						o.stats.Alternatives++
-						out = append(out, &Plan{
+						cp := &Plan{
 							Op: OpFilter, Children: []*Plan{base}, Pred: n.Pred,
 							AV: idx.Label(), Crack: idx, CrackLo: lo, CrackHi: hi,
 							Props: base.Props.DropOrder(),
@@ -256,7 +322,9 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 							// Only qualifying rows are touched (cracking
 							// cost amortises to ~zero over a workload).
 							Cost: base.Cost + o.mode.Model.Filter(rows),
-						})
+						}
+						setFootprint(cp)
+						out = append(out, cp)
 					}
 				}
 			}
@@ -283,6 +351,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 				Rows:  c.Rows,
 				Cost:  c.Cost,
 			}
+			setFootprint(p)
 			o.stats.Alternatives++
 			out = append(out, p)
 		}
@@ -298,10 +367,12 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 			if c.Props.SortedOn(n.Key) {
 				// Already sorted: the sort is a no-op; keep the child as-is
 				// wrapped for plan-shape fidelity at zero cost.
-				out = append(out, &Plan{
+				np := &Plan{
 					Op: OpSort, Children: []*Plan{c}, SortKey: n.Key, SortKind: sortx.Radix,
 					Props: c.Props, Rows: c.Rows, Cost: c.Cost,
-				})
+				}
+				setFootprint(np)
+				out = append(out, np)
 				o.stats.Alternatives++
 				continue
 			}
@@ -309,7 +380,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 				out = append(out, o.sortVariants(c, n.Key, sk, false)...)
 			}
 		}
-		return o.keepPareto(out), nil
+		return o.keepPareto(o.pruneMem(out)), nil
 
 	case *logical.Join:
 		return o.optimizeJoin(n)
@@ -340,13 +411,15 @@ func (o *optimizer) joinOutProps(ch physio.JoinChoice, build, probe props.Set, b
 // sortPlan wraps child in a sort by key (enforcer or user sort).
 func (o *optimizer) sortPlan(child *Plan, key string, sk sortx.Kind, enforcer bool) *Plan {
 	o.stats.Alternatives++
-	return &Plan{
+	p := &Plan{
 		Op: OpSort, Children: []*Plan{child},
 		SortKey: key, SortKind: sk, Enforcer: enforcer,
 		Props: child.Props.AfterSortBy(key),
 		Rows:  child.Rows,
 		Cost:  child.Cost + o.mode.Model.SortBy(child.Rows, sk),
 	}
+	setFootprint(p)
+	return p
 }
 
 // sortVariants enumerates the serial sort plus, at deep DOP > 1, its
@@ -356,13 +429,15 @@ func (o *optimizer) sortVariants(child *Plan, key string, sk sortx.Kind, enforce
 	out := []*Plan{o.sortPlan(child, key, sk, enforcer)}
 	if dop := o.dop(); dop > 1 {
 		o.stats.Alternatives++
-		out = append(out, &Plan{
+		pp := &Plan{
 			Op: OpSort, Children: []*Plan{child},
 			SortKey: key, SortKind: sk, Enforcer: enforcer, DOP: dop,
 			Props: child.Props.AfterSortBy(key),
 			Rows:  child.Rows,
 			Cost:  child.Cost + o.mode.Model.Parallel(o.mode.Model.SortBy(child.Rows, sk), dop),
-		})
+		}
+		setFootprint(pp)
+		out = append(out, pp)
 	}
 	return out
 }
@@ -423,6 +498,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 					Rows:   rows,
 					Cost:   lp.Cost + rp.Cost + o.mode.Model.Join(ch, lp.Rows, rp.Rows, keyDistinct),
 				}
+				setJoinFootprint(p, lp, rp, cost.MemJoin(ch, lp.Rows, rp.Rows, keyDistinct, rows))
 				out = append(out, p)
 			}
 			for i := range swapChoices {
@@ -441,6 +517,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 					Rows:   rows,
 					Cost:   lp.Cost + rp.Cost + o.mode.Model.Join(ch, rp.Rows, lp.Rows, rightDistinct),
 				}
+				setJoinFootprint(p, lp, rp, cost.MemJoin(ch, rp.Rows, lp.Rows, rightDistinct, rows))
 				out = append(out, p)
 			}
 		}
@@ -457,6 +534,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 					Rows:  logical.Estimate(scan),
 					Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
 				}
+				setFootprint(base)
 				kind := physical.HJ
 				if idx.SPH() {
 					kind = physical.SPHJ
@@ -468,7 +546,7 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 				for _, rp := range rights {
 					o.stats.Alternatives++
 					outProps := o.joinOutProps(ch, base.Props, rp.Props, n.LeftKey, n.RightKey)
-					out = append(out, &Plan{
+					ap := &Plan{
 						Op: OpJoin, Children: []*Plan{base, rp},
 						Join: ch, LeftKey: n.LeftKey, RightKey: n.RightKey,
 						AV: idx.Label(), Index: idx,
@@ -477,7 +555,10 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 						Rows:   rows,
 						// Build side already materialised: charge probe only.
 						Cost: base.Cost + rp.Cost + o.mode.Model.Join(ch, 0, rp.Rows, keyDistinct),
-					})
+					}
+					// Build side prepaid offline: no build working set.
+					setJoinFootprint(ap, base, rp, cost.MemJoin(ch, 0, rp.Rows, keyDistinct, rows))
+					out = append(out, ap)
 				}
 			}
 		}
@@ -485,7 +566,16 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no applicable join implementation for %s", n)
 	}
-	return o.keepPareto(out), nil
+	return o.keepPareto(o.pruneMem(out)), nil
+}
+
+// setJoinFootprint fills Width/Mem for a join alternative: both inputs
+// materialised, the kernel's working set, and the emitted pair-gathered
+// output resident at once.
+func setJoinFootprint(p, lp, rp *Plan, work float64) {
+	p.Width = lp.Width + rp.Width
+	resident := lp.Rows*lp.Width + rp.Rows*rp.Width + work + p.Rows*p.Width
+	p.Mem = math.Max(math.Max(lp.Mem, rp.Mem), resident)
 }
 
 func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
@@ -522,13 +612,16 @@ func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
 				Rows:   rows,
 				Cost:   c.Cost + o.mode.Model.Group(ch, c.Rows, groups),
 			}
+			p.Width = 4 + 8*float64(len(n.Aggs))
+			resident := c.Rows*c.Width + cost.MemGroup(ch, c.Rows, groups) + rows*p.Width
+			p.Mem = math.Max(c.Mem, resident)
 			out = append(out, p)
 		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no applicable grouping implementation for %s", n)
 	}
-	return o.keepPareto(out), nil
+	return o.keepPareto(o.pruneMem(out)), nil
 }
 
 // CompareModes optimises the same logical plan under two modes and returns

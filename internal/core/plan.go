@@ -91,6 +91,38 @@ type Plan struct {
 	Props props.Set // output property vector
 	Rows  float64   // estimated output cardinality
 	Cost  float64   // cumulative estimated cost
+	// Width is the estimated output row width in bytes; Mem the estimated
+	// peak resident bytes anywhere in the subtree (materialised inputs +
+	// kernel working set + output). Modes with a MemBudget prune on Mem.
+	Width float64
+	Mem   float64
+}
+
+// Summary returns a one-line account of the chosen plan: the operator chain
+// bottom-up with the estimated cost and peak memory — what the budget sweep
+// prints per MemoryLimit step.
+func (p *Plan) Summary() string {
+	var labels []string
+	var rec func(n *Plan)
+	rec = func(n *Plan) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		labels = append(labels, n.Label())
+	}
+	rec(p)
+	return fmt.Sprintf("%s  (cost=%.0f mem=%s)", strings.Join(labels, " -> "), p.Cost, fmtMem(p.Mem))
+}
+
+func fmtMem(n float64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", n)
+	}
 }
 
 // Label returns a one-line description of this node alone.

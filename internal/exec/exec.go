@@ -24,11 +24,15 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dqo/internal/faultinject"
+	"dqo/internal/govern"
+	"dqo/internal/qerr"
 	"dqo/internal/storage"
 )
 
@@ -55,31 +59,49 @@ type Operator interface {
 }
 
 // ExecContext carries the per-query execution state shared by every
-// operator in one plan: cancellation, the morsel size, and the worker pool
-// used by parallel drains.
+// operator in one plan: cancellation, the morsel size, the worker pool used
+// by parallel drains, and the query's memory budget.
 type ExecContext struct {
 	ctx        context.Context
 	MorselSize int
 	Pool       *Pool
+	ctl        *govern.Ctl
 }
 
 // NewExecContext returns an execution context. morsel <= 0 selects
 // DefaultMorselSize; workers <= 0 selects the pool default.
 func NewExecContext(ctx context.Context, morsel, workers int) *ExecContext {
+	return NewExecContextBudget(ctx, morsel, workers, nil)
+}
+
+// NewExecContextBudget is NewExecContext with a per-query memory budget that
+// materialising operators reserve against; nil means unlimited.
+func NewExecContextBudget(ctx context.Context, morsel, workers int, mem *govern.Budget) *ExecContext {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if morsel <= 0 {
 		morsel = DefaultMorselSize
 	}
-	return &ExecContext{ctx: ctx, MorselSize: morsel, Pool: NewPool(workers)}
+	return &ExecContext{
+		ctx: ctx, MorselSize: morsel, Pool: NewPool(workers),
+		ctl: &govern.Ctl{Ctx: ctx, Mem: mem},
+	}
 }
 
 // Context returns the cancellation context.
 func (ec *ExecContext) Context() context.Context { return ec.ctx }
 
-// Err returns the context's cancellation error, if any.
-func (ec *ExecContext) Err() error { return ec.ctx.Err() }
+// Ctl returns the governance handle (cancellation + memory budget) threaded
+// into kernels. Never nil.
+func (ec *ExecContext) Ctl() *govern.Ctl { return ec.ctl }
+
+// Budget returns the query's memory budget (nil = unlimited).
+func (ec *ExecContext) Budget() *govern.Budget { return ec.ctl.Mem }
+
+// Err returns the context's cancellation error mapped onto the error
+// taxonomy (qerr.ErrCancelled / qerr.ErrTimeout), if any.
+func (ec *ExecContext) Err() error { return ec.ctl.Err() }
 
 // EffectiveDOP clamps a plan's chosen degree of parallelism to the
 // context's worker-pool size; the result is always >= 1.
@@ -157,27 +179,56 @@ func (s *OpStats) snapshot() OpStats {
 
 // Run drives root to completion under ec and reassembles the emitted
 // batches into one relation. On error (including cancellation) the
-// operator tree is closed before returning.
-func Run(ec *ExecContext, root Operator) (*storage.Relation, error) {
+// operator tree is closed before returning, every error is mapped onto the
+// qerr taxonomy, and a panic anywhere in the tree — a worker goroutine
+// rethrown by its coordinator, or the drive loop itself — surfaces as a
+// typed qerr.ErrInternal instead of killing the process.
+func Run(ec *ExecContext, root Operator) (rel *storage.Relation, err error) {
+	closed := false
+	defer func() {
+		if r := recover(); r != nil {
+			err = qerr.Internal(r, debug.Stack())
+		}
+		if err == nil {
+			return
+		}
+		if !closed {
+			closed = true
+			root.Close(ec) // releases operator reservations even on panic
+		}
+		rel = nil
+		err = qerr.From(err)
+	}()
+	var held int64
+	defer func() { ec.ctl.Release(held) }()
 	if err := root.Open(ec); err != nil {
-		root.Close(ec)
 		return nil, err
 	}
 	parts := getParts()
 	defer func() { putParts(parts) }() // closure: parts may be regrown by append
 	for {
+		if err := faultinject.Fire(faultinject.PointExecRunNext); err != nil {
+			return nil, err
+		}
 		batch, err := root.Next(ec)
 		if err != nil {
-			root.Close(ec)
 			return nil, err
 		}
 		if batch == nil {
 			break
 		}
 		if batch.NumRows() > 0 || len(parts) == 0 {
+			// The accumulated result is this loop's materialisation: charge it.
+			if n := batch.MemBytes(); n > 0 {
+				if err := ec.ctl.Reserve(n); err != nil {
+					return nil, err
+				}
+				held += n
+			}
 			parts = append(parts, batch)
 		}
 	}
+	closed = true
 	if err := root.Close(ec); err != nil {
 		return nil, err
 	}

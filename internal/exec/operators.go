@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"dqo/internal/expr"
+	"dqo/internal/faultinject"
 	"dqo/internal/physical"
 	"dqo/internal/storage"
 )
@@ -246,6 +247,7 @@ type IndexScan struct {
 	probe func() []int32
 	out   *storage.Relation
 	pos   int
+	held  int64 // bytes reserved against the query budget; released in Close
 }
 
 // NewIndexScan returns an index scan over rel; probe returns the selected
@@ -265,14 +267,27 @@ func (s *IndexScan) Next(ec *ExecContext) (*storage.Relation, error) {
 	}
 	if s.out == nil {
 		s.addRowsIn(int64(s.rel.NumRows()))
-		s.out = s.rel.Gather(s.probe())
+		idx := s.probe()
+		// Reserve the gather output before allocating it: selected rows times
+		// the base table's per-row footprint.
+		if n := s.rel.NumRows(); n > 0 {
+			need := int64(len(idx)) * (s.rel.MemBytes() / int64(n))
+			if err := ec.Ctl().Reserve(need); err != nil {
+				return nil, err
+			}
+			atomic.AddInt64(&s.held, need)
+		}
+		s.out = s.rel.Gather(idx)
 		s.peak(s.out.MemBytes())
 	}
 	return emitChunk(ec, &s.base, s.out, &s.pos)
 }
 
 // Close implements Operator.
-func (s *IndexScan) Close(ec *ExecContext) error { return nil }
+func (s *IndexScan) Close(ec *ExecContext) error {
+	ec.Ctl().Release(atomic.SwapInt64(&s.held, 0))
+	return nil
+}
 
 // Children implements Operator.
 func (s *IndexScan) Children() []Operator { return nil }
@@ -290,6 +305,7 @@ type Breaker1 struct {
 	dop    int // planned degree of parallelism for the kernel (<=1 serial)
 	out    *storage.Relation
 	pos    int
+	held   int64 // bytes reserved against the query budget; released in Close
 }
 
 // NewBreaker1 returns a unary breaker applying kernel to the materialised
@@ -317,14 +333,28 @@ func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
 		return nil, err
 	}
 	if b.out == nil {
-		in, rows, err := drain(ec, b.child)
+		in, rows, err := drain(ec, b.child, &b.held)
 		if err != nil {
 			return nil, err
 		}
 		b.addRowsIn(rows)
+		if err := faultinject.Fire(faultinject.PointExecBreaker); err != nil {
+			return nil, err
+		}
 		out, err := b.kernel(ec, in)
 		if err != nil {
 			return nil, err
+		}
+		// The drained input is dead once the kernel has consumed it: swap its
+		// reservation out and return it after charging the output, so chained
+		// breakers don't hold every pipeline stage's input simultaneously.
+		inHeld := atomic.SwapInt64(&b.held, 0)
+		defer ec.Ctl().Release(inHeld)
+		if n := out.MemBytes(); n > 0 {
+			if err := ec.Ctl().Reserve(n); err != nil {
+				return nil, err
+			}
+			atomic.AddInt64(&b.held, n)
 		}
 		b.out = out
 		b.peak(in.MemBytes() + out.MemBytes())
@@ -333,7 +363,10 @@ func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
 }
 
 // Close implements Operator.
-func (b *Breaker1) Close(ec *ExecContext) error { return b.child.Close(ec) }
+func (b *Breaker1) Close(ec *ExecContext) error {
+	ec.Ctl().Release(atomic.SwapInt64(&b.held, 0))
+	return b.child.Close(ec)
+}
 
 // Children implements Operator.
 func (b *Breaker1) Children() []Operator { return []Operator{b.child} }
@@ -348,6 +381,7 @@ type Breaker2 struct {
 	dop         int
 	out         *storage.Relation
 	pos         int
+	held        int64 // bytes reserved against the query budget; released in Close
 }
 
 // NewBreaker2 returns a binary breaker applying kernel to the two
@@ -380,15 +414,17 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 	if b.out == nil {
 		var l, r *storage.Relation
 		var lRows, rRows int64
+		// Both drains reserve into b.held concurrently (atomic adds), so a
+		// failed side's sibling reservations still release in Close.
 		err := ec.Pool.Run(
 			func() error {
 				var err error
-				l, lRows, err = drain(ec, b.left)
+				l, lRows, err = drain(ec, b.left, &b.held)
 				return err
 			},
 			func() error {
 				var err error
-				r, rRows, err = drain(ec, b.right)
+				r, rRows, err = drain(ec, b.right, &b.held)
 				return err
 			},
 		)
@@ -396,9 +432,22 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 			return nil, err
 		}
 		b.addRowsIn(lRows + rRows)
+		if err := faultinject.Fire(faultinject.PointExecBreaker); err != nil {
+			return nil, err
+		}
 		out, err := b.kernel(ec, l, r)
 		if err != nil {
 			return nil, err
+		}
+		// As in Breaker1: both drained inputs are dead after the kernel, so
+		// their reservation goes back once the output is charged.
+		inHeld := atomic.SwapInt64(&b.held, 0)
+		defer ec.Ctl().Release(inHeld)
+		if n := out.MemBytes(); n > 0 {
+			if err := ec.Ctl().Reserve(n); err != nil {
+				return nil, err
+			}
+			atomic.AddInt64(&b.held, n)
 		}
 		b.out = out
 		b.peak(l.MemBytes() + r.MemBytes() + out.MemBytes())
@@ -408,6 +457,7 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 
 // Close implements Operator.
 func (b *Breaker2) Close(ec *ExecContext) error {
+	ec.Ctl().Release(atomic.SwapInt64(&b.held, 0))
 	err := b.left.Close(ec)
 	if err2 := b.right.Close(ec); err == nil {
 		err = err2
@@ -424,13 +474,19 @@ func (b *Breaker2) Children() []Operator { return []Operator{b.left, b.right} }
 // drain pulls op to exhaustion and concatenates the batches, returning the
 // consumed row count alongside. It does not touch the caller's stats:
 // Breaker2 runs two drains concurrently that feed the same RowsIn counter,
-// so the credit happens after the pool barrier.
-func drain(ec *ExecContext, op Operator) (*storage.Relation, int64, error) {
+// so the credit happens after the pool barrier. The accumulated batch bytes
+// are reserved against the query budget into *held (atomically — Breaker2's
+// two drains share one holder), which the caller releases in Close.
+func drain(ec *ExecContext, op Operator, held *int64) (*storage.Relation, int64, error) {
+	ctl := ec.Ctl()
 	parts := getParts()
 	defer func() { putParts(parts) }() // closure: parts may be regrown by append
 	var rows int64
 	for {
 		if err := ec.Err(); err != nil {
+			return nil, 0, err
+		}
+		if err := faultinject.Fire(faultinject.PointExecDrainBatch); err != nil {
 			return nil, 0, err
 		}
 		batch, err := op.Next(ec)
@@ -442,6 +498,12 @@ func drain(ec *ExecContext, op Operator) (*storage.Relation, int64, error) {
 		}
 		rows += int64(batch.NumRows())
 		if batch.NumRows() > 0 || len(parts) == 0 {
+			if n := batch.MemBytes(); n > 0 {
+				if err := ctl.Reserve(n); err != nil {
+					return nil, 0, err
+				}
+				atomic.AddInt64(held, n)
+			}
 			parts = append(parts, batch)
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dqo/internal/faultinject"
+	"dqo/internal/govern"
 	"dqo/internal/storage"
 )
 
@@ -141,9 +143,13 @@ func (p *Pipe) Open(ec *ExecContext) error {
 }
 
 // worker claims morsels and runs the stage chain until the schedule is
-// exhausted or the pipe is closed.
+// exhausted or the pipe is closed. In-flight result batches are reserved
+// against the query budget (released when the consumer takes them, or by
+// Close for never-consumed leftovers), so the out-of-order window is
+// accounted memory, not a hidden buffer.
 func (p *Pipe) worker(ec *ExecContext) {
 	defer p.wg.Done()
+	ctl := ec.Ctl()
 	for {
 		select {
 		case <-p.done:
@@ -158,20 +164,32 @@ func (p *Pipe) worker(ec *ExecContext) {
 			return
 		}
 		batch, err := p.runMorsel(ec, i)
+		if err == nil {
+			if rerr := ctl.Reserve(batch.MemBytes()); rerr != nil {
+				batch, err = nil, rerr
+			}
+		}
 		p.results <- pipeResult{idx: i, batch: batch, err: err} // cap == tickets: never blocks
 	}
 }
 
 // runMorsel slices morsel i out of the source relation and applies every
-// stage, crediting the per-stage stat nodes.
-func (p *Pipe) runMorsel(ec *ExecContext, i int) (*storage.Relation, error) {
+// stage, crediting the per-stage stat nodes. A panicking stage kernel is
+// converted into a typed internal error carried by the result, so one bad
+// morsel fails the query instead of the process; the consumer's error return
+// makes Run close the pipe, which stops the sibling workers.
+func (p *Pipe) runMorsel(ec *ExecContext, i int) (batch *storage.Relation, err error) {
+	defer govern.RecoverTo(&err)
+	if err := faultinject.Fire(faultinject.PointExecPipeMorsel); err != nil {
+		return nil, err
+	}
 	lo := i * ec.MorselSize
 	hi := lo + ec.MorselSize
 	if n := p.rel.NumRows(); hi > n {
 		hi = n
 	}
 	stop := p.scan.timed()
-	batch := p.rel.Slice(lo, hi)
+	batch = p.rel.Slice(lo, hi)
 	p.scan.emitted(batch)
 	stop()
 	for _, st := range p.stages {
@@ -202,6 +220,9 @@ func (p *Pipe) Next(ec *ExecContext) (*storage.Relation, error) {
 			if r.err != nil {
 				return nil, r.err
 			}
+			// Consumed: the batch leaves the pipe's window; the caller that
+			// accumulates it charges it anew.
+			ec.Ctl().Release(r.batch.MemBytes())
 			p.addRowsIn(int64(r.batch.NumRows()))
 			p.emitted(r.batch)
 			return r.batch, nil
@@ -213,19 +234,39 @@ func (p *Pipe) Next(ec *ExecContext) (*storage.Relation, error) {
 		case r := <-p.results:
 			p.pending[r.idx] = r
 		case <-ec.Context().Done():
-			return nil, ec.Context().Err()
+			return nil, ec.Err()
 		}
 	}
 }
 
 // Close implements Operator: it signals the workers to stop claiming
-// morsels and waits for them to drain. Idempotent — Limit closes its child
-// early and the final tree Close repeats the call.
+// morsels, waits for them to drain, and releases the budget reservations of
+// results that were produced but never consumed (early LIMIT exit, error
+// unwind). Idempotent — Limit closes its child early and the final tree
+// Close repeats the call.
 func (p *Pipe) Close(ec *ExecContext) error {
 	if p.done == nil {
 		return nil // never opened
 	}
 	p.closing.Do(func() { close(p.done) })
 	p.wg.Wait()
+	ctl := ec.Ctl()
+	for {
+		select {
+		case r := <-p.results:
+			if r.batch != nil {
+				ctl.Release(r.batch.MemBytes())
+			}
+			continue
+		default:
+		}
+		break
+	}
+	for _, r := range p.pending {
+		if r.batch != nil {
+			ctl.Release(r.batch.MemBytes())
+		}
+	}
+	p.pending = nil
 	return nil
 }

@@ -1,6 +1,10 @@
 package exec
 
-import "runtime"
+import (
+	"runtime"
+
+	"dqo/internal/govern"
+)
 
 // Pool is the bounded worker pool shared by one query execution. Pipeline
 // breakers use it to drain independent inputs concurrently (the join
@@ -44,6 +48,12 @@ func (p *Pool) Run(fns ...func() error) error {
 			first = err
 		}
 	}
+	// A panicking task — inline or pooled — becomes a typed internal error
+	// rather than killing the process from a lost goroutine.
+	call := func(fn func() error) (err error) {
+		defer govern.RecoverTo(&err)
+		return fn()
+	}
 	errs := make(chan error, len(fns)-1)
 	spawned := 0
 	for _, fn := range fns[:len(fns)-1] {
@@ -53,13 +63,13 @@ func (p *Pool) Run(fns ...func() error) error {
 			fn := fn
 			go func() {
 				defer func() { <-p.sem }()
-				errs <- fn()
+				errs <- call(fn)
 			}()
 		default:
-			record(fn())
+			record(call(fn))
 		}
 	}
-	record(fns[len(fns)-1]())
+	record(call(fns[len(fns)-1]))
 	for i := 0; i < spawned; i++ {
 		record(<-errs)
 	}

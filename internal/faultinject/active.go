@@ -1,0 +1,141 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether the active fault-injection registry is compiled in.
+const Enabled = true
+
+// Action describes what an armed failure point does when hit. After skips
+// the first After hits before acting, so tests can target e.g. "the third
+// morsel". Exactly one of Panic / Err should be set for a failing action;
+// Delay composes with either or stands alone (slow-morsel injection).
+type Action struct {
+	Panic any           // non-nil: panic with this value
+	Err   error         // non-nil: return this error
+	Delay time.Duration // sleep before acting
+	After int           // skip this many hits first
+}
+
+type point struct {
+	hits   int64
+	armed  *Action
+	fired  int64 // times the armed action actually triggered
+	passed int64 // hits consumed by After
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+func get(name string) *point {
+	p := points[name]
+	if p == nil {
+		p = &point{}
+		points[name] = p
+	}
+	return p
+}
+
+// Set arms a failure point. It replaces any previous action for the point.
+func Set(name string, a Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	p := get(name)
+	p.armed = &a
+	p.passed = 0
+}
+
+// Clear disarms one point without resetting its hit counters.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	get(name).armed = nil
+}
+
+// Reset disarms every point and zeroes all counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+}
+
+// Hits reports how many times a point has been reached (armed or not).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return get(name).hits
+}
+
+// Fired reports how many times a point's armed action actually triggered.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return get(name).fired
+}
+
+// Fire is called at each failure point. Unarmed points just count the hit;
+// armed points sleep, return an error, or panic per their Action.
+func Fire(name string) error {
+	mu.Lock()
+	p := get(name)
+	p.hits++
+	a := p.armed
+	if a != nil && p.passed < int64(a.After) {
+		p.passed++
+		a = nil
+	}
+	if a != nil {
+		p.fired++
+	}
+	mu.Unlock()
+	if a == nil {
+		return nil
+	}
+	if a.Delay > 0 {
+		time.Sleep(a.Delay)
+	}
+	if a.Panic != nil {
+		panic(a.Panic)
+	}
+	return a.Err
+}
+
+// Summary reports per-point hit counts (all registered points, reached or
+// not), one line per point, for the CI coverage artifact.
+func Summary() string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := append([]string(nil), Points...)
+	for n := range points {
+		if p := points[n]; p != nil {
+			found := false
+			for _, k := range names {
+				if k == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	out := "failure point coverage:\n"
+	for _, n := range names {
+		var hits, fired int64
+		if p := points[n]; p != nil {
+			hits, fired = p.hits, p.fired
+		}
+		out += fmt.Sprintf("  %-24s hits=%-8d fired=%d\n", n, hits, fired)
+	}
+	return out
+}

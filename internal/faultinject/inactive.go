@@ -1,0 +1,11 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the active fault-injection registry is compiled
+// in. Production builds are inactive: Fire is a no-op the compiler inlines
+// away.
+const Enabled = false
+
+// Fire is a no-op in production builds.
+func Fire(name string) error { return nil }

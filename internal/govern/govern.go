@@ -1,0 +1,246 @@
+// Package govern provides per-query resource governance: a memory Budget
+// that allocating operators reserve against, a Ctl handle that threads the
+// budget and cancellation into kernels, an admission Gate that bounds
+// concurrent queries, and panic-containment helpers that convert worker
+// panics into typed qerr.ErrInternal errors.
+//
+// Everything here is nil-receiver safe: a nil *Budget or nil *Ctl is an
+// unlimited, never-cancelled no-op, so kernels call Reserve/Err
+// unconditionally and ungoverned paths (the bulk interpreter, direct kernel
+// tests) pay only a nil check.
+package govern
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"dqo/internal/qerr"
+)
+
+// Budget is a per-query memory account. Operators Reserve before allocating
+// and Release when the allocation dies; Reserve fails with a typed
+// qerr.ErrMemoryBudgetExceeded once the running total would pass the limit.
+// All methods are safe for concurrent use and on a nil receiver (nil =
+// unlimited, nothing tracked).
+type Budget struct {
+	limit int64 // immutable after NewBudget; 0 means track-only, no limit
+	used  atomic.Int64
+	peak  atomic.Int64
+}
+
+// NewBudget returns a budget enforcing the given limit in bytes. limit <= 0
+// means "track usage but never fail".
+func NewBudget(limit int64) *Budget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Budget{limit: limit}
+}
+
+// Reserve adds n bytes to the account, failing (and leaving the account
+// unchanged) if that would exceed the limit. n <= 0 is a no-op.
+func (b *Budget) Reserve(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	used := b.used.Add(n)
+	if b.limit > 0 && used > b.limit {
+		b.used.Add(-n)
+		return qerr.New(qerr.ErrMemoryBudgetExceeded,
+			"need %d bytes, %d of %d in use", n, used-n, b.limit)
+	}
+	for {
+		p := b.peak.Load()
+		if used <= p || b.peak.CompareAndSwap(p, used) {
+			return nil
+		}
+	}
+}
+
+// Release returns n bytes to the account. n <= 0 is a no-op.
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.used.Add(-n)
+}
+
+// Used reports the bytes currently reserved.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Peak reports the high-water mark of reserved bytes.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// Limit reports the configured limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Ctl is the governance handle threaded into kernels: cancellation plus the
+// memory budget. A nil *Ctl never cancels and never limits, so kernels can
+// call its methods unconditionally.
+type Ctl struct {
+	Ctx context.Context
+	Mem *Budget
+}
+
+// Err reports the query's cancellation state mapped onto the error taxonomy
+// (ErrCancelled / ErrTimeout). Nil receiver or nil context never cancels.
+func (c *Ctl) Err() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return qerr.From(err)
+	}
+	return nil
+}
+
+// Reserve charges n bytes against the budget (no-op on nil receiver).
+func (c *Ctl) Reserve(n int64) error {
+	if c == nil {
+		return nil
+	}
+	return c.Mem.Reserve(n)
+}
+
+// Release returns n bytes to the budget (no-op on nil receiver).
+func (c *Ctl) Release(n int64) {
+	if c == nil {
+		return
+	}
+	c.Mem.Release(n)
+}
+
+// Gate is a DB-level admission controller: at most maxActive queries run at
+// once, at most maxQueue more wait for a slot, and anything beyond that is
+// rejected immediately with qerr.ErrQueueFull. The zero-value / nil Gate
+// admits everything.
+type Gate struct {
+	active chan struct{} // slot tokens; nil = unlimited
+	queue  atomic.Int64  // waiters currently queued
+	maxQ   int64
+}
+
+// NewGate builds a gate admitting maxActive concurrent queries with a wait
+// queue of maxQueue. maxActive <= 0 returns a nil (unlimited) gate.
+func NewGate(maxActive, maxQueue int) *Gate {
+	if maxActive <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{active: make(chan struct{}, maxActive), maxQ: int64(maxQueue)}
+}
+
+// Enter acquires an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns a release function to be called exactly once
+// when the query finishes, or a typed error: qerr.ErrQueueFull when the
+// queue is full, qerr.ErrCancelled/ErrTimeout when ctx dies while waiting.
+func (g *Gate) Enter(ctx context.Context) (release func(), err error) {
+	if g == nil || g.active == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case g.active <- struct{}{}:
+		return g.leaveOnce(), nil
+	default:
+	}
+	// Slow path: join the bounded queue.
+	if q := g.queue.Add(1); q > g.maxQ {
+		g.queue.Add(-1)
+		return nil, qerr.New(qerr.ErrQueueFull,
+			"%d queries running, %d queued", cap(g.active), g.maxQ)
+	}
+	defer g.queue.Add(-1)
+	select {
+	case g.active <- struct{}{}:
+		return g.leaveOnce(), nil
+	case <-ctx.Done():
+		return nil, qerr.From(ctx.Err())
+	}
+}
+
+func (g *Gate) leaveOnce() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-g.active }) }
+}
+
+// Running reports how many queries currently hold a slot.
+func (g *Gate) Running() int {
+	if g == nil || g.active == nil {
+		return 0
+	}
+	return len(g.active)
+}
+
+// RecoverTo is a defer helper that converts a panic in the current function
+// into a typed qerr.ErrInternal stored in *errp (unless *errp is already
+// set). Usage:
+//
+//	defer govern.RecoverTo(&err)
+func RecoverTo(errp *error) {
+	if r := recover(); r != nil {
+		e := qerr.Internal(r, debug.Stack())
+		if errp != nil && *errp == nil {
+			*errp = e
+		}
+	}
+}
+
+// PanicBox transfers the first panic caught in worker goroutines back to the
+// coordinator. Workers defer Guard(); after wg.Wait the coordinator calls
+// Err() (or Rethrow()) to surface it. This keeps worker panics from killing
+// the process while preserving the panic site's stack.
+type PanicBox struct {
+	mu    sync.Mutex
+	first error
+}
+
+// Guard is deferred at the top of each worker goroutine.
+func (p *PanicBox) Guard() {
+	if r := recover(); r != nil {
+		e := qerr.Internal(r, debug.Stack())
+		p.mu.Lock()
+		if p.first == nil {
+			p.first = e
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Err returns the first captured panic as a typed error, or nil.
+func (p *PanicBox) Err() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.first
+}
+
+// Rethrow re-panics with the first captured panic, if any. Callers that
+// cannot return an error use this to propagate the failure to an enclosing
+// RecoverTo.
+func (p *PanicBox) Rethrow() {
+	if err := p.Err(); err != nil {
+		panic(err)
+	}
+}

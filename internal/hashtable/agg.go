@@ -1,6 +1,11 @@
 package hashtable
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"dqo/internal/faultinject"
+)
 
 // AggState is the running aggregate stored per group. Grouping in the
 // experiments computes COUNT and SUM on the fly (Section 4.1); MIN and MAX
@@ -62,6 +67,9 @@ type AggTable interface {
 	ForEach(fn func(key uint32, st AggState))
 	// Scheme returns the collision-handling scheme.
 	Scheme() Scheme
+	// MemBytes returns the table's current heap footprint in bytes
+	// (directory plus entry storage), for memory-budget accounting.
+	MemBytes() int64
 }
 
 // Scheme identifies a collision-handling scheme.
@@ -181,7 +189,14 @@ func (t *chainedTable) AddState(key uint32, st AggState) {
 	t.entries = append(t.entries, e)
 }
 
+func (t *chainedTable) MemBytes() int64 {
+	return int64(len(t.heads))*4 + int64(cap(t.entries))*int64(unsafe.Sizeof(chainedEntry{}))
+}
+
 func (t *chainedTable) grow() {
+	if err := faultinject.Fire(faultinject.PointHashtableGrow); err != nil {
+		panic(err)
+	}
 	nb := len(t.heads) * 2
 	t.heads = make([]int32, nb)
 	t.mask = uint64(nb - 1)
@@ -308,7 +323,18 @@ func (t *openTable) addRobin(key uint32, v int64) {
 	}
 }
 
+func (t *openTable) MemBytes() int64 {
+	per := int64(unsafe.Sizeof(uint32(0))) + int64(unsafe.Sizeof(AggState{})) + 1
+	if t.robin {
+		per += 2
+	}
+	return int64(len(t.keys)) * per
+}
+
 func (t *openTable) grow() {
+	if err := faultinject.Fire(faultinject.PointHashtableGrow); err != nil {
+		panic(err)
+	}
 	oldKeys, oldStates, oldUsed := t.keys, t.states, t.used
 	t.alloc(len(oldKeys) * 2)
 	t.n = 0

@@ -1,5 +1,11 @@
 package hashtable
 
+import (
+	"unsafe"
+
+	"dqo/internal/faultinject"
+)
+
 // Multi is a chained multimap from uint32 keys to row identifiers, used as
 // the build side of hash joins. It stores one arena entry per inserted row;
 // rows with equal keys form an intrusive list, so Build is allocation-light
@@ -41,6 +47,9 @@ func (m *Multi) Insert(key uint32, row int32) {
 }
 
 func (m *Multi) grow() {
+	if err := faultinject.Fire(faultinject.PointHashtableGrow); err != nil {
+		panic(err)
+	}
 	nb := len(m.heads) * 2
 	m.heads = make([]int32, nb)
 	m.mask = uint64(nb - 1)
@@ -66,3 +75,9 @@ func (m *Multi) Probe(key uint32, fn func(row int32)) {
 
 // Len returns the number of inserted rows.
 func (m *Multi) Len() int { return len(m.entries) }
+
+// MemBytes returns the table's current heap footprint in bytes (directory
+// plus entry arena), for memory-budget accounting.
+func (m *Multi) MemBytes() int64 {
+	return int64(len(m.heads))*4 + int64(cap(m.entries))*int64(unsafe.Sizeof(multiEntry{}))
+}

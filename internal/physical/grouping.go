@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
@@ -85,6 +86,7 @@ type GroupOptions struct {
 	Hash     hashtable.Func   // HG: hash function
 	Sort     sortx.Kind       // SOG: sort algorithm
 	Parallel int              // HG/SPHG load loop + SOG sort goroutines; <=1 is serial
+	Ctl      *govern.Ctl      // cancellation + memory budget; nil is ungoverned
 }
 
 // maxSPHWidth bounds the group-array width SPHG will allocate (16 Mi groups
@@ -110,17 +112,17 @@ func Group(kind GroupKind, keys []uint32, vals []int64, dom props.Domain, opt Gr
 	switch kind {
 	case HG:
 		if opt.Parallel > 1 {
-			return groupHashParallel(keys, vals, dom, opt), nil
+			return groupHashParallel(keys, vals, dom, opt)
 		}
-		return groupHash(keys, vals, dom, opt), nil
+		return groupHash(keys, vals, dom, opt)
 	case SPHG:
 		return groupSPH(keys, vals, dom, opt)
 	case OG:
-		return groupOrder(keys, vals, dom)
+		return groupOrder(keys, vals, dom, opt.Ctl)
 	case SOG:
 		return groupSortOrder(keys, vals, dom, opt)
 	case BSG:
-		return groupBinarySearch(keys, vals, dom), nil
+		return groupBinarySearch(keys, vals, dom, opt.Ctl)
 	default:
 		return nil, fmt.Errorf("physical: unknown grouping kind %d", uint8(kind))
 	}
@@ -133,21 +135,33 @@ func valAt(vals []int64, i int) int64 {
 	return vals[i]
 }
 
-// groupHash is HG: one hash table insert per input element.
-func groupHash(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) *GroupResult {
+// groupHash is HG: one hash table insert per input element. The table's
+// footprint is charged against the budget as it grows; cancellation and
+// budget violations abort mid-build.
+func groupHash(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (*GroupResult, error) {
 	hint := 0
 	if dom.Known {
 		hint = int(dom.Distinct)
 	}
 	tab := hashtable.NewAgg(opt.Scheme, opt.Hash, hint)
-	if vals == nil {
-		for _, k := range keys {
-			tab.Add(k, 0)
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	if err := rv.charge(tab.MemBytes()); err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if i%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(tab.MemBytes()); err != nil {
+				return nil, err
+			}
 		}
-	} else {
-		for i, k := range keys {
-			tab.Add(k, vals[i])
-		}
+		tab.Add(k, valAt(vals, i))
+	}
+	if err := rv.charge(tab.MemBytes()); err != nil {
+		return nil, err
 	}
 	res := &GroupResult{
 		Keys:   make([]uint32, 0, tab.Len()),
@@ -160,7 +174,7 @@ func groupHash(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) 
 	// A hash table's output order depends on the hash function; per the
 	// paper, a consumer must assume it is unordered.
 	res.Sorted = sortx.IsSortedUint32(res.Keys)
-	return res
+	return res, nil
 }
 
 // groupSPH is SPHG: the key (offset by the domain minimum) indexes an array
@@ -179,17 +193,31 @@ func groupSPH(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (
 	lo := uint32(lo64)
 	w := int(width)
 
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
 	var states []hashtable.AggState
 	if opt.Parallel > 1 && len(keys) >= opt.Parallel {
+		// Per-worker arrays: the footprint is workers copies of the directory.
+		if err := rv.add(int64(opt.Parallel) * int64(w) * aggStateBytes); err != nil {
+			return nil, err
+		}
 		var perr error
-		states, perr = sphParallelLoad(keys, vals, lo, w, opt.Parallel)
+		states, perr = sphParallelLoad(keys, vals, lo, w, opt.Parallel, opt.Ctl)
 		if perr != nil {
 			return nil, perr
 		}
 	} else {
+		if err := rv.add(int64(w) * aggStateBytes); err != nil {
+			return nil, err
+		}
 		states = make([]hashtable.AggState, w)
 		if vals == nil {
-			for _, k := range keys {
+			for i, k := range keys {
+				if i%checkEvery == 0 {
+					if err := opt.Ctl.Err(); err != nil {
+						return nil, err
+					}
+				}
 				slot := k - lo
 				if uint64(slot) >= width { // also catches k < lo (wraparound)
 					return nil, fmt.Errorf("physical: SPHG key %d outside declared domain [%d,%d]", k, lo64, hi64)
@@ -202,6 +230,11 @@ func groupSPH(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (
 			}
 		} else {
 			for i, k := range keys {
+				if i%checkEvery == 0 {
+					if err := opt.Ctl.Err(); err != nil {
+						return nil, err
+					}
+				}
 				slot := k - lo
 				if uint64(slot) >= width {
 					return nil, fmt.Errorf("physical: SPHG key %d outside declared domain [%d,%d]", k, lo64, hi64)
@@ -223,6 +256,9 @@ func groupSPH(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (
 	return res, nil
 }
 
+// aggStateBytes is the budget charge per hashtable.AggState array slot.
+const aggStateBytes = 32
+
 // addState inlines hashtable.AggState maintenance for the array kernels.
 func addState(st *hashtable.AggState, v int64) {
 	if st.Count == 0 {
@@ -242,9 +278,10 @@ func addState(st *hashtable.AggState, v int64) {
 // sphParallelLoad builds per-worker SPH arrays over input chunks and merges
 // them. Aggregates are distributive, so the merge is exact. Out-of-domain
 // keys are reported as an error after all workers finish.
-func sphParallelLoad(keys []uint32, vals []int64, lo uint32, w, workers int) ([]hashtable.AggState, error) {
+func sphParallelLoad(keys []uint32, vals []int64, lo uint32, w, workers int, ctl *govern.Ctl) ([]hashtable.AggState, error) {
 	partial := make([][]hashtable.AggState, workers)
 	errs := make([]error, workers)
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	chunk := (len(keys) + workers - 1) / workers
 	for p := 0; p < workers; p++ {
@@ -260,8 +297,15 @@ func sphParallelLoad(keys []uint32, vals []int64, lo uint32, w, workers int) ([]
 		wg.Add(1)
 		go func(p, begin, end int) {
 			defer wg.Done()
+			defer box.Guard()
 			states := make([]hashtable.AggState, w)
 			for i := begin; i < end; i++ {
+				if (i-begin)%checkEvery == 0 {
+					if err := ctl.Err(); err != nil {
+						errs[p] = err
+						return
+					}
+				}
 				slot := keys[i] - lo
 				if uint64(slot) >= uint64(w) {
 					errs[p] = fmt.Errorf("physical: SPHG key %d outside declared domain", keys[i])
@@ -281,6 +325,9 @@ func sphParallelLoad(keys []uint32, vals []int64, lo uint32, w, workers int) ([]
 		}(p, begin, end)
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -305,11 +352,19 @@ func sphParallelLoad(keys []uint32, vals []int64, lo uint32, w, workers int) ([]
 // violates the grouped requirement, a key starts more than one run; that is
 // detected (cheaply, via the known distinct count when available, and always
 // via a final duplicate check on small group counts) and reported.
-func groupOrder(keys []uint32, vals []int64, dom props.Domain) (*GroupResult, error) {
+func groupOrder(keys []uint32, vals []int64, dom props.Domain, ctl *govern.Ctl) (*GroupResult, error) {
 	res := &GroupResult{}
+	rv := resv{ctl: ctl}
+	defer rv.release()
+	chargeGroups := func() error {
+		return rv.charge(int64(cap(res.Keys))*4 + int64(cap(res.States))*aggStateBytes)
+	}
 	if dom.Known {
 		res.Keys = make([]uint32, 0, dom.Distinct)
 		res.States = make([]hashtable.AggState, 0, dom.Distinct)
+		if err := chargeGroups(); err != nil {
+			return nil, err
+		}
 	}
 	if len(keys) == 0 {
 		res.Sorted = true
@@ -322,6 +377,14 @@ func groupOrder(keys []uint32, vals []int64, dom props.Domain) (*GroupResult, er
 	prevRun := cur
 	first := true
 	for i := 1; i < len(keys); i++ {
+		if i%checkEvery == 0 {
+			if err := ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := chargeGroups(); err != nil {
+				return nil, err
+			}
+		}
 		k := keys[i]
 		if k != cur {
 			res.Keys = append(res.Keys, cur)
@@ -367,6 +430,21 @@ func hasDuplicates(keys []uint32) bool {
 // opt.Parallel > 1 the sort runs as per-worker runs + pairwise merges, which
 // produces the identical (stable) ordering, so the result is DOP-invariant.
 func groupSortOrder(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (*GroupResult, error) {
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	// The sorted key/value copies, doubled when the parallel merge passes
+	// need their swap buffers.
+	perRow := int64(4)
+	if vals != nil {
+		perRow += 8
+	}
+	if opt.Parallel > 1 {
+		perRow *= 2
+	}
+	if err := rv.add(perRow * int64(len(keys))); err != nil {
+		return nil, err
+	}
+	stop := opt.Ctl.Err
 	sk := make([]uint32, len(keys))
 	copy(sk, keys)
 	var sv []int64
@@ -374,16 +452,26 @@ func groupSortOrder(keys []uint32, vals []int64, dom props.Domain, opt GroupOpti
 		sv = make([]int64, len(vals))
 		copy(sv, vals)
 		if opt.Parallel > 1 {
-			sortx.ParallelSortPairsUint32Int64(opt.Sort, sk, sv, opt.Parallel)
+			if err := sortx.ParallelSortPairsUint32Int64Ctl(opt.Sort, sk, sv, opt.Parallel, stop); err != nil {
+				return nil, err
+			}
 		} else {
+			if err := stop(); err != nil {
+				return nil, err
+			}
 			sortx.SortPairsUint32Int64(opt.Sort, sk, sv)
 		}
 	} else if opt.Parallel > 1 {
-		sortx.ParallelSortUint32(opt.Sort, sk, opt.Parallel)
+		if err := sortx.ParallelSortUint32Ctl(opt.Sort, sk, opt.Parallel, stop); err != nil {
+			return nil, err
+		}
 	} else {
+		if err := stop(); err != nil {
+			return nil, err
+		}
 		sortx.SortUint32(opt.Sort, sk)
 	}
-	res, err := groupOrder(sk, sv, dom)
+	res, err := groupOrder(sk, sv, dom, opt.Ctl)
 	if err != nil {
 		return nil, err
 	}
@@ -395,14 +483,27 @@ func groupSortOrder(keys []uint32, vals []int64, dom props.Domain, opt GroupOpti
 // binary search; unseen keys are insertion-shifted into place. Lookup is
 // O(log g); building pays O(g) per new key, amortised away for small g —
 // which is exactly the regime where the paper finds BSG competitive.
-func groupBinarySearch(keys []uint32, vals []int64, dom props.Domain) *GroupResult {
+func groupBinarySearch(keys []uint32, vals []int64, dom props.Domain, ctl *govern.Ctl) (*GroupResult, error) {
 	capHint := 16
 	if dom.Known {
 		capHint = int(dom.Distinct)
 	}
+	rv := resv{ctl: ctl}
+	defer rv.release()
 	gk := make([]uint32, 0, capHint)
 	gs := make([]hashtable.AggState, 0, capHint)
+	if err := rv.charge(int64(cap(gk))*4 + int64(cap(gs))*aggStateBytes); err != nil {
+		return nil, err
+	}
 	for i, k := range keys {
+		if i%checkEvery == 0 {
+			if err := ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(int64(cap(gk))*4 + int64(cap(gs))*aggStateBytes); err != nil {
+				return nil, err
+			}
+		}
 		pos, found := searchUint32(gk, k)
 		if !found {
 			gk = append(gk, 0)
@@ -414,7 +515,7 @@ func groupBinarySearch(keys []uint32, vals []int64, dom props.Domain) *GroupResu
 		}
 		addState(&gs[pos], valAt(vals, i))
 	}
-	return &GroupResult{Keys: gk, States: gs, Sorted: true}
+	return &GroupResult{Keys: gk, States: gs, Sorted: true}, nil
 }
 
 // searchUint32 returns the insertion position of k in the sorted slice xs

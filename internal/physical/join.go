@@ -3,6 +3,7 @@ package physical
 import (
 	"fmt"
 
+	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
@@ -72,6 +73,7 @@ type JoinOptions struct {
 	Hash     hashtable.Func // HJ: hash function
 	Sort     sortx.Kind     // SOJ/BSJ: sort algorithm
 	Parallel int            // HJ/SPHJ/SOJ worker goroutines; <=1 is serial
+	Ctl      *govern.Ctl    // cancellation + memory budget; nil is ungoverned
 }
 
 // JoinResult holds matching row pairs: for every i, left row LeftIdx[i]
@@ -92,10 +94,14 @@ func Join(kind JoinKind, left, right []uint32, leftDom props.Domain, opt JoinOpt
 	switch kind {
 	case HJ:
 		var res *JoinResult
+		var err error
 		if opt.Parallel > 1 {
-			res = joinHashParallel(left, right, opt)
+			res, err = joinHashParallel(left, right, opt)
 		} else {
-			res = joinHash(left, right, opt)
+			res, err = joinHash(left, right, opt)
+		}
+		if err != nil {
+			return nil, err
 		}
 		res.SortedByKey = sortx.IsSortedUint32(right) // probe-major emission
 		return res, nil
@@ -107,11 +113,14 @@ func Join(kind JoinKind, left, right []uint32, leftDom props.Domain, opt JoinOpt
 		res.SortedByKey = sortx.IsSortedUint32(right)
 		return res, nil
 	case OJ:
-		return joinMerge(left, right)
+		return joinMerge(left, right, opt.Ctl)
 	case SOJ:
 		return joinSortMerge(left, right, opt)
 	case BSJ:
-		res := joinBinarySearch(left, right, opt)
+		res, err := joinBinarySearch(left, right, opt)
+		if err != nil {
+			return nil, err
+		}
 		res.SortedByKey = sortx.IsSortedUint32(right)
 		return res, nil
 	default:
@@ -119,20 +128,46 @@ func Join(kind JoinKind, left, right []uint32, leftDom props.Domain, opt JoinOpt
 	}
 }
 
-// joinHash is HJ: chained multimap build on left, probe with right.
-func joinHash(left, right []uint32, opt JoinOptions) *JoinResult {
+// joinHash is HJ: chained multimap build on left, probe with right. The
+// build table and the growing pair lists are charged against the budget.
+func joinHash(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
 	m := hashtable.NewMulti(opt.Hash, len(left))
+	if err := rv.charge(m.MemBytes()); err != nil {
+		return nil, err
+	}
 	for i, k := range left {
+		if i%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(m.MemBytes()); err != nil {
+				return nil, err
+			}
+		}
 		m.Insert(k, int32(i))
 	}
+	if err := rv.charge(m.MemBytes()); err != nil {
+		return nil, err
+	}
+	build := rv.held
 	res := &JoinResult{}
 	for j, k := range right {
+		if j%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(build + int64(cap(res.LeftIdx)+cap(res.RightIdx))*4); err != nil {
+				return nil, err
+			}
+		}
 		m.Probe(k, func(li int32) {
 			res.LeftIdx = append(res.LeftIdx, li)
 			res.RightIdx = append(res.RightIdx, int32(j))
 		})
 	}
-	return res
+	return res, nil
 }
 
 // joinSPH is SPHJ: left keys index a dense array of chain heads, so a probe
@@ -151,12 +186,23 @@ func joinSPH(left, right []uint32, leftDom props.Domain, opt JoinOptions) (*Join
 	}
 	lo := uint32(lo64)
 	hi := uint32(hi64)
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	// Directory (heads) plus chain links (next): 4 bytes per slot and row.
+	if err := rv.add(int64(width)*4 + int64(len(left))*4); err != nil {
+		return nil, err
+	}
 	heads := make([]int32, width)
 	for i := range heads {
 		heads[i] = -1
 	}
 	next := make([]int32, len(left))
 	for i, k := range left {
+		if i%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if k < lo || k > hi {
 			return nil, fmt.Errorf("physical: SPHJ left key %d outside declared domain [%d,%d]", k, lo, hi)
 		}
@@ -164,10 +210,19 @@ func joinSPH(left, right []uint32, leftDom props.Domain, opt JoinOptions) (*Join
 		heads[k-lo] = int32(i)
 	}
 	if opt.Parallel > 1 && len(right) >= minParallelChunk {
-		return sphProbeParallel(heads, next, lo, hi, right, opt.Parallel), nil
+		return sphProbeParallel(heads, next, lo, hi, right, opt.Parallel, opt.Ctl)
 	}
+	build := rv.held
 	res := &JoinResult{}
 	for j, k := range right {
+		if j%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(build + int64(cap(res.LeftIdx)+cap(res.RightIdx))*4); err != nil {
+				return nil, err
+			}
+		}
 		if k < lo || k > hi {
 			continue // no partner possible
 		}
@@ -181,23 +236,40 @@ func joinSPH(left, right []uint32, leftDom props.Domain, opt JoinOptions) (*Join
 
 // joinMerge is OJ: classic sort-merge join over two sorted inputs, with full
 // duplicate-block handling. Fails fast if either input is unsorted.
-func joinMerge(left, right []uint32) (*JoinResult, error) {
+func joinMerge(left, right []uint32, ctl *govern.Ctl) (*JoinResult, error) {
 	if !sortx.IsSortedUint32(left) {
 		return nil, fmt.Errorf("physical: OJ requires sorted left input")
 	}
 	if !sortx.IsSortedUint32(right) {
 		return nil, fmt.Errorf("physical: OJ requires sorted right input")
 	}
+	rv := resv{ctl: ctl}
+	defer rv.release()
 	res := &JoinResult{SortedByKey: true}
-	mergePairs(left, right, func(li, ri int32) {
+	emitted := 0
+	err := mergePairsErr(left, right, func(li, ri int32) error {
+		if emitted%checkEvery == 0 {
+			if err := ctl.Err(); err != nil {
+				return err
+			}
+			if err := rv.charge(int64(cap(res.LeftIdx)+cap(res.RightIdx)) * 4); err != nil {
+				return err
+			}
+		}
+		emitted++
 		res.LeftIdx = append(res.LeftIdx, li)
 		res.RightIdx = append(res.RightIdx, ri)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
-// mergePairs emits all (leftRow, rightRow) matches of two sorted key arrays.
-func mergePairs(left, right []uint32, emit func(li, ri int32)) {
+// mergePairsErr emits all (leftRow, rightRow) matches of two sorted key
+// arrays; a non-nil error from emit aborts the merge.
+func mergePairsErr(left, right []uint32, emit func(li, ri int32) error) error {
 	i, j := 0, 0
 	for i < len(left) && j < len(right) {
 		switch {
@@ -217,12 +289,15 @@ func mergePairs(left, right []uint32, emit func(li, ri int32)) {
 			}
 			for a := i; a < iEnd; a++ {
 				for b := j; b < jEnd; b++ {
-					emit(int32(a), int32(b))
+					if err := emit(int32(a), int32(b)); err != nil {
+						return err
+					}
 				}
 			}
 			i, j = iEnd, jEnd
 		}
 	}
+	return nil
 }
 
 // joinSortMerge is SOJ: argsort both sides, merge the sorted views, and map
@@ -230,13 +305,36 @@ func mergePairs(left, right []uint32, emit func(li, ri int32)) {
 // argsorts run as parallel stable runs + merges (identical permutations to
 // the serial sorts); the merge itself stays serial.
 func joinSortMerge(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
-	var lperm, rperm []int32
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	// Permutations plus sorted copies: 8 bytes per row on each side (doubled
+	// for the parallel merge-pass swap buffers).
+	perRow := int64(8)
 	if opt.Parallel > 1 {
-		lperm = sortx.ParallelArgSortUint32(opt.Sort, left, opt.Parallel)
-		rperm = sortx.ParallelArgSortUint32(opt.Sort, right, opt.Parallel)
+		perRow += 4
+	}
+	if err := rv.add(perRow * int64(len(left)+len(right))); err != nil {
+		return nil, err
+	}
+	var lperm, rperm []int32
+	var err error
+	if opt.Parallel > 1 {
+		stop := opt.Ctl.Err
+		if lperm, err = sortx.ParallelArgSortUint32Ctl(opt.Sort, left, opt.Parallel, stop); err != nil {
+			return nil, err
+		}
+		if rperm, err = sortx.ParallelArgSortUint32Ctl(opt.Sort, right, opt.Parallel, stop); err != nil {
+			return nil, err
+		}
 	} else {
+		if err := opt.Ctl.Err(); err != nil {
+			return nil, err
+		}
 		lperm = sortx.ArgSortUint32(opt.Sort, left)
 		rperm = sortx.ArgSortUint32(opt.Sort, right)
+	}
+	if err := opt.Ctl.Err(); err != nil {
+		return nil, err
 	}
 	lsorted := make([]uint32, len(left))
 	for i, p := range lperm {
@@ -246,24 +344,57 @@ func joinSortMerge(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
 	for i, p := range rperm {
 		rsorted[i] = right[p]
 	}
+	base := rv.held
 	res := &JoinResult{SortedByKey: true}
-	mergePairs(lsorted, rsorted, func(li, ri int32) {
+	emitted := 0
+	err = mergePairsErr(lsorted, rsorted, func(li, ri int32) error {
+		if emitted%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return err
+			}
+			if err := rv.charge(base + int64(cap(res.LeftIdx)+cap(res.RightIdx))*4); err != nil {
+				return err
+			}
+		}
+		emitted++
 		res.LeftIdx = append(res.LeftIdx, lperm[li])
 		res.RightIdx = append(res.RightIdx, rperm[ri])
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // joinBinarySearch is BSJ: sort a directory over the left side once, then
 // binary-search it for every right key, scanning duplicate runs.
-func joinBinarySearch(left, right []uint32, opt JoinOptions) *JoinResult {
+func joinBinarySearch(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	// Directory: permutation (4 B/row) plus sorted key copy (4 B/row).
+	if err := rv.add(int64(len(left)) * 8); err != nil {
+		return nil, err
+	}
+	if err := opt.Ctl.Err(); err != nil {
+		return nil, err
+	}
 	perm := sortx.ArgSortUint32(opt.Sort, left)
 	sorted := make([]uint32, len(left))
 	for i, p := range perm {
 		sorted[i] = left[p]
 	}
+	base := rv.held
 	res := &JoinResult{}
 	for j, k := range right {
+		if j%checkEvery == 0 {
+			if err := opt.Ctl.Err(); err != nil {
+				return nil, err
+			}
+			if err := rv.charge(base + int64(cap(res.LeftIdx)+cap(res.RightIdx))*4); err != nil {
+				return nil, err
+			}
+		}
 		pos, found := searchUint32(sorted, k)
 		if !found {
 			continue
@@ -273,7 +404,7 @@ func joinBinarySearch(left, right []uint32, opt JoinOptions) *JoinResult {
 			res.RightIdx = append(res.RightIdx, int32(j))
 		}
 	}
-	return res
+	return res, nil
 }
 
 // OutputProps returns the property set of the join output given both input

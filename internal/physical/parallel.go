@@ -3,6 +3,8 @@ package physical
 import (
 	"sync"
 
+	"dqo/internal/faultinject"
+	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
@@ -32,7 +34,7 @@ const minParallelChunk = 1 << 12
 // Only the Chained scheme has a content-deterministic iteration order (open
 // addressing slot order depends on insertion history), so other schemes fall
 // back to the serial kernel.
-func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) *GroupResult {
+func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupOptions) (*GroupResult, error) {
 	workers := opt.Parallel
 	if max := len(keys) / minParallelChunk; workers > max {
 		workers = max
@@ -43,6 +45,12 @@ func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupO
 	chunk := (len(keys) + workers - 1) / workers
 	nChunks := (len(keys) + chunk - 1) / chunk
 	parts := make([]hashtable.AggTable, nChunks)
+	// Each worker charges its own partial table against the shared budget;
+	// the reservations are kept until the merged table is built, because the
+	// partials stay live that long.
+	held := make([]int64, nChunks)
+	errs := make([]error, nChunks)
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for c := 0; c < nChunks; c++ {
 		lo := c * chunk
@@ -53,28 +61,69 @@ func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupO
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer box.Guard()
+			rv := resv{ctl: opt.Ctl}
 			tab := hashtable.NewAgg(opt.Scheme, opt.Hash, 0)
-			if vals == nil {
-				for _, k := range keys[lo:hi] {
-					tab.Add(k, 0)
+			for i := lo; i < hi; i++ {
+				if (i-lo)%checkEvery == 0 {
+					if err := opt.Ctl.Err(); err != nil {
+						errs[c] = err
+						rv.release()
+						return
+					}
+					if err := rv.charge(tab.MemBytes()); err != nil {
+						errs[c] = err
+						rv.release()
+						return
+					}
 				}
-			} else {
-				for i := lo; i < hi; i++ {
-					tab.Add(keys[i], vals[i])
-				}
+				tab.Add(keys[i], valAt(vals, i))
+			}
+			if err := rv.charge(tab.MemBytes()); err != nil {
+				errs[c] = err
+				rv.release()
+				return
 			}
 			parts[c] = tab
+			held[c] = rv.held
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	releaseParts := func() {
+		var total int64
+		for _, h := range held {
+			total += h
+		}
+		opt.Ctl.Release(total)
+	}
+	defer releaseParts()
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	hint := 0
 	if dom.Known {
 		hint = int(dom.Distinct)
 	}
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
 	tab := hashtable.NewAgg(opt.Scheme, opt.Hash, hint)
+	if err := rv.charge(tab.MemBytes()); err != nil {
+		return nil, err
+	}
 	for _, pt := range parts {
+		if err := opt.Ctl.Err(); err != nil {
+			return nil, err
+		}
 		pt.ForEach(tab.AddState)
+		if err := rv.charge(tab.MemBytes()); err != nil {
+			return nil, err
+		}
 	}
 	res := &GroupResult{
 		Keys:   make([]uint32, 0, tab.Len()),
@@ -85,7 +134,7 @@ func groupHashParallel(keys []uint32, vals []int64, dom props.Domain, opt GroupO
 		res.States = append(res.States, st)
 	})
 	res.Sorted = sortx.IsSortedUint32(res.Keys)
-	return res
+	return res, nil
 }
 
 // joinPartBits sizes the radix partition directory: a few partitions per
@@ -125,13 +174,17 @@ func joinPartition(key uint32, bits uint) int {
 // pair lists are concatenated in chunk order, keeping j ascending globally.
 // Pairs therefore appear in (j ascending, i descending per key) order — the
 // serial order — and the output is independent of the partition count.
-func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
+func joinHashParallel(left, right []uint32, opt JoinOptions) (*JoinResult, error) {
 	workers := opt.Parallel
 	if workers <= 1 || len(left) < minParallelChunk || len(right) < minParallelChunk {
 		return joinHash(left, right, opt)
 	}
 	bits := joinPartBits(workers)
 	nPart := 1 << bits
+
+	rv := resv{ctl: opt.Ctl}
+	defer rv.release()
+	var box govern.PanicBox
 
 	// Scatter the build side into partitions, preserving order per partition.
 	n := len(left)
@@ -148,6 +201,7 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer box.Guard()
 			counts := make([]int32, nPart)
 			for _, k := range left[lo:hi] {
 				counts[joinPartition(k, bits)]++
@@ -156,6 +210,12 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	if err := opt.Ctl.Err(); err != nil {
+		return nil, err
+	}
 
 	partStart := make([]int32, nPart+1)
 	offs := make([][]int32, nChunks)
@@ -172,6 +232,11 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 	}
 	partStart[nPart] = run
 
+	// The partition buffers are the scatter's working set: 8 bytes per
+	// build-side row.
+	if err := rv.add(int64(n) * 8); err != nil {
+		return nil, err
+	}
 	partKeys := make([]uint32, n)
 	partIdx := make([]int32, n)
 	for c := 0; c < nChunks; c++ {
@@ -183,6 +248,10 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer box.Guard()
+			if err := faultinject.Fire(faultinject.PointPhysicalScatter); err != nil {
+				panic(err)
+			}
 			off := offs[c]
 			for i := lo; i < hi; i++ {
 				p := joinPartition(left[i], bits)
@@ -194,24 +263,61 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	if err := opt.Ctl.Err(); err != nil {
+		return nil, err
+	}
 
 	// Build one Multi per partition; worker w strides partitions w, w+W, …
+	// Each worker charges the tables it builds; reservations stay until the
+	// probe is done (kept in rv via buildHeld below).
+	if err := faultinject.Fire(faultinject.PointPhysicalBuild); err != nil {
+		return nil, err
+	}
 	tables := make([]*hashtable.Multi, nPart)
+	buildHeld := make([]int64, workers)
+	buildErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer box.Guard()
+			brv := resv{ctl: opt.Ctl}
 			for p := w; p < nPart; p += workers {
+				if err := opt.Ctl.Err(); err != nil {
+					buildErrs[w] = err
+					brv.release()
+					return
+				}
 				seg := partKeys[partStart[p]:partStart[p+1]]
 				m := hashtable.NewMulti(opt.Hash, len(seg))
+				if err := brv.add(m.MemBytes()); err != nil {
+					buildErrs[w] = err
+					brv.release()
+					return
+				}
 				for l, k := range seg {
 					m.Insert(k, int32(l))
 				}
 				tables[p] = m
 			}
+			buildHeld[w] = brv.held
 		}(w)
 	}
 	wg.Wait()
+	for _, h := range buildHeld {
+		rv.held += h // adopt worker reservations so the deferred release sees them
+	}
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range buildErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Probe in contiguous right chunks; concatenate pair lists in chunk order.
 	type pairChunk struct {
@@ -221,6 +327,8 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 	pChunk := (pn + workers - 1) / workers
 	pChunks := (pn + pChunk - 1) / pChunk
 	out := make([]pairChunk, pChunks)
+	probeHeld := make([]int64, pChunks)
+	probeErrs := make([]error, pChunks)
 	for c := 0; c < pChunks; c++ {
 		lo := c * pChunk
 		hi := lo + pChunk
@@ -230,8 +338,22 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
+			defer box.Guard()
+			prv := resv{ctl: opt.Ctl}
 			var pc pairChunk
 			for j := lo; j < hi; j++ {
+				if (j-lo)%checkEvery == 0 {
+					if err := opt.Ctl.Err(); err != nil {
+						probeErrs[c] = err
+						prv.release()
+						return
+					}
+					if err := prv.charge(int64(cap(pc.li)+cap(pc.ri)) * 4); err != nil {
+						probeErrs[c] = err
+						prv.release()
+						return
+					}
+				}
 				k := right[j]
 				p := joinPartition(k, bits)
 				base := partStart[p]
@@ -240,14 +362,34 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 					pc.ri = append(pc.ri, int32(j))
 				})
 			}
+			if err := prv.charge(int64(cap(pc.li)+cap(pc.ri)) * 4); err != nil {
+				probeErrs[c] = err
+				prv.release()
+				return
+			}
 			out[c] = pc
+			probeHeld[c] = prv.held
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	for _, h := range probeHeld {
+		rv.held += h
+	}
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range probeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	total := 0
 	for _, pc := range out {
 		total += len(pc.li)
+	}
+	if err := rv.add(int64(total) * 8); err != nil {
+		return nil, err
 	}
 	res := &JoinResult{
 		LeftIdx:  make([]int32, 0, total),
@@ -257,7 +399,7 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 		res.LeftIdx = append(res.LeftIdx, pc.li...)
 		res.RightIdx = append(res.RightIdx, pc.ri...)
 	}
-	return res
+	return res, nil
 }
 
 // sphProbeParallel probes the SPHJ dense directory in contiguous right
@@ -265,7 +407,7 @@ func joinHashParallel(left, right []uint32, opt JoinOptions) *JoinResult {
 // (chain insertion order is the output contract); probing a read-only
 // directory in ascending-j chunks and concatenating in chunk order yields
 // exactly the serial probe's emission order.
-func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, workers int) *JoinResult {
+func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, workers int, ctl *govern.Ctl) (*JoinResult, error) {
 	type pairChunk struct {
 		li, ri []int32
 	}
@@ -273,6 +415,9 @@ func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, worker
 	chunk := (n + workers - 1) / workers
 	nChunks := (n + chunk - 1) / chunk
 	out := make([]pairChunk, nChunks)
+	held := make([]int64, nChunks)
+	errs := make([]error, nChunks)
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for c := 0; c < nChunks; c++ {
 		b := c * chunk
@@ -283,8 +428,22 @@ func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, worker
 		wg.Add(1)
 		go func(c, b, e int) {
 			defer wg.Done()
+			defer box.Guard()
+			prv := resv{ctl: ctl}
 			var pc pairChunk
 			for j := b; j < e; j++ {
+				if (j-b)%checkEvery == 0 {
+					if err := ctl.Err(); err != nil {
+						errs[c] = err
+						prv.release()
+						return
+					}
+					if err := prv.charge(int64(cap(pc.li)+cap(pc.ri)) * 4); err != nil {
+						errs[c] = err
+						prv.release()
+						return
+					}
+				}
 				k := right[j]
 				if k < lo || k > hi {
 					continue
@@ -294,13 +453,35 @@ func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, worker
 					pc.ri = append(pc.ri, int32(j))
 				}
 			}
+			if err := prv.charge(int64(cap(pc.li)+cap(pc.ri)) * 4); err != nil {
+				errs[c] = err
+				prv.release()
+				return
+			}
 			out[c] = pc
+			held[c] = prv.held
 		}(c, b, e)
 	}
 	wg.Wait()
+	rv := resv{ctl: ctl}
+	defer rv.release()
+	for _, h := range held {
+		rv.held += h
+	}
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	total := 0
 	for _, pc := range out {
 		total += len(pc.li)
+	}
+	if err := rv.add(int64(total) * 8); err != nil {
+		return nil, err
 	}
 	res := &JoinResult{
 		LeftIdx:  make([]int32, 0, total),
@@ -310,5 +491,5 @@ func sphProbeParallel(heads, next []int32, lo, hi uint32, right []uint32, worker
 		res.LeftIdx = append(res.LeftIdx, pc.li...)
 		res.RightIdx = append(res.RightIdx, pc.ri...)
 	}
-	return res
+	return res, nil
 }

@@ -137,7 +137,13 @@ func TestParallelJoinDuplicateChains(t *testing.T) {
 	for i := range right {
 		right[i] = uint32(rng.Intn(7))
 	}
-	want := joinHash(left, right, JoinOptions{})
-	got := joinHashParallel(left, right, JoinOptions{Parallel: 4})
+	want, err := joinHash(left, right, JoinOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := joinHashParallel(left, right, JoinOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	sameJoinResult(t, "HJ dup-chains", want, got)
 }

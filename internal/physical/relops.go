@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dqo/internal/expr"
+	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
@@ -87,14 +88,34 @@ func SortRel(rel *storage.Relation, keyCol string, kind sortx.Kind) (*storage.Re
 // workers. Both parallel kernels are DOP-invariant, so the output is
 // identical to SortRel for any worker count.
 func SortRelPar(rel *storage.Relation, keyCol string, kind sortx.Kind, workers int) (*storage.Relation, error) {
+	return SortRelParCtl(rel, keyCol, kind, workers, nil)
+}
+
+// SortRelParCtl is SortRelPar under governance: ctl's cancellation is polled
+// inside the parallel argsort's run and merge phases, and the permutation
+// plus merge buffers are charged against its budget. A nil ctl is
+// ungoverned.
+func SortRelParCtl(rel *storage.Relation, keyCol string, kind sortx.Kind, workers int, ctl *govern.Ctl) (*storage.Relation, error) {
+	rv := resv{ctl: ctl}
+	defer rv.release()
+	// Permutation plus the parallel merge passes' swap buffer: 8 B/row.
+	if err := rv.add(int64(rel.NumRows()) * 8); err != nil {
+		return nil, err
+	}
 	if workers <= 1 {
+		if err := ctl.Err(); err != nil {
+			return nil, err
+		}
 		return SortRel(rel, keyCol, kind)
 	}
 	keys, err := keyColumn(rel, keyCol)
 	if err != nil {
 		return nil, err
 	}
-	perm := sortx.ParallelArgSortUint32(kind, keys, workers)
+	perm, err := sortx.ParallelArgSortUint32Ctl(kind, keys, workers, ctl.Err)
+	if err != nil {
+		return nil, err
+	}
 	out := rel.GatherPar(perm, workers)
 	c := out.MustColumn(keyCol)
 	st := c.Stats()

@@ -3,6 +3,9 @@ package sortx
 import (
 	"slices"
 	"sync"
+
+	"dqo/internal/faultinject"
+	"dqo/internal/govern"
 )
 
 // Parallel sorts: per-worker sorted runs over contiguous input ranges,
@@ -12,6 +15,14 @@ import (
 // every merge resolves ties in favour of the earlier (left) run. This lets
 // the optimiser treat the degree of parallelism as a pure cost dimension:
 // plans with different DOP produce the same relation.
+//
+// Each variant has a Ctl form taking a stop func() error that is polled
+// before each run sort and merge chunk, so cancellation can interrupt the
+// k-way merge mid-flight; on stop the input is left in an unspecified
+// partially-sorted state. Worker panics are contained and transferred to the
+// caller: the Ctl forms return them as typed errors, the legacy forms
+// re-panic on the calling goroutine (so a query-level recover still sees
+// them and the process never dies from a lost goroutine).
 
 // minParallelRun is the smallest per-worker run worth forking a goroutine
 // for; below it the serial kernels win outright.
@@ -26,20 +37,43 @@ func parallelRuns(n, workers int) int {
 	return workers
 }
 
+// poll runs stop, tolerating a nil stop function.
+func poll(stop func() error) error {
+	if stop == nil {
+		return nil
+	}
+	return stop()
+}
+
 // ParallelArgSortUint32 is ArgSortUint32 fanned across workers: each worker
 // stable-sorts a contiguous index run, then runs are merged pairwise with
 // ties taken from the left run. The result equals ArgSortUint32 exactly.
 func ParallelArgSortUint32(k Kind, keys []uint32, workers int) []int32 {
+	idx, err := ParallelArgSortUint32Ctl(k, keys, workers, nil)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// ParallelArgSortUint32Ctl is ParallelArgSortUint32 with cooperative
+// cancellation: stop (may be nil) is polled before every run sort and merge
+// chunk; its error aborts the sort. Worker panics return as typed errors.
+func ParallelArgSortUint32Ctl(k Kind, keys []uint32, workers int, stop func() error) ([]int32, error) {
 	n := len(keys)
 	workers = parallelRuns(n, workers)
 	if workers <= 1 {
-		return ArgSortUint32(k, keys)
+		if err := poll(stop); err != nil {
+			return nil, err
+		}
+		return ArgSortUint32(k, keys), nil
 	}
 	idx := make([]int32, n)
 	for i := range idx {
 		idx[i] = int32(i)
 	}
 	chunk := (n + workers - 1) / workers
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -49,14 +83,27 @@ func ParallelArgSortUint32(k Kind, keys []uint32, workers int) []int32 {
 		wg.Add(1)
 		go func(part []int32) {
 			defer wg.Done()
+			defer box.Guard()
+			if poll(stop) != nil {
+				return // result is discarded on stop; skip the work
+			}
 			argSortRun(k, keys, part)
 		}(idx[lo:hi])
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return nil, err
+	}
+	if err := poll(stop); err != nil {
+		return nil, err
+	}
 
 	buf := make([]int32, n)
 	src, dst := idx, buf
 	for width := chunk; width < n; width *= 2 {
+		if err := faultinject.Fire(faultinject.PointSortxMerge); err != nil {
+			return nil, err
+		}
 		var mw sync.WaitGroup
 		for lo := 0; lo < n; lo += 2 * width {
 			mid := lo + width
@@ -72,16 +119,26 @@ func ParallelArgSortUint32(k Kind, keys []uint32, workers int) []int32 {
 			mw.Add(1)
 			go func(lo, mid, hi int) {
 				defer mw.Done()
+				defer box.Guard()
+				if poll(stop) != nil {
+					return
+				}
 				mergeArgRuns(keys, src[lo:mid], src[mid:hi], dst[lo:hi])
 			}(lo, mid, hi)
 		}
 		mw.Wait()
+		if err := box.Err(); err != nil {
+			return nil, err
+		}
+		if err := poll(stop); err != nil {
+			return nil, err
+		}
 		src, dst = dst, src
 	}
 	if &src[0] != &idx[0] {
 		copy(idx, src)
 	}
-	return idx
+	return idx, nil
 }
 
 // argSortRun stable-sorts one contiguous index run by its keys.
@@ -124,13 +181,25 @@ func mergeArgRuns(keys []uint32, a, b, out []int32) {
 // ParallelSortUint32 sorts xs ascending in place using per-worker runs plus
 // pairwise merges; output equals SortUint32 exactly.
 func ParallelSortUint32(k Kind, xs []uint32, workers int) {
+	if err := ParallelSortUint32Ctl(k, xs, workers, nil); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelSortUint32Ctl is ParallelSortUint32 with cooperative cancellation
+// (see ParallelArgSortUint32Ctl).
+func ParallelSortUint32Ctl(k Kind, xs []uint32, workers int, stop func() error) error {
 	n := len(xs)
 	workers = parallelRuns(n, workers)
 	if workers <= 1 {
+		if err := poll(stop); err != nil {
+			return err
+		}
 		SortUint32(k, xs)
-		return
+		return nil
 	}
 	chunk := (n + workers - 1) / workers
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -140,14 +209,27 @@ func ParallelSortUint32(k Kind, xs []uint32, workers int) {
 		wg.Add(1)
 		go func(part []uint32) {
 			defer wg.Done()
+			defer box.Guard()
+			if poll(stop) != nil {
+				return
+			}
 			SortUint32(k, part)
 		}(xs[lo:hi])
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return err
+	}
+	if err := poll(stop); err != nil {
+		return err
+	}
 
 	buf := make([]uint32, n)
 	src, dst := xs, buf
 	for width := chunk; width < n; width *= 2 {
+		if err := faultinject.Fire(faultinject.PointSortxMerge); err != nil {
+			return err
+		}
 		var mw sync.WaitGroup
 		for lo := 0; lo < n; lo += 2 * width {
 			mid := lo + width
@@ -162,15 +244,26 @@ func ParallelSortUint32(k Kind, xs []uint32, workers int) {
 			mw.Add(1)
 			go func(lo, mid, hi int) {
 				defer mw.Done()
+				defer box.Guard()
+				if poll(stop) != nil {
+					return
+				}
 				mergeUint32Runs(src[lo:mid], src[mid:hi], dst[lo:hi])
 			}(lo, mid, hi)
 		}
 		mw.Wait()
+		if err := box.Err(); err != nil {
+			return err
+		}
+		if err := poll(stop); err != nil {
+			return err
+		}
 		src, dst = dst, src
 	}
 	if &src[0] != &xs[0] {
 		copy(xs, src)
 	}
+	return nil
 }
 
 func mergeUint32Runs(a, b, out []uint32) {
@@ -193,16 +286,28 @@ func mergeUint32Runs(a, b, out []uint32) {
 // using per-worker stable runs plus stable pairwise merges; output equals
 // SortPairsUint32Int64 exactly (both are stable).
 func ParallelSortPairsUint32Int64(k Kind, keys []uint32, vals []int64, workers int) {
+	if err := ParallelSortPairsUint32Int64Ctl(k, keys, vals, workers, nil); err != nil {
+		panic(err)
+	}
+}
+
+// ParallelSortPairsUint32Int64Ctl is ParallelSortPairsUint32Int64 with
+// cooperative cancellation (see ParallelArgSortUint32Ctl).
+func ParallelSortPairsUint32Int64Ctl(k Kind, keys []uint32, vals []int64, workers int, stop func() error) error {
 	if len(keys) != len(vals) {
 		panic("sortx: ParallelSortPairsUint32Int64 length mismatch")
 	}
 	n := len(keys)
 	workers = parallelRuns(n, workers)
 	if workers <= 1 {
+		if err := poll(stop); err != nil {
+			return err
+		}
 		SortPairsUint32Int64(k, keys, vals)
-		return
+		return nil
 	}
 	chunk := (n + workers - 1) / workers
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -212,16 +317,29 @@ func ParallelSortPairsUint32Int64(k Kind, keys []uint32, vals []int64, workers i
 		wg.Add(1)
 		go func(kp []uint32, vp []int64) {
 			defer wg.Done()
+			defer box.Guard()
+			if poll(stop) != nil {
+				return
+			}
 			SortPairsUint32Int64(k, kp, vp)
 		}(keys[lo:hi], vals[lo:hi])
 	}
 	wg.Wait()
+	if err := box.Err(); err != nil {
+		return err
+	}
+	if err := poll(stop); err != nil {
+		return err
+	}
 
 	kbuf := make([]uint32, n)
 	vbuf := make([]int64, n)
 	ksrc, kdst := keys, kbuf
 	vsrc, vdst := vals, vbuf
 	for width := chunk; width < n; width *= 2 {
+		if err := faultinject.Fire(faultinject.PointSortxMerge); err != nil {
+			return err
+		}
 		var mw sync.WaitGroup
 		for lo := 0; lo < n; lo += 2 * width {
 			mid := lo + width
@@ -237,10 +355,20 @@ func ParallelSortPairsUint32Int64(k Kind, keys []uint32, vals []int64, workers i
 			mw.Add(1)
 			go func(lo, mid, hi int) {
 				defer mw.Done()
+				defer box.Guard()
+				if poll(stop) != nil {
+					return
+				}
 				mergePairRuns(ksrc[lo:mid], ksrc[mid:hi], vsrc[lo:mid], vsrc[mid:hi], kdst[lo:hi], vdst[lo:hi])
 			}(lo, mid, hi)
 		}
 		mw.Wait()
+		if err := box.Err(); err != nil {
+			return err
+		}
+		if err := poll(stop); err != nil {
+			return err
+		}
 		ksrc, kdst = kdst, ksrc
 		vsrc, vdst = vdst, vsrc
 	}
@@ -248,6 +376,7 @@ func ParallelSortPairsUint32Int64(k Kind, keys []uint32, vals []int64, workers i
 		copy(keys, ksrc)
 		copy(vals, vsrc)
 	}
+	return nil
 }
 
 func mergePairRuns(ka, kb []uint32, va, vb []int64, kout []uint32, vout []int64) {

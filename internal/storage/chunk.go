@@ -1,6 +1,10 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"dqo/internal/faultinject"
+)
 
 // This file supports the morsel-driven execution layer (internal/exec):
 // zero-copy row-range views of relations, and re-assembly of a stream of
@@ -26,6 +30,9 @@ func (r *Relation) Slice(lo, hi int) *Relation {
 // sharing one dictionary keep it; batches with differing dictionaries are
 // re-interned into a fresh one.
 func Concat(parts []*Relation) (*Relation, error) {
+	if err := faultinject.Fire(faultinject.PointStorageConcat); err != nil {
+		return nil, err
+	}
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("storage: Concat of no batches")
 	}

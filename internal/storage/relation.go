@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dqo/internal/govern"
 )
 
 // Relation is a named, ordered collection of equal-length columns.
@@ -176,6 +178,7 @@ func (r *Relation) GatherPar(idx []int32, workers int) *Relation {
 	}
 	cols := make([]*Column, len(r.cols))
 	chunk := (len(idx) + workers - 1) / workers
+	var box govern.PanicBox
 	var wg sync.WaitGroup
 	for ci, c := range r.cols {
 		dst := c.newGatherDst(len(idx))
@@ -188,11 +191,16 @@ func (r *Relation) GatherPar(idx []int32, workers int) *Relation {
 			wg.Add(1)
 			go func(src, dst *Column, lo, hi int) {
 				defer wg.Done()
+				defer box.Guard()
 				src.gatherRange(dst, idx, lo, hi)
 			}(c, dst, lo, hi)
 		}
 	}
 	wg.Wait()
+	// A worker panic (e.g. an out-of-range row id) must not kill the process
+	// from a lost goroutine; re-panic on the caller so the query-level
+	// recover converts it to a typed internal error.
+	box.Rethrow()
 	return MustNewRelation(r.name, cols...)
 }
 

@@ -11,12 +11,21 @@ import (
 )
 
 // Result is the output of a query: a result relation, the plan that
-// produced it, and the per-operator execution profile.
+// produced it, and the per-operator execution profile. When a query fails
+// mid-pipeline, QueryContextOptions returns a partial Result alongside the
+// error: rel is nil, Err reports the failure, and Stats carries whatever
+// the operators counted before the abort — the post-mortem view of how far
+// the query got.
 type Result struct {
 	rel     *storage.Relation
 	plan    *core.Result
 	profile exec.Profile
+	err     error
 }
+
+// Err reports the execution error of a partial result (nil for a
+// successful query).
+func (r *Result) Err() error { return r.err }
 
 // OpStat is one operator's measured execution profile: what actually
 // happened at run time, as opposed to the optimiser's estimates. Depth is
@@ -48,11 +57,21 @@ func (r *Result) Stats() []OpStat {
 // StatsString renders the execution profile as an aligned table.
 func (r *Result) StatsString() string { return r.profile.String() }
 
-// NumRows returns the number of result rows.
-func (r *Result) NumRows() int { return r.rel.NumRows() }
+// NumRows returns the number of result rows (0 for a failed query).
+func (r *Result) NumRows() int {
+	if r.rel == nil {
+		return 0
+	}
+	return r.rel.NumRows()
+}
 
-// Columns returns the result column names in order.
-func (r *Result) Columns() []string { return r.rel.ColumnNames() }
+// Columns returns the result column names in order (nil for a failed query).
+func (r *Result) Columns() []string {
+	if r.rel == nil {
+		return nil
+	}
+	return r.rel.ColumnNames()
+}
 
 // EstimatedCost returns the optimiser's cost estimate for the executed plan.
 func (r *Result) EstimatedCost() float64 { return r.plan.Best.Cost }
@@ -60,11 +79,23 @@ func (r *Result) EstimatedCost() float64 { return r.plan.Best.Cost }
 // PlanExplain renders the executed plan.
 func (r *Result) PlanExplain() string { return r.plan.Best.Explain() }
 
-// Uint32Column returns a uint32 result column by name.
-func (r *Result) Uint32Column(name string) ([]uint32, error) {
+// column fetches a result column, failing cleanly on a partial result.
+func (r *Result) column(name string) (*storage.Column, error) {
+	if r.rel == nil {
+		return nil, fmt.Errorf("dqo: no result relation (query failed: %v)", r.err)
+	}
 	c, ok := r.rel.Column(name)
 	if !ok {
 		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	}
+	return c, nil
+}
+
+// Uint32Column returns a uint32 result column by name.
+func (r *Result) Uint32Column(name string) ([]uint32, error) {
+	c, err := r.column(name)
+	if err != nil {
+		return nil, err
 	}
 	if c.Kind() != storage.KindUint32 {
 		return nil, fmt.Errorf("dqo: column %q is %s, not uint32", name, c.Kind())
@@ -74,9 +105,9 @@ func (r *Result) Uint32Column(name string) ([]uint32, error) {
 
 // Int64Column returns an int64 result column by name.
 func (r *Result) Int64Column(name string) ([]int64, error) {
-	c, ok := r.rel.Column(name)
-	if !ok {
-		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	c, err := r.column(name)
+	if err != nil {
+		return nil, err
 	}
 	if c.Kind() != storage.KindInt64 {
 		return nil, fmt.Errorf("dqo: column %q is %s, not int64", name, c.Kind())
@@ -86,9 +117,9 @@ func (r *Result) Int64Column(name string) ([]int64, error) {
 
 // Float64Column returns a float64 result column by name.
 func (r *Result) Float64Column(name string) ([]float64, error) {
-	c, ok := r.rel.Column(name)
-	if !ok {
-		return nil, fmt.Errorf("dqo: result has no column %q", name)
+	c, err := r.column(name)
+	if err != nil {
+		return nil, err
 	}
 	if c.Kind() != storage.KindFloat64 {
 		return nil, fmt.Errorf("dqo: column %q is %s, not float64", name, c.Kind())
@@ -96,8 +127,12 @@ func (r *Result) Float64Column(name string) ([]float64, error) {
 	return c.Float64s(), nil
 }
 
-// Row returns row i rendered as strings, one per column.
+// Row returns row i rendered as strings, one per column (nil for a failed
+// query).
 func (r *Result) Row(i int) []string {
+	if r.rel == nil {
+		return nil
+	}
 	vals := r.rel.Row(i)
 	out := make([]string, len(vals))
 	for j, v := range vals {
@@ -108,6 +143,9 @@ func (r *Result) Row(i int) []string {
 
 // String renders the result as an aligned text table (all rows).
 func (r *Result) String() string {
+	if r.rel == nil {
+		return fmt.Sprintf("(query failed: %v)\n", r.err)
+	}
 	var b strings.Builder
 	widths := make([]int, r.rel.NumCols())
 	names := r.rel.ColumnNames()

@@ -1,0 +1,209 @@
+package dqo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dqo/internal/core"
+	"dqo/internal/physical"
+)
+
+// groupDB builds a DB with one table whose grouping key is half-distinct:
+// large enough that plan footprints dwarf fixed overheads, distinct enough
+// that hash aggregation's table dominates the footprint.
+func groupDB(t testing.TB, n int) *DB {
+	t.Helper()
+	keys := make([]uint32, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = uint32((i * 2654435761) % (n / 2))
+		vals[i] = int64(i)
+	}
+	tab := NewTableBuilder("T").Uint32("KEY", keys).Int64("VAL", vals).MustBuild()
+	db := Open()
+	if err := db.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const groupSQL = "SELECT T.KEY, COUNT(*) FROM T GROUP BY T.KEY"
+
+// TestMemoryLimitTyped starves a query far below any plan's footprint: it
+// must fail with the typed budget error — never allocate past the limit —
+// and still return a partial Result carrying the plan and profile.
+func TestMemoryLimitTyped(t *testing.T) {
+	db := groupDB(t, 30000)
+	res, err := db.QueryContextOptions(context.Background(), ModeDQO, groupSQL,
+		QueryOptions{MemoryLimit: 4096})
+	if !errors.Is(err, ErrMemoryBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrMemoryBudgetExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("failed query returned no partial result")
+	}
+	if res.Err() == nil || !errors.Is(res.Err(), ErrMemoryBudgetExceeded) {
+		t.Fatalf("partial result Err() = %v", res.Err())
+	}
+	if res.NumRows() != 0 || res.Columns() != nil {
+		t.Fatalf("partial result leaked data: %d rows, cols %v", res.NumRows(), res.Columns())
+	}
+	if len(res.Stats()) == 0 {
+		t.Fatal("partial result carries no execution profile")
+	}
+	if _, cerr := res.Int64Column("count_star"); cerr == nil {
+		t.Fatal("column accessor on failed result did not error")
+	}
+	if !strings.Contains(res.String(), "query failed") {
+		t.Fatalf("String() on failed result: %q", res.String())
+	}
+}
+
+// TestTimeoutTyped bounds a query with a deadline it cannot meet.
+func TestTimeoutTyped(t *testing.T) {
+	db := groupDB(t, 100000)
+	res, err := db.QueryContextOptions(context.Background(), ModeDQO, groupSQL,
+		QueryOptions{Timeout: 50 * time.Microsecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("underlying deadline cause lost: %v", err)
+	}
+	// Whether the deadline fired before or during execution, any partial
+	// result must carry the same typed error.
+	if res != nil && !errors.Is(res.Err(), ErrTimeout) {
+		t.Fatalf("partial result Err() = %v", res.Err())
+	}
+}
+
+// TestCancelledTyped checks a pre-cancelled context surfaces as the typed
+// cancellation error with the context sentinel still reachable.
+func TestCancelledTyped(t *testing.T) {
+	db := groupDB(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, ModeDQO, groupSQL)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+}
+
+// TestAdmissionGate exercises the DB-level concurrent-query gate: with the
+// single slot occupied and no queue, a query is rejected with the typed
+// error; with a queue it waits for the slot instead.
+func TestAdmissionGate(t *testing.T) {
+	db := groupDB(t, 1000)
+	db.SetAdmission(1, 0)
+	release, err := db.gate().Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, qerr := db.Query(ModeDQO, groupSQL); !errors.Is(qerr, ErrQueueFull) {
+		release()
+		t.Fatalf("err = %v, want ErrQueueFull", qerr)
+	}
+	release()
+	if _, qerr := db.Query(ModeDQO, groupSQL); qerr != nil {
+		t.Fatalf("query after release failed: %v", qerr)
+	}
+
+	// With a queue position, the second query waits for the slot.
+	db.SetAdmission(1, 1)
+	release, err = db.gate().Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, qerr := db.Query(ModeDQO, groupSQL)
+		done <- qerr
+	}()
+	select {
+	case qerr := <-done:
+		release()
+		t.Fatalf("queued query did not wait: %v", qerr)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	if qerr := <-done; qerr != nil {
+		t.Fatalf("queued query failed after slot freed: %v", qerr)
+	}
+}
+
+// groupKind walks a plan for its top grouping operator's algorithm.
+func groupKind(p *core.Plan) (physical.GroupKind, bool) {
+	if p.Op == core.OpGroup {
+		return p.Group.Kind, true
+	}
+	for _, c := range p.Children {
+		if k, ok := groupKind(c); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// TestBudgetSwitchesPlan pins the acceptance criterion: a budget just below
+// the unconstrained plan's footprint makes the optimiser pick a different
+// grouping algorithm, and the degraded plan still computes the same result.
+func TestBudgetSwitchesPlan(t *testing.T) {
+	db := groupDB(t, 30000)
+	q := groupSQL + " ORDER BY T.KEY"
+
+	free, _, err := db.compile(ModeDQO, q, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeKind, ok := groupKind(free.Best)
+	if !ok {
+		t.Fatal("unconstrained plan has no grouping operator")
+	}
+
+	limit := int64(free.Best.Mem) - 1
+	tight, _, err := db.compile(ModeDQO, q, 0, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightKind, ok := groupKind(tight.Best)
+	if !ok || tightKind == freeKind {
+		t.Fatalf("budget %d did not move the plan off %v", limit, freeKind)
+	}
+
+	want, err := db.Query(ModeDQO, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.QueryContextOptions(context.Background(), ModeDQO, q,
+		QueryOptions{MemoryLimit: limit})
+	if err != nil {
+		t.Fatalf("degraded plan failed: %v", err)
+	}
+	if want.String() != got.String() {
+		t.Fatal("degraded plan computes a different result")
+	}
+}
+
+// TestNoBudgetPlanIdentity pins the other half of the criterion: without a
+// budget the governance machinery must not perturb planning or results.
+func TestNoBudgetPlanIdentity(t *testing.T) {
+	db := groupDB(t, 10000)
+	q := groupSQL + " ORDER BY T.KEY"
+	plain, err := db.Query(ModeDQO, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opted, err := db.QueryContextOptions(context.Background(), ModeDQO, q, QueryOptions{MemoryLimit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PlanExplain() != opted.PlanExplain() {
+		t.Fatal("MemoryLimit=0 changed the chosen plan")
+	}
+	if plain.String() != opted.String() {
+		t.Fatal("MemoryLimit=0 changed the result")
+	}
+}
