@@ -306,9 +306,18 @@ func BenchmarkEndToEndSQL(b *testing.B) {
 	}
 	const q = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
 	for _, mode := range []Mode{ModeSQO, ModeDQO} {
-		b.Run(mode.String(), func(b *testing.B) {
+		// traced = default posture (ring tracer on); untraced disables the
+		// tracer to expose any observability cost on the end-to-end path.
+		b.Run(mode.String()+"/traced", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query(mode, q); err != nil {
+				if _, err := db.Query(context.Background(), mode, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(mode.String()+"/untraced", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(context.Background(), mode, q, WithTracer(nil)); err != nil {
 					b.Fatal(err)
 				}
 			}

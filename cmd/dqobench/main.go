@@ -8,6 +8,7 @@
 //	dqobench -experiment ablations [-n 10000000]
 //	dqobench -experiment scaling [-n 100000000] [-workers 8]
 //	dqobench -experiment budget [-n 100000000]
+//	dqobench -experiment observe [-metrics metrics.prom]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -18,7 +19,9 @@
 // -workers workers and prints per-query speedup over serial; budget sweeps
 // a per-query memory limit over a high-cardinality grouping query and shows
 // the optimiser trading hash aggregation for sort-based plans as the budget
-// tightens.
+// tightens; observe runs a mixed success/failure workload through the public
+// query API and dumps the observability surfaces (EXPLAIN ANALYZE, the last
+// span tree, and the Prometheus metrics exposition).
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -45,6 +48,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "scaling: maximum worker count for the parallel sweep")
 		calibrate  = flag.Bool("calibrate", false, "fit the calibrated cost model to this machine and print its coefficients")
 		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
+		metrics    = flag.String("metrics", "", "observe: write the Prometheus exposition to this file (default stdout)")
 	)
 	flag.Parse()
 
@@ -82,12 +86,15 @@ func main() {
 		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
 	case "budget":
 		run("budget", func() error { return runBudget(*n, *seed) })
+	case "observe":
+		run("observe", func() error { return runObserve(*metrics, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
 		run("ablations", func() error { return runAblations(*n, *seed) })
 		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
 		run("budget", func() error { return runBudget(*n, *seed) })
+		run("observe", func() error { return runObserve(*metrics, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"dqo"
+	"dqo/internal/datagen"
+)
+
+// runObserve drives a mixed success/failure workload through the public
+// query API and dumps the resulting observability surfaces: an EXPLAIN
+// ANALYZE report for the paper's join-group-by query, the span tree of the
+// last traced query, and the DB-level metrics in Prometheus text
+// exposition format (written to metricsPath, or stdout when empty).
+func runObserve(metricsPath string, seed uint64) error {
+	cfg := datagen.FKConfig{RRows: 20000, SRows: 90000, AGroups: 2000}
+	r, s := datagen.FKPair(seed, cfg)
+	db := dqo.Open()
+	rt := dqo.NewTableBuilder("R").
+		Uint32("ID", r.MustColumn("ID").Uint32s()).
+		Uint32("A", r.MustColumn("A").Uint32s()).
+		MustBuild()
+	st := dqo.NewTableBuilder("S").
+		Uint32("R_ID", s.MustColumn("R_ID").Uint32s()).
+		Int64("M", s.MustColumn("M").Int64s()).
+		MustBuild()
+	if err := db.Register(rt); err != nil {
+		return err
+	}
+	if err := db.Register(st); err != nil {
+		return err
+	}
+
+	const joinSQL = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+	ctx := context.Background()
+
+	// Successes across all three modes.
+	for _, mode := range []dqo.Mode{dqo.ModeSQO, dqo.ModeDQO, dqo.ModeDQOCalibrated} {
+		if _, err := db.Query(ctx, mode, joinSQL); err != nil {
+			return fmt.Errorf("observe workload: %s: %w", mode, err)
+		}
+	}
+	// A memory-budget failure and a parse failure: the metrics must
+	// partition these into their qerr kinds, not lose them.
+	if _, err := db.Query(ctx, dqo.ModeDQO, joinSQL, dqo.WithMemoryLimit(1024)); err == nil {
+		return fmt.Errorf("observe workload: budget-starved query unexpectedly succeeded")
+	}
+	if _, err := db.Query(ctx, dqo.ModeDQO, "SELECT FROM WHERE"); err == nil {
+		return fmt.Errorf("observe workload: malformed query unexpectedly parsed")
+	}
+	// A pre-cancelled context surfaces as the cancelled kind.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.Query(cancelled, dqo.ModeDQO, joinSQL); err == nil {
+		return fmt.Errorf("observe workload: cancelled query unexpectedly succeeded")
+	}
+
+	text, err := db.Explain(dqo.ModeDQO, joinSQL, dqo.ExplainAnalyze())
+	if err != nil {
+		return err
+	}
+	fmt.Println("# EXPLAIN ANALYZE (dqo mode)")
+	fmt.Println(text)
+
+	if t := db.LastTrace(); t != nil {
+		fmt.Println("# span tree of the last traced query")
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+
+	var w io.Writer = os.Stdout
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Println("# metrics (Prometheus text exposition)")
+	if err := db.WriteMetrics(w); err != nil {
+		return err
+	}
+	if metricsPath != "" {
+		fmt.Printf("# metrics written to %s\n", metricsPath)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	\explain <sql>          show the plan for the current mode
 //	\deep <sql>             show the plan plus its granule trees (Figure 3)
 //	\unnest <sql>           show the step-by-step unnesting chain (Figure 3)
+//	\analyze <sql>          execute and show estimated vs measured per operator
 //	\compare <sql>          optimise under SQO and DQO, show both plans
 //	\av sorted  <tbl> <col> materialise a sorted-projection AV
 //	\av hashidx <tbl> <col> materialise a hash-index AV
@@ -18,6 +19,8 @@
 //	\stats                  toggle the per-operator execution profile
 //	\mem <bytes|off>        set a per-query memory budget (e.g. \mem 4194304)
 //	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
+//	\trace                  show the span tree of the last traced query
+//	\metrics                dump DB metrics (Prometheus text exposition)
 //	\demo sorted|unsorted [sparse]   regenerate demo tables
 //	\quit
 //
@@ -96,10 +99,14 @@ func main() {
 			text, err := db.Explain(mode, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
 			report(text, err)
 		case `\deep`:
-			text, err := db.ExplainDeep(mode, strings.TrimSpace(strings.TrimPrefix(line, `\deep`)))
+			text, err := db.Explain(mode, strings.TrimSpace(strings.TrimPrefix(line, `\deep`)), dqo.ExplainGranules())
 			report(text, err)
 		case `\unnest`:
-			text, err := db.ExplainUnnest(mode, strings.TrimSpace(strings.TrimPrefix(line, `\unnest`)))
+			text, err := db.Explain(mode, strings.TrimSpace(strings.TrimPrefix(line, `\unnest`)), dqo.ExplainUnnesting())
+			report(text, err)
+		case `\analyze`:
+			q := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
+			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts)...))
 			report(text, err)
 		case `\compare`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
@@ -122,20 +129,21 @@ func main() {
 				fmt.Println("usage: \\av sorted|hashidx|sph <table> <column>")
 				continue
 			}
-			var err error
+			var kind dqo.AVKind
 			switch fields[1] {
 			case "sorted":
-				err = db.MaterializeSortedAV(fields[2], fields[3])
+				kind = dqo.AVSorted
 			case "hashidx":
-				err = db.MaterializeHashIndexAV(fields[2], fields[3])
+				kind = dqo.AVHashIndex
 			case "sph":
-				err = db.MaterializeSPHAV(fields[2], fields[3])
+				kind = dqo.AVSPH
 			case "crack":
-				err = db.MaterializeCrackedAV(fields[2], fields[3])
+				kind = dqo.AVCracked
 			default:
 				fmt.Println("unknown AV kind; want sorted, hashidx, sph, or crack")
 				continue
 			}
+			err := db.MaterializeAV(kind, fields[2], fields[3])
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -143,6 +151,16 @@ func main() {
 			}
 		case `\avs`:
 			fmt.Println(db.DescribeAVs())
+		case `\trace`:
+			if t := db.LastTrace(); t != nil {
+				fmt.Print(t.String())
+			} else {
+				fmt.Println("no traced queries yet.")
+			}
+		case `\metrics`:
+			if err := db.WriteMetrics(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		case `\mem`:
 			if len(fields) != 2 {
 				fmt.Println("usage: \\mem <bytes|off>")
@@ -226,7 +244,7 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 		case <-done:
 		}
 	}()
-	res, err := db.QueryContextOptions(ctx, mode, query, opts)
+	res, err := db.Query(ctx, mode, query, queryOpts(opts)...)
 	close(done)
 	signal.Stop(sig)
 	if err != nil {
@@ -245,6 +263,18 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 	if showStats {
 		fmt.Print(res.StatsString())
 	}
+}
+
+// queryOpts converts the shell's sticky settings into per-query options.
+func queryOpts(opts dqo.QueryOptions) []dqo.QueryOption {
+	var out []dqo.QueryOption
+	if opts.MemoryLimit > 0 {
+		out = append(out, dqo.WithMemoryLimit(opts.MemoryLimit))
+	}
+	if opts.Timeout > 0 {
+		out = append(out, dqo.WithTimeout(opts.Timeout))
+	}
+	return out
 }
 
 // printQueryError reports a failed query with a distinct message per kind

@@ -13,6 +13,7 @@ import (
 	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/logical"
+	"dqo/internal/obs"
 	"dqo/internal/physio"
 	"dqo/internal/qerr"
 	"dqo/internal/sql"
@@ -65,7 +66,8 @@ func (m Mode) coreMode() (core.Mode, error) {
 }
 
 // DB is an in-memory database: a set of registered tables, an Algorithmic
-// View catalog, and a plan cache.
+// View catalog, a plan cache, and the query-lifecycle observability state
+// (tracer, metrics, executor counters).
 type DB struct {
 	mu         sync.RWMutex
 	tables     map[string]*storage.Relation
@@ -73,6 +75,10 @@ type DB struct {
 	planCache  *av.PlanCache
 	cachePlans bool
 	admission  *govern.Gate
+
+	tracer       obs.Tracer     // guarded by mu; nil = tracing off
+	metrics      *obs.Collector // internally synchronised
+	execCounters exec.Counters  // atomic; ticked per morsel by the executor
 }
 
 // SetAdmission installs a DB-level admission gate: at most maxActive
@@ -92,12 +98,20 @@ func (db *DB) gate() *govern.Gate {
 	return db.admission
 }
 
-// Open returns an empty database.
+// defaultTraceRing is how many query traces the DB's default ring tracer
+// retains.
+const defaultTraceRing = 32
+
+// Open returns an empty database. Tracing starts enabled with the built-in
+// ring tracer (last 32 queries; see SetTracer) and metrics collection is
+// always on — both record once per query, off the morsel hot path.
 func Open() *DB {
 	return &DB{
 		tables:    make(map[string]*storage.Relation),
 		avs:       av.NewCatalog(),
 		planCache: av.NewPlanCache(),
+		tracer:    obs.NewRingTracer(defaultTraceRing),
+		metrics:   obs.NewCollector(),
 	}
 }
 
@@ -166,16 +180,24 @@ func (c catalogView) Table(name string) (*storage.Relation, bool) {
 	return rel, ok
 }
 
-// compile parses, binds, and optimises a query. workers > 0 overrides the
-// degree of parallelism offered to the optimiser's enumeration (0 keeps the
-// mode's default); memLimit > 0 makes the optimiser prune plan alternatives
-// whose estimated peak memory exceeds it.
-func (db *DB) compile(mode Mode, query string, workers int, memLimit int64) (*core.Result, *sql.SelectStmt, error) {
+// compile parses, binds, and optimises a query, recording the phase
+// durations into pt (which may be nil). workers > 0 overrides the degree of
+// parallelism offered to the optimiser's enumeration (0 keeps the mode's
+// default); memLimit > 0 makes the optimiser prune plan alternatives whose
+// estimated peak memory exceeds it.
+func (db *DB) compile(mode Mode, query string, workers int, memLimit int64, pt *phaseTimes) (*core.Result, *sql.SelectStmt, error) {
+	if pt == nil {
+		pt = &phaseTimes{}
+	}
+	t0 := time.Now()
 	stmt, err := sql.Parse(query)
+	pt.parse = time.Since(t0)
 	if err != nil {
 		return nil, nil, err
 	}
+	t0 = time.Now()
 	node, err := sql.Bind(stmt, catalogView{db})
+	pt.bind = time.Since(t0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,25 +217,55 @@ func (db *DB) compile(mode Mode, query string, workers int, memLimit int64) (*co
 	db.mu.RLock()
 	useCache := db.cachePlans
 	db.mu.RUnlock()
+	t0 = time.Now()
+	var res *core.Result
+	hit := false
 	if useCache {
 		// The chosen plan depends on the DOP and memory-budget dimensions,
 		// so the cache key must too: the same statement planned at different
 		// worker counts or budgets may pick different granules.
 		key := fmt.Sprintf("%s|dop=%d|mem=%d|%s", mode, cm.DOP, cm.MemBudget, stmt)
-		res, _, err := db.planCache.Optimize(key, node, cm)
-		return res, stmt, err
+		res, hit, err = db.planCache.Optimize(key, node, cm)
+	} else {
+		res, err = core.Optimize(node, cm)
 	}
-	res, err := core.Optimize(node, cm)
-	return res, stmt, err
+	pt.optimise = time.Since(t0)
+	pt.cacheHit = hit
+	if err != nil {
+		return nil, nil, err
+	}
+	if !hit {
+		// A cache hit re-uses the original enumeration; only fresh
+		// optimisation runs add alternatives to the DB counters.
+		db.metrics.AddAlternatives(res.Stats.Alternatives)
+	}
+	return res, stmt, nil
 }
 
-// Query optimises and executes a SQL query under the given mode. It is
-// QueryContext with a background context.
-func (db *DB) Query(mode Mode, query string) (*Result, error) {
-	return db.QueryContext(context.Background(), mode, query)
+// Query optimises and executes a SQL query under the given mode, through
+// the morsel-driven execution layer. It is the primary entry point; tune a
+// single query with functional options:
+//
+//	res, err := db.Query(ctx, dqo.ModeDQO, q,
+//	    dqo.WithWorkers(4), dqo.WithMemoryLimit(64<<20), dqo.WithTimeout(time.Second))
+//
+// Cancelling ctx aborts the query at the next morsel boundary; a LIMIT
+// clause runs as an early-exit operator. Every failure is typed —
+// errors.Is(err, ErrCancelled / ErrTimeout / ErrMemoryBudgetExceeded /
+// ErrQueueFull / ErrInternal) discriminates the cause — and when execution
+// fails mid-pipeline the returned *Result is non-nil alongside the error,
+// carrying the plan and the partial execution profile (Result.Stats,
+// Result.Err). The query's lifecycle is recorded: phase timings and the
+// operator span tree go to the DB's tracer (Result.Trace, DB.LastTrace) and
+// the outcome into DB.Metrics.
+func (db *DB) Query(ctx context.Context, mode Mode, query string, opts ...QueryOption) (*Result, error) {
+	return db.run(ctx, mode, query, resolveOptions(opts))
 }
 
 // QueryOptions tunes optimisation and execution of one query.
+//
+// Deprecated: pass functional options (WithWorkers, WithMorselSize,
+// WithMemoryLimit, WithTimeout, WithTracer) to Query instead.
 type QueryOptions struct {
 	// Workers bounds the query's worker pool AND the degree of parallelism
 	// the optimiser enumerates plans at; <= 0 selects GOMAXPROCS. Workers=1
@@ -235,81 +287,141 @@ type QueryOptions struct {
 	Timeout time.Duration
 }
 
-// QueryContext optimises and executes a SQL query under the given mode,
-// through the morsel-driven execution layer. Cancelling ctx aborts the
-// query at the next morsel boundary and returns ctx's error; the returned
-// Result carries the per-operator execution profile (Result.Stats). A
-// LIMIT clause runs as an early-exit operator: upstream operators stop as
-// soon as the first N rows are produced — under a parallel pipeline this
-// also cancels in-flight sibling morsel tasks. Cancellation is checked on
-// entry and throughout execution, but not inside the optimiser itself: a
-// ctx cancelled mid-optimisation takes effect before the first morsel runs.
+// QueryContext optimises and executes a SQL query under the given mode.
+//
+// Deprecated: use Query, which takes a context directly.
 func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Result, error) {
-	return db.QueryContextOptions(ctx, mode, query, QueryOptions{})
+	return db.run(ctx, mode, query, queryConfig{})
 }
 
 // QueryContextOptions is QueryContext with explicit worker-pool, morsel,
-// memory-limit, deadline, and admission behaviour. Every failure is typed:
-// errors.Is(err, ErrCancelled / ErrTimeout / ErrMemoryBudgetExceeded /
-// ErrQueueFull / ErrInternal) discriminates the cause. When execution fails
-// mid-pipeline, the returned *Result is non-nil alongside the error and
-// carries the plan plus the partial execution profile (Result.Stats,
-// Result.Err); its data accessors report no rows.
+// memory-limit, and deadline behaviour.
+//
+// Deprecated: use Query with functional options (WithWorkers,
+// WithMorselSize, WithMemoryLimit, WithTimeout).
 func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, opts QueryOptions) (*Result, error) {
-	if opts.Timeout > 0 {
+	return db.run(ctx, mode, query, queryConfig{
+		workers:  opts.Workers,
+		morsel:   opts.MorselSize,
+		memLimit: opts.MemoryLimit,
+		timeout:  opts.Timeout,
+	})
+}
+
+// run is the single query path behind Query and its deprecated wrappers:
+// it executes the query with per-phase timing and records the outcome
+// (metrics always, the span-tree trace when a tracer is installed).
+func (db *DB) run(ctx context.Context, mode Mode, query string, cfg queryConfig) (*Result, error) {
+	tracer := db.Tracer()
+	if cfg.tracerSet {
+		tracer = cfg.tracer
+	}
+	start := time.Now()
+	var pt phaseTimes
+	res, err := db.execQuery(ctx, mode, query, cfg, &pt)
+	db.observe(tracer, mode, query, start, time.Since(start), &pt, res, err)
+	return res, err
+}
+
+// execQuery runs one query's lifecycle: parse → bind → optimise → compile →
+// admission-wait → execute. Admission is taken after compilation — a
+// rejected query pays its optimisation cost but never holds an execution
+// slot while optimising, so the gate bounds executing queries only.
+func (db *DB) execQuery(ctx context.Context, mode Mode, query string, cfg queryConfig, pt *phaseTimes) (*Result, error) {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, qerr.From(err)
 	}
-	release, err := db.gate().Enter(ctx)
+	res, stmt, err := db.compile(mode, query, cfg.workers, cfg.memLimit, pt)
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-	res, stmt, err := db.compile(mode, query, opts.Workers, opts.MemoryLimit)
-	if err != nil {
-		return nil, err
-	}
+	t0 := time.Now()
 	root, err := core.Compile(res.Best)
+	pt.compile = time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
 	if stmt.Limit >= 0 {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
-	var mem *govern.Budget
-	if opts.MemoryLimit > 0 {
-		mem = govern.NewBudget(opts.MemoryLimit)
-	}
-	ec := exec.NewExecContextBudget(ctx, opts.MorselSize, opts.Workers, mem)
-	rel, err := exec.Run(ec, root)
+	t0 = time.Now()
+	release, err := db.gate().Enter(ctx)
+	pt.admission = time.Since(t0)
 	if err != nil {
-		return &Result{plan: res, profile: exec.CollectProfile(root), err: err}, err
+		return nil, err
 	}
-	rel = applyAliases(rel, stmt)
-	return &Result{rel: rel, plan: res, profile: exec.CollectProfile(root)}, nil
+	defer release()
+	db.metrics.RecordAdmissionWait(pt.admission)
+	var mem *govern.Budget
+	if cfg.memLimit > 0 {
+		mem = govern.NewBudget(cfg.memLimit)
+	}
+	ec := exec.NewExecContextBudget(ctx, cfg.morsel, cfg.workers, mem)
+	ec.Counters = &db.execCounters
+	t0 = time.Now()
+	rel, err := exec.Run(ec, root)
+	pt.execute = time.Since(t0)
+	if err != nil {
+		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err}, err
+	}
+	rel, err = applyAliases(rel, stmt)
+	if err != nil {
+		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err}, err
+	}
+	return &Result{rel: rel, plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak()}, nil
 }
 
-// Explain returns the chosen physical plan for a query without executing
-// it: operators, estimated costs and cardinalities, and property vectors.
-func (db *DB) Explain(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0, 0)
+// Explain renders the chosen physical plan for a query: operators,
+// estimated costs and cardinalities, and property vectors. Verbosity is
+// additive via options — ExplainGranules appends each join/group's granule
+// tree, ExplainUnnesting the Figure 3 unnesting chains, and ExplainAnalyze
+// executes the query and appends the estimated-vs-measured operator table
+// (tune that run with ExplainWith). Without options only the plan is
+// rendered and nothing executes.
+func (db *DB) Explain(mode Mode, query string, opts ...ExplainOption) (string, error) {
+	var cfg explainConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	res, _, err := db.compile(mode, query, 0, 0, nil)
 	if err != nil {
 		return "", err
 	}
-	header := fmt.Sprintf("mode=%s model=%s alternatives=%d kept=%d physicality=%.2f time=%s\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s model=%s alternatives=%d kept=%d physicality=%.2f time=%s\n",
 		res.Mode.Name, res.Mode.Model.Name(), res.Stats.Alternatives, res.Stats.Kept,
 		res.Physicality(), res.Stats.Duration)
-	return header + res.Best.Explain(), nil
+	b.WriteString(res.Best.Explain())
+	if cfg.granules {
+		b.WriteString(granuleTrees(res.Best))
+	}
+	if cfg.unnesting {
+		b.WriteString(unnestChains(res.Best))
+	}
+	if cfg.analyze {
+		qres, err := db.run(context.Background(), mode, query, resolveOptions(cfg.qopts))
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("\n")
+		b.WriteString(analyzeReport(mode, qres))
+	}
+	return b.String(), nil
 }
 
 // ExplainDeep is Explain plus the granule tree (the paper's Figure 3 view)
 // of every chosen join and grouping implementation.
+//
+// Deprecated: use Explain(mode, query, ExplainGranules()).
 func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0, 0)
+	res, _, err := db.compile(mode, query, 0, 0, nil)
 	if err != nil {
 		return "", err
 	}
@@ -319,11 +431,41 @@ func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
 // ExplainUnnest renders the paper's Figure 3 for the chosen plan: the
 // step-by-step unnesting chain from each logical operator to the fully
 // resolved deep implementation, with the physicality measure at every step.
+//
+// Deprecated: use Explain(mode, query, ExplainUnnesting()).
 func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0, 0)
+	res, _, err := db.compile(mode, query, 0, 0, nil)
 	if err != nil {
 		return "", err
 	}
+	return unnestChains(res.Best), nil
+}
+
+// granuleTrees renders the granule tree of every join/group node, bottom-up.
+func granuleTrees(plan *core.Plan) string {
+	var b strings.Builder
+	var rec func(n *core.Plan)
+	rec = func(n *core.Plan) {
+		for _, c := range n.Children {
+			rec(c)
+		}
+		var tree *physio.Granule
+		switch n.Op {
+		case core.OpJoin:
+			tree = n.Join.Tree
+		case core.OpGroup:
+			tree = n.Group.Tree
+		}
+		if tree != nil {
+			fmt.Fprintf(&b, "\n%s granule tree (physicality %.2f):\n%s", n.Label(), tree.Physicality(), tree.Render())
+		}
+	}
+	rec(plan)
+	return b.String()
+}
+
+// unnestChains renders the unnesting steps of every join/group node.
+func unnestChains(plan *core.Plan) string {
 	var b strings.Builder
 	var rec func(p *core.Plan)
 	rec = func(p *core.Plan) {
@@ -344,13 +486,15 @@ func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
 			fmt.Fprintf(&b, "step %d (physicality %.2f):\n%s\n", i, s.Physicality(), s.Render())
 		}
 	}
-	rec(res.Best)
-	return b.String(), nil
+	rec(plan)
+	return b.String()
 }
 
 // applyAliases renames result columns according to SELECT ... AS aliases on
-// plain columns (aggregate aliases are applied during planning).
-func applyAliases(rel *storage.Relation, stmt *sql.SelectStmt) *storage.Relation {
+// plain columns (aggregate aliases are applied during planning). Clashing
+// aliases are rejected at bind time, so a rename failure here is an
+// internal inconsistency, not a silent fallback.
+func applyAliases(rel *storage.Relation, stmt *sql.SelectStmt) (*storage.Relation, error) {
 	renames := map[string]string{}
 	for _, it := range stmt.Items {
 		if it.Agg == nil && it.Alias != "" {
@@ -359,7 +503,7 @@ func applyAliases(rel *storage.Relation, stmt *sql.SelectStmt) *storage.Relation
 		}
 	}
 	if len(renames) == 0 {
-		return rel
+		return rel, nil
 	}
 	cols := make([]*storage.Column, 0, rel.NumCols())
 	for _, c := range rel.Columns() {
@@ -383,9 +527,9 @@ func applyAliases(rel *storage.Relation, stmt *sql.SelectStmt) *storage.Relation
 	}
 	out, err := storage.NewRelation(rel.Name(), cols...)
 	if err != nil {
-		return rel // clashing aliases: keep original names
+		return nil, fmt.Errorf("dqo: applying SELECT aliases: %w", err)
 	}
-	return out
+	return out, nil
 }
 
 // aliasMap collects the alias -> base-table mapping of a statement, used to
@@ -407,70 +551,68 @@ func suffixAfterDot(s string) string {
 	return s
 }
 
-// MaterializeSortedAV materialises a sorted-projection Algorithmic View of
-// table by column and registers it with the optimiser.
-func (db *DB) MaterializeSortedAV(table, column string) error {
+// MaterializeAV materialises an Algorithmic View of the given kind on
+// table.column and registers it with the optimiser: AVSorted is a sorted
+// projection (prepaid sort), AVHashIndex a prebuilt hash-join build side,
+// AVSPH a static-perfect-hash directory over a dense key, and AVCracked an
+// adaptive index that partitions itself along query bounds. Materialising
+// invalidates cached plans so subsequent queries can choose the view.
+func (db *DB) MaterializeAV(kind AVKind, table, column string) error {
 	rel, ok := db.lookup(table)
 	if !ok {
 		return fmt.Errorf("dqo: unknown table %q", table)
 	}
-	v, err := av.MaterializeSorted(table, rel, column)
+	var v *av.View
+	var err error
+	switch kind {
+	case AVSorted:
+		v, err = av.MaterializeSorted(table, rel, column)
+	case AVHashIndex:
+		v, err = av.MaterializeHashIndex(table, rel, column, hashtable.Murmur3Fin)
+	case AVSPH:
+		v, err = av.MaterializeSPH(table, rel, column)
+	case AVCracked:
+		v, err = av.MaterializeCracked(table, rel, column)
+	default:
+		return fmt.Errorf("dqo: unknown AV kind %d", uint8(kind))
+	}
 	if err != nil {
 		return err
 	}
 	db.avs.Add(v)
 	db.planCache.Clear()
 	return nil
+}
+
+// MaterializeSortedAV materialises a sorted-projection Algorithmic View.
+//
+// Deprecated: use MaterializeAV(AVSorted, table, column).
+func (db *DB) MaterializeSortedAV(table, column string) error {
+	return db.MaterializeAV(AVSorted, table, column)
 }
 
 // MaterializeHashIndexAV materialises a hash-index AV (prepaid hash-join
 // build) on table.column.
+//
+// Deprecated: use MaterializeAV(AVHashIndex, table, column).
 func (db *DB) MaterializeHashIndexAV(table, column string) error {
-	rel, ok := db.lookup(table)
-	if !ok {
-		return fmt.Errorf("dqo: unknown table %q", table)
-	}
-	v, err := av.MaterializeHashIndex(table, rel, column, hashtable.Murmur3Fin)
-	if err != nil {
-		return err
-	}
-	db.avs.Add(v)
-	db.planCache.Clear()
-	return nil
+	return db.MaterializeAV(AVHashIndex, table, column)
 }
 
 // MaterializeSPHAV materialises a static-perfect-hash directory AV (prepaid
 // SPH-join build) on a dense key column.
+//
+// Deprecated: use MaterializeAV(AVSPH, table, column).
 func (db *DB) MaterializeSPHAV(table, column string) error {
-	rel, ok := db.lookup(table)
-	if !ok {
-		return fmt.Errorf("dqo: unknown table %q", table)
-	}
-	v, err := av.MaterializeSPH(table, rel, column)
-	if err != nil {
-		return err
-	}
-	db.avs.Add(v)
-	db.planCache.Clear()
-	return nil
+	return db.MaterializeAV(AVSPH, table, column)
 }
 
 // MaterializeCrackedAV materialises an adaptive (cracked) index AV on
-// table.column: range filters on that column are answered by the index,
-// which partitions itself along query bounds — indexing work happens at
-// query time, driven by the workload.
+// table.column.
+//
+// Deprecated: use MaterializeAV(AVCracked, table, column).
 func (db *DB) MaterializeCrackedAV(table, column string) error {
-	rel, ok := db.lookup(table)
-	if !ok {
-		return fmt.Errorf("dqo: unknown table %q", table)
-	}
-	v, err := av.MaterializeCracked(table, rel, column)
-	if err != nil {
-		return err
-	}
-	db.avs.Add(v)
-	db.planCache.Clear()
-	return nil
+	return db.MaterializeAV(AVCracked, table, column)
 }
 
 // DescribeAVs renders the AV catalog.

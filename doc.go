@@ -19,10 +19,16 @@
 //	_ = db.Register(dqo.NewTableBuilder("S").
 //		Uint32("R_ID", fks).Int64("M", vals).MustBuild())
 //
-//	res, err := db.Query(dqo.ModeDQO,
+//	res, err := db.Query(ctx, dqo.ModeDQO,
 //		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A")
 //
-// Use db.Explain to see the chosen plan, its estimated cost, its property
-// vector at every operator, and — with ExplainDeep — the granule trees of
-// the chosen sub-operator implementations.
+// Query accepts functional options (WithWorkers, WithMorselSize,
+// WithMemoryLimit, WithTimeout, WithTracer) to tune one run. Use db.Explain
+// to see the chosen plan, its estimated cost, and its property vector at
+// every operator; Explain's verbosity options add the granule trees
+// (ExplainGranules), the unnesting chains (ExplainUnnesting), or an
+// executed estimated-vs-measured operator table (ExplainAnalyze). Every
+// query's lifecycle is observable: phase/operator span trees flow to the
+// DB's Tracer (Result.Trace, DB.LastTrace) and cumulative counters to
+// DB.Metrics / DB.WriteMetrics.
 package dqo

@@ -1,6 +1,7 @@
 package dqo
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestQueryAllModes(t *testing.T) {
 	db := testDB(t, false, false, true)
 	var ref *Result
 	for _, m := range []Mode{ModeSQO, ModeDQO, ModeDQOCalibrated} {
-		res, err := db.Query(m, paperSQL+" ORDER BY R.A")
+		res, err := db.Query(context.Background(), m, paperSQL+" ORDER BY R.A")
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -110,7 +111,7 @@ func TestBuilderAndTableAPI(t *testing.T) {
 	if len(db.Tables()) != 1 {
 		t.Fatal("table listing wrong")
 	}
-	res, err := db.Query(ModeDQO, "SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY k")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT k, SUM(v) AS total FROM t GROUP BY k ORDER BY k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestStringGroupingViaSQL(t *testing.T) {
 	if err := db.Register(tab); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query(ModeDQO, "SELECT city, SUM(amount) AS total FROM orders GROUP BY city")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT city, SUM(amount) AS total FROM orders GROUP BY city")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestStringGroupingViaSQL(t *testing.T) {
 
 func TestWhereAndLimit(t *testing.T) {
 	db := testDB(t, true, true, true)
-	res, err := db.Query(ModeDQO, "SELECT ID, A FROM R WHERE A < 10 ORDER BY ID LIMIT 7")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT ID, A FROM R WHERE A < 10 ORDER BY ID LIMIT 7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestAVsThroughFacade(t *testing.T) {
 	if !strings.Contains(exp, "av:sph(R.ID)") {
 		t.Fatalf("AV not used:\n%s", exp)
 	}
-	res, err := db.Query(ModeDQO, paperSQL)
+	res, err := db.Query(context.Background(), ModeDQO, paperSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,10 +239,10 @@ func TestSelectAVs(t *testing.T) {
 func TestPlanCacheThroughFacade(t *testing.T) {
 	db := testDB(t, true, true, true)
 	db.EnablePlanCache(true)
-	if _, err := db.Query(ModeDQO, paperSQL); err != nil {
+	if _, err := db.Query(context.Background(), ModeDQO, paperSQL); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Query(ModeDQO, paperSQL); err != nil {
+	if _, err := db.Query(context.Background(), ModeDQO, paperSQL); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := db.PlanCacheStats()
@@ -249,7 +250,7 @@ func TestPlanCacheThroughFacade(t *testing.T) {
 		t.Fatalf("cache stats = %d/%d", hits, misses)
 	}
 	// Different mode: separate cache entry.
-	if _, err := db.Query(ModeSQO, paperSQL); err != nil {
+	if _, err := db.Query(context.Background(), ModeSQO, paperSQL); err != nil {
 		t.Fatal(err)
 	}
 	if _, m := db.PlanCacheStats(); m != 2 {
@@ -266,11 +267,11 @@ func TestQueryErrors(t *testing.T) {
 		"SELECT x FROM nosuchtable",
 	}
 	for _, q := range cases {
-		if _, err := db.Query(ModeDQO, q); err == nil {
+		if _, err := db.Query(context.Background(), ModeDQO, q); err == nil {
 			t.Errorf("accepted %q", q)
 		}
 	}
-	if _, err := db.Query(Mode(99), "SELECT ID FROM R"); err == nil {
+	if _, err := db.Query(context.Background(), Mode(99), "SELECT ID FROM R"); err == nil {
 		t.Error("unknown mode accepted")
 	}
 	if err := db.Register(nil); err == nil {
@@ -283,7 +284,7 @@ func TestQueryErrors(t *testing.T) {
 
 func TestResultString(t *testing.T) {
 	db := testDB(t, true, true, true)
-	res, err := db.Query(ModeDQO, "SELECT ID FROM R ORDER BY ID LIMIT 2")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R ORDER BY ID LIMIT 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestResultString(t *testing.T) {
 
 func TestColumnAccessorErrors(t *testing.T) {
 	db := testDB(t, true, true, true)
-	res, err := db.Query(ModeDQO, "SELECT ID FROM R LIMIT 1")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestLoadCSV(t *testing.T) {
 	if err := db.Register(tab); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query(ModeDQO, "SELECT name, score FROM people WHERE id = 2")
+	res, err := db.Query(context.Background(), ModeDQO, "SELECT name, score FROM people WHERE id = 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestConcurrentQueries(t *testing.T) {
 				if (w+i)%2 == 0 {
 					mode = ModeSQO
 				}
-				res, err := db.Query(mode, paperSQL)
+				res, err := db.Query(context.Background(), mode, paperSQL)
 				if err != nil {
 					errc <- err
 					return
@@ -407,7 +408,7 @@ func TestReregisterDropsStaleAVs(t *testing.T) {
 	}
 	// And queries against the replaced table still work. (S references old
 	// R ids that may not join the new, smaller R — that's fine.)
-	if _, err := db.Query(ModeDQO, "SELECT A, COUNT(*) FROM R GROUP BY A"); err != nil {
+	if _, err := db.Query(context.Background(), ModeDQO, "SELECT A, COUNT(*) FROM R GROUP BY A"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -441,7 +442,7 @@ func TestCrackedAVThroughFacade(t *testing.T) {
 	if !strings.Contains(exp, "av:crack(R.A)") {
 		t.Fatalf("cracked AV not used:\n%s", exp)
 	}
-	res, err := db.Query(ModeDQO, q)
+	res, err := db.Query(context.Background(), ModeDQO, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestCrackedAVThroughFacade(t *testing.T) {
 	counts, _ := res.Int64Column("count_star")
 	// Reference without the AV.
 	db2 := testDB(t, false, false, true)
-	ref, err := db2.Query(ModeDQO, q)
+	ref, err := db2.Query(context.Background(), ModeDQO, q)
 	if err != nil {
 		t.Fatal(err)
 	}

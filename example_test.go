@@ -1,6 +1,7 @@
 package dqo_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func buildExampleDB() *dqo.DB {
 
 func ExampleDB_Query() {
 	db := buildExampleDB()
-	res, err := db.Query(dqo.ModeDQO,
+	res, err := db.Query(context.Background(), dqo.ModeDQO,
 		"SELECT R.A, COUNT(*), SUM(S.M) AS total FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A ORDER BY R.A")
 	if err != nil {
 		log.Fatal(err)
@@ -47,7 +48,7 @@ func ExampleDB_Query() {
 
 func ExampleDB_Query_having() {
 	db := buildExampleDB()
-	res, err := db.Query(dqo.ModeDQO,
+	res, err := db.Query(context.Background(), dqo.ModeDQO,
 		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A HAVING count_star >= 3 ORDER BY R.A LIMIT 1")
 	if err != nil {
 		log.Fatal(err)

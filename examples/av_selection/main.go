@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 
 	fmt.Println("== cold: no Algorithmic Views ==")
 	for q := range workload {
-		res, err := db.Query(dqo.ModeDQO, q)
+		res, err := db.Query(context.Background(), dqo.ModeDQO, q)
 		must(err)
 		fmt.Printf("cost %8.0f  %s\n", res.EstimatedCost(), q)
 	}
@@ -53,13 +54,13 @@ func main() {
 	fmt.Println("\n== warm: with the selected views (and the plan cache on) ==")
 	db.EnablePlanCache(true)
 	for q := range workload {
-		res, err := db.Query(dqo.ModeDQO, q)
+		res, err := db.Query(context.Background(), dqo.ModeDQO, q)
 		must(err)
 		fmt.Printf("cost %8.0f  %s\n", res.EstimatedCost(), q)
 	}
 	// Run the workload again: plans now come from the cache.
 	for q := range workload {
-		_, err := db.Query(dqo.ModeDQO, q)
+		_, err := db.Query(context.Background(), dqo.ModeDQO, q)
 		must(err)
 	}
 	hits, misses := db.PlanCacheStats()

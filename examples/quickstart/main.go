@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	const query = `SELECT R.A, COUNT(*), SUM(S.M) AS total
 		FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A ORDER BY R.A`
 
-	res, err := db.Query(dqo.ModeDQO, query)
+	res, err := db.Query(context.Background(), dqo.ModeDQO, query)
 	if err != nil {
 		log.Fatal(err)
 	}

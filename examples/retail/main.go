@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 		ORDER BY stores.store_id`
 
 	fmt.Println("== revenue per store (HAVING revenue > 8000.00) ==")
-	res, err := db.Query(dqo.ModeDQO, revenueByStore)
+	res, err := db.Query(context.Background(), dqo.ModeDQO, revenueByStore)
 	must(err)
 	fmt.Println(res)
 
@@ -71,7 +72,7 @@ func main() {
 		FROM stores JOIN sales ON stores.store_id = sales.store_id
 		GROUP BY region ORDER BY region`
 	fmt.Println("== revenue per region (grouping on a string column) ==")
-	res, err = db.Query(dqo.ModeDQO, revenueByRegion)
+	res, err = db.Query(context.Background(), dqo.ModeDQO, revenueByRegion)
 	must(err)
 	fmt.Println(res)
 
@@ -86,7 +87,7 @@ func main() {
 	fmt.Println(report)
 	db.EnablePlanCache(true)
 	for i := 0; i < 3; i++ {
-		_, err = db.Query(dqo.ModeDQO, revenueByStore)
+		_, err = db.Query(context.Background(), dqo.ModeDQO, revenueByStore)
 		must(err)
 	}
 	hits, misses := db.PlanCacheStats()

@@ -76,7 +76,7 @@ var corpusQueries = []string{
 // workers is the DOP offered to the optimiser (1 = serial plans only).
 func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query, workers, 0)
+	res, stmt, err := db.compile(mode, query, workers, 0, nil)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}
@@ -87,7 +87,11 @@ func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *stor
 	if stmt.Limit >= 0 && rel.NumRows() > stmt.Limit {
 		rel = rel.Slice(0, stmt.Limit)
 	}
-	return applyAliases(rel, stmt)
+	out, err := applyAliases(rel, stmt)
+	if err != nil {
+		t.Fatalf("%s/%s: aliases: %v", mode, query, err)
+	}
+	return out
 }
 
 // morselQuery runs the same query through the morsel executor at an
@@ -95,7 +99,7 @@ func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *stor
 // that DOP, matching QueryContextOptions).
 func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query, workers, 0)
+	res, stmt, err := db.compile(mode, query, workers, 0, nil)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}
@@ -111,7 +115,11 @@ func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel, workers 
 	if err != nil {
 		t.Fatalf("%s/%s/morsel=%d/workers=%d: run: %v", mode, query, morsel, workers, err)
 	}
-	return applyAliases(rel, stmt)
+	out, err := applyAliases(rel, stmt)
+	if err != nil {
+		t.Fatalf("%s/%s: aliases: %v", mode, query, err)
+	}
+	return out
 }
 
 // workerCounts is the DOP sweep used by the differentials: serial, two
@@ -338,7 +346,7 @@ func TestQueryContextCancellation(t *testing.T) {
 // rows produced and nonzero wall time.
 func TestStatsCoverFigure5Plan(t *testing.T) {
 	db := testDB(t, false, false, true)
-	res, err := db.Query(ModeDQO, paperSQL)
+	res, err := db.Query(context.Background(), ModeDQO, paperSQL)
 	if err != nil {
 		t.Fatal(err)
 	}

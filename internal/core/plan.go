@@ -336,6 +336,34 @@ func executeIndexJoin(p *Plan, left, right *storage.Relation) (*storage.Relation
 	return storage.NewRelation(left.Name()+"_join_"+right.Name(), cols...)
 }
 
+// SelfCost is the node's own estimated cost: the cumulative Cost minus the
+// children's cumulative costs, clamped at zero (enforcers the model priced
+// at zero and float rounding can otherwise go slightly negative).
+func (p *Plan) SelfCost() float64 {
+	c := p.Cost
+	for _, ch := range p.Children {
+		c -= ch.Cost
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// PreOrder visits the plan tree root-first, the same order core.Compile
+// lowers nodes onto operators and exec.CollectProfile walks them — which is
+// what lets EXPLAIN ANALYZE zip estimates with measurements.
+func (p *Plan) PreOrder(fn func(n *Plan, depth int)) {
+	var rec func(n *Plan, d int)
+	rec = func(n *Plan, d int) {
+		fn(n, d)
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(p, 0)
+}
+
 // Pipeline counts: a Plan can report how many pipeline breakers it contains
 // (sort, sort-based and hash-based operators break; order/SPH streaming
 // kernels do not block in the Figure 2 sense). Exposed for tests and

@@ -66,6 +66,10 @@ type ExecContext struct {
 	MorselSize int
 	Pool       *Pool
 	ctl        *govern.Ctl
+	// Counters, when non-nil, receives one atomic tick per morsel batch
+	// consumed at a pipeline boundary. Owned by the DB (cumulative across
+	// queries); nil disables counting at the cost of a nil check.
+	Counters *Counters
 }
 
 // NewExecContext returns an execution context. morsel <= 0 selects
@@ -217,6 +221,7 @@ func Run(ec *ExecContext, root Operator) (rel *storage.Relation, err error) {
 		if batch == nil {
 			break
 		}
+		ec.Counters.tick(batch.NumRows())
 		if batch.NumRows() > 0 || len(parts) == 0 {
 			// The accumulated result is this loop's materialisation: charge it.
 			if n := batch.MemBytes(); n > 0 {

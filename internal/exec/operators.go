@@ -496,6 +496,7 @@ func drain(ec *ExecContext, op Operator, held *int64) (*storage.Relation, int64,
 		if batch == nil {
 			break
 		}
+		ec.Counters.tick(batch.NumRows())
 		rows += int64(batch.NumRows())
 		if batch.NumRows() > 0 || len(parts) == 0 {
 			if n := batch.MemBytes(); n > 0 {

@@ -191,6 +191,14 @@ func (g *Gate) Running() int {
 	return len(g.active)
 }
 
+// Queued reports how many queries are currently waiting for a slot.
+func (g *Gate) Queued() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.queue.Load())
+}
+
 // RecoverTo is a defer helper that converts a panic in the current function
 // into a typed qerr.ErrInternal stored in *errp (unless *errp is already
 // set). Usage:

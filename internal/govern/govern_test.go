@@ -117,6 +117,9 @@ func TestGateAdmitQueueReject(t *testing.T) {
 	for g.queue.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
+	if got := g.Queued(); got != 1 {
+		t.Fatalf("Queued() = %d, want 1", got)
+	}
 	if _, err := g.Enter(context.Background()); !errors.Is(err, qerr.ErrQueueFull) {
 		t.Fatalf("third enter: got %v, want ErrQueueFull", err)
 	}
@@ -154,6 +157,9 @@ func TestGateCancelWhileQueued(t *testing.T) {
 
 func TestGateNilUnlimited(t *testing.T) {
 	var g *Gate
+	if g.Queued() != 0 || g.Running() != 0 {
+		t.Fatal("nil gate should report zero gauges")
+	}
 	for i := 0; i < 100; i++ {
 		rel, err := g.Enter(context.Background())
 		if err != nil {

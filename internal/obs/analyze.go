@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// AnalyzeRow pairs one executed operator with the optimiser's estimates for
+// the plan node it was compiled from. Executor-only operators (LIMIT,
+// pipeline drivers) have no plan node: HasEst is false and the estimate
+// columns render as "-".
+type AnalyzeRow struct {
+	Label string
+	Depth int
+
+	HasEst   bool
+	EstRows  float64
+	EstCost  float64 // self cost (node cost minus children), model units
+	EstBytes float64 // optimiser's subtree peak-memory estimate
+
+	ActRows  int64
+	ActSelf  time.Duration // wall time minus children's wall time
+	ActWall  time.Duration
+	ActBytes int64 // measured subtree peak bytes
+	Batches  int64
+	DOP      int64
+}
+
+// RenderAnalyze renders EXPLAIN ANALYZE rows as an aligned table with
+// misestimation factors (measured/estimated). Cost is unit-less in the
+// model, so the time factor calibrates one ns-per-cost-unit ratio from the
+// whole query (total measured self time / total estimated self cost) and
+// reports each operator's deviation from that query-wide ratio — a factor
+// of 1.0 means the operator's share of time matches its share of cost.
+func RenderAnalyze(rows []AnalyzeRow, total time.Duration) string {
+	var totalSelf time.Duration
+	var totalCost float64
+	for _, r := range rows {
+		if r.HasEst {
+			totalSelf += r.ActSelf
+			totalCost += r.EstCost
+		}
+	}
+	nsPerCost := 0.0
+	if totalCost > 0 {
+		nsPerCost = float64(totalSelf.Nanoseconds()) / totalCost
+	}
+
+	const (
+		dash = "-"
+	)
+	type cells struct{ vals [11]string }
+	header := [11]string{"operator", "est_rows", "act_rows", "rows_x",
+		"est_self", "act_self", "time_x", "est_mem", "act_mem", "mem_x", "dop"}
+	out := make([]cells, 0, len(rows))
+	for _, r := range rows {
+		var c cells
+		c.vals[0] = strings.Repeat("  ", r.Depth) + r.Label
+		c.vals[2] = fmt.Sprintf("%d", r.ActRows)
+		c.vals[5] = fmtDur(r.ActSelf)
+		c.vals[8] = FmtBytes(r.ActBytes)
+		c.vals[10] = fmt.Sprintf("%d", r.DOP)
+		if !r.HasEst {
+			c.vals[1], c.vals[3], c.vals[4], c.vals[6], c.vals[7], c.vals[9] =
+				dash, dash, dash, dash, dash, dash
+			out = append(out, c)
+			continue
+		}
+		c.vals[1] = fmt.Sprintf("%.0f", r.EstRows)
+		c.vals[3] = factor(float64(r.ActRows), r.EstRows)
+		estSelf := time.Duration(r.EstCost * nsPerCost)
+		c.vals[4] = fmtDur(estSelf)
+		c.vals[6] = factor(float64(r.ActSelf.Nanoseconds()), r.EstCost*nsPerCost)
+		c.vals[7] = FmtBytes(int64(r.EstBytes))
+		c.vals[9] = factor(float64(r.ActBytes), r.EstBytes)
+		out = append(out, c)
+	}
+
+	var w [11]int
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, c := range out {
+		for i, v := range c.vals {
+			if len(v) > w[i] {
+				w[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals [11]string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w[i], v)
+			} else {
+				fmt.Fprintf(&b, "%*s", w[i], v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, c := range out {
+		writeRow(c.vals)
+	}
+	fmt.Fprintf(&b, "total: %s\n", total.Round(time.Microsecond))
+	return b.String()
+}
+
+// factor renders measured/estimated as "N.NNx"; "-" when the estimate is
+// zero (nothing to compare against) unless the measurement is zero too, in
+// which case the estimate was exactly right.
+func factor(act, est float64) string {
+	if est <= 0 {
+		if act == 0 {
+			return "1.00x"
+		}
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", act/est)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

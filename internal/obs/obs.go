@@ -1,0 +1,166 @@
+// Package obs is the query-lifecycle observability layer: phase/operator
+// span trees per query (tracing), cumulative DB-level counters and latency
+// histograms (metrics) with a Prometheus-style text exposition, and the
+// EXPLAIN ANALYZE renderer that puts the optimiser's estimates next to the
+// executor's measurements.
+//
+// The package is deliberately passive: nothing here runs on the morsel hot
+// path. The executor keeps counting with the allocation-free atomic
+// counters it already owns (internal/exec); obs consumes those counters
+// once per query — span trees are assembled after execution from the
+// collected profile, and metrics recording is a handful of mutex-guarded
+// adds per query, not per morsel.
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dqo/internal/qerr"
+)
+
+// Canonical phase names of a query lifecycle, in execution order. The root
+// span of every trace has exactly these children (phases that did not run,
+// e.g. admission with no gate installed, still appear with ~zero duration,
+// so consumers can index by position).
+const (
+	PhaseParse     = "parse"
+	PhaseBind      = "bind"
+	PhaseOptimise  = "optimise"
+	PhaseCompile   = "compile"
+	PhaseAdmission = "admission-wait"
+	PhaseExecute   = "execute"
+)
+
+// Phases lists the lifecycle phases in order.
+func Phases() []string {
+	return []string{PhaseParse, PhaseBind, PhaseOptimise, PhaseCompile, PhaseAdmission, PhaseExecute}
+}
+
+// Span is one timed node of a query trace: a lifecycle phase, or — under
+// the execute phase — one physical operator. Operator spans carry the
+// executor's measurements (rows, morsel batches, effective DOP, peak
+// bytes); phase spans leave those zero.
+type Span struct {
+	Name  string
+	Start time.Duration // offset from the query's start
+	Dur   time.Duration
+
+	// Operator measurements (zero on phase spans).
+	Rows      int64 // rows emitted
+	Batches   int64 // morsel batches emitted
+	DOP       int64 // effective degree of parallelism (1 = serial)
+	PeakBytes int64 // high-water estimate of bytes held
+
+	Children []*Span
+}
+
+// Walk visits the span and its descendants in pre-order.
+func (s *Span) Walk(fn func(s *Span, depth int)) {
+	var rec func(sp *Span, d int)
+	rec = func(sp *Span, d int) {
+		fn(sp, d)
+		for _, c := range sp.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(s, 0)
+}
+
+// Render returns the span tree as an indented text block.
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		fmt.Fprintf(&b, "%s%-*s %12s", strings.Repeat("  ", depth), 40-2*depth, sp.Name,
+			sp.Dur.Round(time.Microsecond))
+		if sp.Batches > 0 || sp.Rows > 0 {
+			fmt.Fprintf(&b, "  rows=%d batches=%d dop=%d peak=%s",
+				sp.Rows, sp.Batches, sp.DOP, FmtBytes(sp.PeakBytes))
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// QueryTrace is the complete record of one query's lifecycle, handed to the
+// Tracer when the query finishes (successfully or not).
+type QueryTrace struct {
+	Query string
+	Mode  string
+	Start time.Time
+	Total time.Duration
+	// Err is the taxonomy label of the failure ("" for a successful query);
+	// see KindLabel.
+	Err  string
+	Root *Span
+}
+
+// Phase returns the named lifecycle child span of the root (nil if absent).
+func (t *QueryTrace) Phase(name string) *Span {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	for _, c := range t.Root.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// String renders the trace header plus the span tree.
+func (t *QueryTrace) String() string {
+	status := "ok"
+	if t.Err != "" {
+		status = t.Err
+	}
+	head := fmt.Sprintf("%s  mode=%s  total=%s  status=%s\n",
+		t.Query, t.Mode, t.Total.Round(time.Microsecond), status)
+	if t.Root == nil {
+		return head
+	}
+	return head + t.Root.Render()
+}
+
+// Tracer receives completed query traces. Implementations must be safe for
+// concurrent use; TraceQuery is called once per query, after the query
+// finished, never on the execution hot path.
+type Tracer interface {
+	TraceQuery(t *QueryTrace)
+}
+
+// KindLabel maps an error onto its metrics/trace label: one label per kind
+// of the qerr taxonomy, "other" for anything else (parse, bind, planning
+// errors), and "" for nil. The non-"" labels partition every failed query.
+func KindLabel(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, qerr.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, qerr.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, qerr.ErrMemoryBudgetExceeded):
+		return "memory_budget"
+	case errors.Is(err, qerr.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, qerr.ErrInternal):
+		return "internal"
+	default:
+		return "other"
+	}
+}
+
+// FmtBytes renders a byte count with a binary unit suffix.
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import "sync"
+
+// RingTracer is the built-in Tracer: a fixed-size in-memory ring buffer
+// keeping the traces of the last N queries. It is the default tracer a DB
+// opens with, cheap enough to leave on in production — per query it stores
+// one already-built trace and evicts the oldest.
+type RingTracer struct {
+	mu    sync.Mutex
+	buf   []*QueryTrace
+	next  int   // next write position
+	count int64 // total traces ever recorded
+}
+
+// NewRingTracer returns a ring tracer holding the last n traces (n < 1 is
+// clamped to 1).
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]*QueryTrace, n)}
+}
+
+// TraceQuery implements Tracer.
+func (r *RingTracer) TraceQuery(t *QueryTrace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.count++
+	r.mu.Unlock()
+}
+
+// Last returns the most recent trace (nil if none yet).
+func (r *RingTracer) Last() *QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := (r.next - 1 + len(r.buf)) % len(r.buf)
+	return r.buf[i]
+}
+
+// Traces returns the retained traces, oldest first.
+func (r *RingTracer) Traces() []*QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryTrace, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		if t := r.buf[(r.next+i)%len(r.buf)]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count reports how many traces were ever recorded (not just retained).
+func (r *RingTracer) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}

@@ -134,7 +134,56 @@ func Bind(stmt *SelectStmt, cat Catalog) (logical.Node, error) {
 	if len(outCols) > 0 && !sameColumns(outCols, node.Columns()) {
 		node = &logical.Project{Input: node, Cols: outCols}
 	}
+	if err := checkOutputNames(stmt, node.Columns()); err != nil {
+		return nil, err
+	}
 	return node, nil
+}
+
+// checkOutputNames rejects result schemas whose final column names clash
+// after SELECT ... AS aliases are applied — at bind time, so the clash is a
+// typed query error instead of a silent late failure when the result
+// relation is assembled.
+func checkOutputNames(stmt *SelectStmt, outCols []string) error {
+	renames := map[string]string{}
+	for _, it := range stmt.Items {
+		if it.Agg != nil || it.Alias == "" {
+			continue
+		}
+		if prev, ok := renames[it.Col]; ok && prev != it.Alias {
+			return fmt.Errorf("sql: column %s aliased twice (AS %s and AS %s)", it.Col, prev, it.Alias)
+		}
+		renames[it.Col] = it.Alias
+	}
+	seen := make(map[string]string, len(outCols))
+	for _, name := range outCols {
+		final := name
+		if a, ok := renames[name]; ok {
+			final = a
+		} else {
+			// Bare reference in SELECT, qualified in the plan.
+			for ref, a := range renames {
+				if suffixAfterDot(name) == ref {
+					final = a
+					break
+				}
+			}
+		}
+		if prev, ok := seen[final]; ok {
+			return fmt.Errorf("sql: duplicate output column %q (from %s and %s)", final, prev, name)
+		}
+		seen[final] = name
+	}
+	return nil
+}
+
+func suffixAfterDot(s string) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
 }
 
 type binder struct {

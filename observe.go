@@ -1,0 +1,195 @@
+package dqo
+
+import (
+	"io"
+	"time"
+
+	"dqo/internal/exec"
+	"dqo/internal/obs"
+)
+
+// Tracer receives one QueryTrace per finished query (successful or not).
+// Implementations must be safe for concurrent use; TraceQuery runs after
+// the query completes, never on the execution hot path.
+type Tracer = obs.Tracer
+
+// QueryTrace is the complete span-tree record of one query's lifecycle.
+type QueryTrace = obs.QueryTrace
+
+// Span is one timed node of a query trace: a lifecycle phase or, under the
+// "execute" phase, one physical operator.
+type Span = obs.Span
+
+// RingTracer is the built-in Tracer: an in-memory ring buffer keeping the
+// traces of the last N queries. Every DB opens with one (size 32).
+type RingTracer = obs.RingTracer
+
+// NewRingTracer returns a ring tracer retaining the last n query traces.
+func NewRingTracer(n int) *RingTracer { return obs.NewRingTracer(n) }
+
+// MetricsSnapshot is a point-in-time view of a DB's cumulative metrics; see
+// DB.Metrics. Its WriteProm method emits the Prometheus text exposition.
+type MetricsSnapshot = obs.Snapshot
+
+// SetTracer installs the DB's tracer; every query's trace is delivered to
+// it unless the query overrides with WithTracer. nil disables tracing.
+func (db *DB) SetTracer(t Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+}
+
+// Tracer returns the DB's current tracer (nil when tracing is disabled).
+func (db *DB) Tracer() Tracer {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tracer
+}
+
+// LastTrace returns the most recent query trace when the DB's tracer is the
+// built-in ring tracer (the default), nil otherwise.
+func (db *DB) LastTrace() *QueryTrace {
+	if ring, ok := db.Tracer().(*RingTracer); ok {
+		return ring.Last()
+	}
+	return nil
+}
+
+// Metrics returns a consistent snapshot of the DB's cumulative metrics:
+// query counts by mode and error kind (the kinds exactly partition the
+// failures), the end-to-end latency histogram, admission gate activity,
+// plan-cache hit rate, optimiser alternatives enumerated, executor morsel
+// counters, and the memory high-water mark.
+func (db *DB) Metrics() MetricsSnapshot {
+	s := db.metrics.Snapshot()
+	s.PlanCacheHits, s.PlanCacheMisses = db.planCache.Stats()
+	g := db.gate()
+	s.AdmissionRunning = g.Running()
+	s.AdmissionQueued = g.Queued()
+	s.Morsels = db.execCounters.Morsels.Load()
+	s.MorselRows = db.execCounters.Rows.Load()
+	return s
+}
+
+// WriteMetrics writes the current metrics snapshot to w in the Prometheus
+// text exposition format.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	return db.Metrics().WriteProm(w)
+}
+
+// phaseTimes are the measured lifecycle phase durations of one query.
+type phaseTimes struct {
+	parse     time.Duration
+	bind      time.Duration
+	optimise  time.Duration
+	compile   time.Duration
+	admission time.Duration
+	execute   time.Duration
+	cacheHit  bool
+}
+
+// dur returns the phase durations in obs.Phases() order.
+func (p *phaseTimes) dur() [6]time.Duration {
+	return [6]time.Duration{p.parse, p.bind, p.optimise, p.compile, p.admission, p.execute}
+}
+
+// observe records one finished query into the DB's metrics and delivers its
+// trace. It runs on every return path — a parse error and a morsel-level
+// abort both count — which is what keeps Metrics' partition invariant
+// (queries == ok + sum of error kinds) exact.
+func (db *DB) observe(tracer Tracer, mode Mode, query string, start time.Time,
+	total time.Duration, pt *phaseTimes, res *Result, err error) {
+	db.metrics.RecordQuery(mode.String(), obs.KindLabel(err), total)
+	if peak := resultPeakBytes(res); peak > 0 {
+		db.metrics.ObserveMemPeak(peak)
+	}
+	if res != nil {
+		res.phases = *pt
+	}
+	if tracer == nil {
+		return
+	}
+	trace := buildTrace(mode, query, start, total, pt, res, err)
+	if res != nil {
+		res.trace = trace
+	}
+	tracer.TraceQuery(trace)
+}
+
+// resultPeakBytes is the query's measured memory peak: the budget's
+// high-water mark when one was installed, else the largest per-operator
+// peak in the profile.
+func resultPeakBytes(res *Result) int64 {
+	if res == nil {
+		return 0
+	}
+	if res.memPeak > 0 {
+		return res.memPeak
+	}
+	var max int64
+	for _, s := range res.profile {
+		if s.PeakBytes > max {
+			max = s.PeakBytes
+		}
+	}
+	return max
+}
+
+// buildTrace assembles the span tree of one query: a root "query" span with
+// one child per lifecycle phase, and the per-operator span tree (rebuilt
+// from the execution profile) under the execute phase.
+func buildTrace(mode Mode, query string, start time.Time, total time.Duration,
+	pt *phaseTimes, res *Result, err error) *obs.QueryTrace {
+	root := &obs.Span{Name: "query", Dur: total}
+	offset := time.Duration(0)
+	durs := pt.dur()
+	for i, name := range obs.Phases() {
+		sp := &obs.Span{Name: name, Start: offset, Dur: durs[i]}
+		offset += durs[i]
+		root.Children = append(root.Children, sp)
+	}
+	if res != nil && len(res.profile) > 0 {
+		execSpan := root.Children[len(root.Children)-1]
+		execSpan.Children = profileSpans(res.profile, execSpan.Start)
+	}
+	return &obs.QueryTrace{
+		Query: query,
+		Mode:  mode.String(),
+		Start: start,
+		Total: total,
+		Err:   obs.KindLabel(err),
+		Root:  root,
+	}
+}
+
+// profileSpans rebuilds the operator tree from a pre-order profile using the
+// recorded depths. Operators pull from each other synchronously, so no
+// per-operator start offset was recorded; children inherit the execute
+// phase's start.
+func profileSpans(prof exec.Profile, start time.Duration) []*obs.Span {
+	var roots []*obs.Span
+	stack := make([]*obs.Span, 0, 8) // stack[d] = last span seen at depth d
+	for _, s := range prof {
+		sp := &obs.Span{
+			Name:      s.Label,
+			Start:     start,
+			Dur:       s.Wall,
+			Rows:      s.RowsOut,
+			Batches:   s.Batches,
+			DOP:       s.DOP,
+			PeakBytes: s.PeakBytes,
+		}
+		if s.Depth < 0 || s.Depth > len(stack) {
+			continue // malformed profile; skip rather than panic
+		}
+		stack = stack[:s.Depth]
+		if s.Depth == 0 {
+			roots = append(roots, sp)
+		} else {
+			parent := stack[s.Depth-1]
+			parent.Children = append(parent.Children, sp)
+		}
+		stack = append(stack, sp)
+	}
+	return roots
+}

@@ -1,0 +1,147 @@
+package dqo
+
+import (
+	"time"
+
+	"dqo/internal/obs"
+)
+
+// QueryOption tunes optimisation and execution of one query; pass options
+// to DB.Query (and, via ExplainWith, to the EXPLAIN ANALYZE execution).
+type QueryOption func(*queryConfig)
+
+// queryConfig is the resolved option set of one query.
+type queryConfig struct {
+	workers   int
+	morsel    int
+	memLimit  int64
+	timeout   time.Duration
+	tracer    obs.Tracer
+	tracerSet bool // distinguishes WithTracer(nil) from "use the DB tracer"
+}
+
+func resolveOptions(opts []QueryOption) queryConfig {
+	var cfg queryConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithWorkers bounds the query's worker pool AND the degree of parallelism
+// the optimiser enumerates plans at; <= 0 selects GOMAXPROCS. Workers=1
+// plans and executes fully serially.
+func WithWorkers(n int) QueryOption {
+	return func(c *queryConfig) { c.workers = n }
+}
+
+// WithMorselSize sets the execution batch row count; <= 0 selects
+// the executor default (4096 rows).
+func WithMorselSize(rows int) QueryOption {
+	return func(c *queryConfig) { c.morsel = rows }
+}
+
+// WithMemoryLimit caps the query's working memory in bytes. The optimiser
+// prunes plan alternatives whose estimated footprint exceeds the limit
+// (hash aggregation degrades to sort-based, parallel kernels to serial),
+// and at run time materialising operators reserve against a budget that
+// fails the query with ErrMemoryBudgetExceeded rather than allocating past
+// the limit. <= 0 means unlimited — plans are byte-identical to a query
+// without the option.
+func WithMemoryLimit(bytes int64) QueryOption {
+	return func(c *queryConfig) { c.memLimit = bytes }
+}
+
+// WithTimeout bounds the query's wall-clock time; on expiry the query
+// aborts at the next morsel boundary with ErrTimeout. <= 0 means no
+// deadline.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.timeout = d }
+}
+
+// WithTracer routes this query's trace to t instead of the DB's tracer;
+// WithTracer(nil) disables tracing for this query only.
+func WithTracer(t Tracer) QueryOption {
+	return func(c *queryConfig) { c.tracer = t; c.tracerSet = true }
+}
+
+// ExplainOption selects what DB.Explain renders. Options are additive:
+// Explain(mode, q, ExplainGranules(), ExplainAnalyze()) emits the plan,
+// the granule trees, and the measured-vs-estimated table.
+type ExplainOption func(*explainConfig)
+
+type explainConfig struct {
+	granules  bool
+	unnesting bool
+	analyze   bool
+	qopts     []QueryOption
+}
+
+// ExplainPlan requests the default verbosity — the chosen physical plan
+// with estimated costs, cardinalities, and property vectors. It is implied;
+// the option exists so call sites can state the default explicitly.
+func ExplainPlan() ExplainOption {
+	return func(c *explainConfig) {}
+}
+
+// ExplainGranules adds the granule tree (the paper's Figure 3 view) of
+// every chosen join and grouping implementation.
+func ExplainGranules() ExplainOption {
+	return func(c *explainConfig) { c.granules = true }
+}
+
+// ExplainUnnesting adds the step-by-step unnesting chain from each logical
+// operator to its fully resolved deep implementation, with the physicality
+// measure at every step.
+func ExplainUnnesting() ExplainOption {
+	return func(c *explainConfig) { c.unnesting = true }
+}
+
+// ExplainAnalyze executes the query and appends a per-operator table of the
+// optimiser's estimates next to the executor's measurements (rows, self
+// time, peak bytes) with misestimation factors — the calibration-gap view
+// of one query.
+func ExplainAnalyze() ExplainOption {
+	return func(c *explainConfig) { c.analyze = true }
+}
+
+// ExplainWith forwards query options (workers, morsel size, memory limit,
+// timeout, tracer) to the execution run behind ExplainAnalyze. It has no
+// effect without ExplainAnalyze.
+func ExplainWith(opts ...QueryOption) ExplainOption {
+	return func(c *explainConfig) { c.qopts = append(c.qopts, opts...) }
+}
+
+// AVKind identifies a kind of Algorithmic View for DB.MaterializeAV.
+type AVKind uint8
+
+// Algorithmic View kinds.
+const (
+	// AVSorted is a sorted projection of one column (prepaid sort).
+	AVSorted AVKind = iota
+	// AVHashIndex is a prebuilt hash-join build side.
+	AVHashIndex
+	// AVSPH is a prebuilt static-perfect-hash directory over a dense key.
+	AVSPH
+	// AVCracked is an adaptive index that partitions itself along query
+	// bounds — indexing work happens at query time, driven by the workload.
+	AVCracked
+)
+
+// String returns the kind name.
+func (k AVKind) String() string {
+	switch k {
+	case AVSorted:
+		return "sorted"
+	case AVHashIndex:
+		return "hash-index"
+	case AVSPH:
+		return "sph"
+	case AVCracked:
+		return "cracked"
+	default:
+		return "unknown"
+	}
+}

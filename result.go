@@ -7,6 +7,7 @@ import (
 
 	"dqo/internal/core"
 	"dqo/internal/exec"
+	"dqo/internal/obs"
 	"dqo/internal/storage"
 )
 
@@ -21,11 +22,23 @@ type Result struct {
 	plan    *core.Result
 	profile exec.Profile
 	err     error
+	trace   *obs.QueryTrace
+	phases  phaseTimes
+	memPeak int64 // budget high-water mark (0 when no budget was installed)
 }
 
 // Err reports the execution error of a partial result (nil for a
 // successful query).
 func (r *Result) Err() error { return r.err }
+
+// Trace returns the query's span tree — the same trace delivered to the
+// DB's tracer — or nil when tracing was disabled for this query.
+func (r *Result) Trace() *QueryTrace { return r.trace }
+
+// PeakBytes reports the query's measured memory high-water mark: the
+// budget's peak when a memory limit was set, else the largest per-operator
+// peak in the execution profile.
+func (r *Result) PeakBytes() int64 { return resultPeakBytes(r) }
 
 // OpStat is one operator's measured execution profile: what actually
 // happened at run time, as opposed to the optimiser's estimates. Depth is

@@ -102,12 +102,12 @@ func TestAdmissionGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, qerr := db.Query(ModeDQO, groupSQL); !errors.Is(qerr, ErrQueueFull) {
+	if _, qerr := db.Query(context.Background(), ModeDQO, groupSQL); !errors.Is(qerr, ErrQueueFull) {
 		release()
 		t.Fatalf("err = %v, want ErrQueueFull", qerr)
 	}
 	release()
-	if _, qerr := db.Query(ModeDQO, groupSQL); qerr != nil {
+	if _, qerr := db.Query(context.Background(), ModeDQO, groupSQL); qerr != nil {
 		t.Fatalf("query after release failed: %v", qerr)
 	}
 
@@ -119,7 +119,7 @@ func TestAdmissionGate(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, qerr := db.Query(ModeDQO, groupSQL)
+		_, qerr := db.Query(context.Background(), ModeDQO, groupSQL)
 		done <- qerr
 	}()
 	select {
@@ -154,7 +154,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 	db := groupDB(t, 30000)
 	q := groupSQL + " ORDER BY T.KEY"
 
-	free, _, err := db.compile(ModeDQO, q, 0, 0)
+	free, _, err := db.compile(ModeDQO, q, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 	}
 
 	limit := int64(free.Best.Mem) - 1
-	tight, _, err := db.compile(ModeDQO, q, 0, limit)
+	tight, _, err := db.compile(ModeDQO, q, 0, limit, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 		t.Fatalf("budget %d did not move the plan off %v", limit, freeKind)
 	}
 
-	want, err := db.Query(ModeDQO, q)
+	want, err := db.Query(context.Background(), ModeDQO, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 func TestNoBudgetPlanIdentity(t *testing.T) {
 	db := groupDB(t, 10000)
 	q := groupSQL + " ORDER BY T.KEY"
-	plain, err := db.Query(ModeDQO, q)
+	plain, err := db.Query(context.Background(), ModeDQO, q)
 	if err != nil {
 		t.Fatal(err)
 	}
