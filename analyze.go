@@ -17,6 +17,12 @@ func analyzeReport(mode Mode, res *Result) string {
 	pt := res.phases
 	var b strings.Builder
 	fmt.Fprintf(&b, "mode=%s", mode)
+	if pt.tier != "" {
+		fmt.Fprintf(&b, " tier=%s", pt.tier)
+	}
+	if pt.beam > 0 {
+		fmt.Fprintf(&b, " beam=%d", pt.beam)
+	}
 	if pt.cacheHit {
 		b.WriteString(" plan-cache=hit")
 	}

@@ -225,6 +225,72 @@ func BenchmarkTable2Optimizer(b *testing.B) {
 	}
 }
 
+// twoJoinQueryNode builds the planning-tier experiment's 2-join star query
+// (S ⋈ R ⋈ D with grouping) at paper cardinality — the corpus on which the
+// greedy, beam-capped, and full Deep tiers trade planning time for plan
+// quality.
+func twoJoinQueryNode() logical.Node {
+	cfg := datagen.PaperFKConfig(true, false, true)
+	r, s := datagen.FKPair(42, cfg)
+	g := make([]uint32, cfg.AGroups)
+	w := make([]int64, cfg.AGroups)
+	for i := range g {
+		g[i] = uint32(i)
+		w[i] = int64(i % 97)
+	}
+	gCol := storage.NewUint32("G", g)
+	gCol.SetStats(storage.Stats{
+		Rows: cfg.AGroups, Min: 0, Max: uint64(cfg.AGroups - 1),
+		Distinct: cfg.AGroups, Sorted: true, Dense: true, Exact: true,
+	})
+	d := storage.MustNewRelation("D", gCol, storage.NewInt64("W", w))
+	return &logical.GroupBy{
+		Input: &logical.Join{
+			Left: &logical.Join{
+				Left:    &logical.Scan{Table: "S", Rel: s},
+				Right:   &logical.Scan{Table: "R", Rel: r},
+				LeftKey: "R_ID", RightKey: "ID",
+			},
+			Right:   &logical.Scan{Table: "D", Rel: d},
+			LeftKey: "A", RightKey: "G",
+		},
+		Key:  "A",
+		Aggs: []expr.AggSpec{{Func: expr.AggCount}},
+	}
+}
+
+// benchPlanTier measures pure planning time of one tier on the 2-join query.
+func benchPlanTier(b *testing.B, mode core.Mode) {
+	q := twoJoinQueryNode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(q, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanGreedy..Deep are the bench-guard planning benchmarks: the
+// greedy tier must stay orders of magnitude under the enumerating tiers.
+func BenchmarkPlanGreedy(b *testing.B) {
+	m := core.Greedy()
+	m.DOP = 4
+	benchPlanTier(b, m)
+}
+
+func BenchmarkPlanBeam(b *testing.B) {
+	m := core.DQOCalibrated()
+	m.DOP = 4
+	benchPlanTier(b, m.WithBeam(2))
+}
+
+func BenchmarkPlanDeep(b *testing.B) {
+	m := core.DQOCalibrated()
+	m.DOP = 4
+	benchPlanTier(b, m)
+}
+
 // BenchmarkAblationHashTable is A1: HG with every scheme x hash function.
 func BenchmarkAblationHashTable(b *testing.B) {
 	n := benchN() / 4

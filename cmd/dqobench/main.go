@@ -9,6 +9,7 @@
 //	dqobench -experiment scaling [-n 100000000] [-workers 8]
 //	dqobench -experiment budget [-n 100000000]
 //	dqobench -experiment observe [-metrics metrics.prom]
+//	dqobench -experiment plantier [-repeats 25]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -21,7 +22,13 @@
 // the optimiser trading hash aggregation for sort-based plans as the budget
 // tightens; observe runs a mixed success/failure workload through the public
 // query API and dumps the observability surfaces (EXPLAIN ANALYZE, the last
-// span tree, and the Prometheus metrics exposition).
+// span tree, and the Prometheus metrics exposition); plantier sweeps the
+// planning tiers (greedy, beam-capped Deep, full Deep) over a two-join
+// corpus and reports the planning-time vs execution-time Pareto frontier,
+// always writing the BENCH_plantier.json artifact.
+//
+// -json additionally writes a BENCH_<experiment>.json artifact with the
+// machine-readable rows of each experiment that ran.
 package main
 
 import (
@@ -37,7 +44,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -49,6 +56,7 @@ func main() {
 		calibrate  = flag.Bool("calibrate", false, "fit the calibrated cost model to this machine and print its coefficients")
 		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
 		metrics    = flag.String("metrics", "", "observe: write the Prometheus exposition to this file (default stdout)")
+		jsonOut    = flag.Bool("json", false, "also write BENCH_<experiment>.json with the machine-readable rows")
 	)
 	flag.Parse()
 
@@ -77,31 +85,50 @@ func main() {
 
 	switch *experiment {
 	case "figure4":
-		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
+		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath, *jsonOut) })
 	case "figure5":
-		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
+		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed, *jsonOut) })
 	case "ablations":
-		run("ablations", func() error { return runAblations(*n, *seed) })
+		run("ablations", func() error { return runAblations(*n, *seed, *jsonOut) })
 	case "scaling":
-		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
+		run("scaling", func() error { return runScaling(*n, *workers, *seed, *jsonOut) })
 	case "budget":
-		run("budget", func() error { return runBudget(*n, *seed) })
+		run("budget", func() error { return runBudget(*n, *seed, *jsonOut) })
 	case "observe":
 		run("observe", func() error { return runObserve(*metrics, *seed) })
+	case "plantier":
+		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 	case "all":
-		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed) })
-		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath) })
-		run("ablations", func() error { return runAblations(*n, *seed) })
-		run("scaling", func() error { return runScaling(*n, *workers, *seed) })
-		run("budget", func() error { return runBudget(*n, *seed) })
+		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed, *jsonOut) })
+		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath, *jsonOut) })
+		run("ablations", func() error { return runAblations(*n, *seed, *jsonOut) })
+		run("scaling", func() error { return runScaling(*n, *workers, *seed, *jsonOut) })
+		run("budget", func() error { return runBudget(*n, *seed, *jsonOut) })
 		run("observe", func() error { return runObserve(*metrics, *seed) })
+		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
 }
 
-func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csvPath string) error {
+// writeArtifact writes one BENCH_<name>.json machine-readable artifact.
+func writeArtifact(name string, cfg, rows any, checks []string) error {
+	path := "BENCH_" + name + ".json"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc := benchkit.BenchDoc{Experiment: name, Config: cfg, Rows: rows, Checks: checks}
+	if err := benchkit.WriteBenchJSON(f, doc); err != nil {
+		return err
+	}
+	fmt.Printf("# artifact written to %s\n", path)
+	return nil
+}
+
+func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csvPath string, jsonOut bool) error {
 	cfg := benchkit.DefaultFigure4(n)
 	cfg.Quadrant = quadrant
 	cfg.Zoom = zoom
@@ -111,8 +138,9 @@ func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csv
 	if err != nil {
 		return err
 	}
+	checks := benchkit.CheckFigure4Shape(rows)
 	fmt.Println("\n# shape checks against the paper's qualitative claims:")
-	for _, line := range benchkit.CheckFigure4Shape(rows) {
+	for _, line := range checks {
 		fmt.Println(line)
 	}
 	if csvPath != "" {
@@ -126,57 +154,85 @@ func runFigure4(n int, quadrant string, zoom bool, repeats int, seed uint64, csv
 		}
 		fmt.Printf("# series written to %s\n", csvPath)
 	}
+	if jsonOut {
+		return writeArtifact("figure4", cfg, rows, checks)
+	}
 	return nil
 }
 
-func runFigure5(execute bool, morsel int, seed uint64) error {
+func runFigure5(execute bool, morsel int, seed uint64, jsonOut bool) error {
 	cfg := benchkit.DefaultFigure5()
 	cfg.Execute = execute
 	cfg.MorselSize = morsel
 	cfg.Seed = seed
-	_, err := benchkit.RunFigure5(cfg, os.Stdout)
-	return err
+	cells, err := benchkit.RunFigure5(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeArtifact("figure5", cfg, cells, nil)
+	}
+	return nil
 }
 
-func runAblations(n int, seed uint64) error {
+func runAblations(n int, seed uint64, jsonOut bool) error {
 	// Ablations run at a tenth of the figure4 scale by default: they sweep
 	// many variants.
 	an := n / 10
 	if an < 100000 {
 		an = 100000
 	}
-	if _, err := benchkit.RunAblationHashTable(an, 10000, seed, os.Stdout); err != nil {
+	ht, err := benchkit.RunAblationHashTable(an, 10000, seed, os.Stdout)
+	if err != nil {
 		return err
 	}
 	fmt.Println()
-	if _, err := benchkit.RunAblationSort(an, 10000, seed, os.Stdout); err != nil {
+	srt, err := benchkit.RunAblationSort(an, 10000, seed, os.Stdout)
+	if err != nil {
 		return err
 	}
 	fmt.Println()
-	if _, err := benchkit.RunAblationParallel(an, 10000, runtime.GOMAXPROCS(0), seed, os.Stdout); err != nil {
+	par, err := benchkit.RunAblationParallel(an, 10000, runtime.GOMAXPROCS(0), seed, os.Stdout)
+	if err != nil {
 		return err
 	}
 	fmt.Println()
-	if _, err := benchkit.RunAblationEngine(an, 10000, seed, os.Stdout); err != nil {
+	eng, err := benchkit.RunAblationEngine(an, 10000, seed, os.Stdout)
+	if err != nil {
 		return err
 	}
 	fmt.Println()
-	_, err := benchkit.RunAblationAV(benchkit.DefaultFigure5(), os.Stdout)
-	return err
+	avr, err := benchkit.RunAblationAV(benchkit.DefaultFigure5(), os.Stdout)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		rows := map[string]any{
+			"hashtable": ht, "sort": srt, "parallel": par, "engine": eng, "av": avr,
+		}
+		return writeArtifact("ablations", map[string]any{"n": an, "seed": seed}, rows, nil)
+	}
+	return nil
 }
 
-func runScaling(n, workers int, seed uint64) error {
+func runScaling(n, workers int, seed uint64, jsonOut bool) error {
 	// The scaling sweep runs at a tenth of the figure4 scale: four kernels
 	// times the full worker sweep at each point.
 	sn := n / 10
 	if sn < 100000 {
 		sn = 100000
 	}
-	_, err := benchkit.RunScaling(sn, 10000, workers, seed, os.Stdout)
-	return err
+	rows, err := benchkit.RunScaling(sn, 10000, workers, seed, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeArtifact("scaling", map[string]any{"n": sn, "workers": workers, "seed": seed}, rows, nil)
+	}
+	return nil
 }
 
-func runBudget(n int, seed uint64) error {
+func runBudget(n int, seed uint64, jsonOut bool) error {
 	// The budget sweep runs at a thousandth of the figure4 scale: several
 	// optimise+execute rounds over a half-distinct grouping relation, some
 	// of which land on deliberately slow low-memory plans.
@@ -184,6 +240,26 @@ func runBudget(n int, seed uint64) error {
 	if bn < 100000 {
 		bn = 100000
 	}
-	_, err := benchkit.RunBudget(bn, bn/2, seed, os.Stdout)
-	return err
+	rows, err := benchkit.RunBudget(bn, bn/2, seed, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeArtifact("budget", map[string]any{"n": bn, "groups": bn / 2, "seed": seed}, rows, nil)
+	}
+	return nil
+}
+
+func runPlanTier(repeats int, seed uint64) error {
+	cfg := benchkit.DefaultPlanTier()
+	cfg.Seed = seed
+	if repeats > 1 {
+		cfg.PlanRepeats = repeats
+	}
+	report, err := benchkit.RunPlanTier(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	// The Pareto artifact is the experiment's deliverable; write it always.
+	return writeArtifact("plantier", report.Config, report.Rows, report.Checks)
 }

@@ -5,7 +5,7 @@
 // Meta commands:
 //
 //	\tables                 list registered tables
-//	\mode sqo|dqo|cal       set the execution mode (default dqo)
+//	\mode sqo|dqo|cal|greedy set the execution mode (default dqo)
 //	\explain <sql>          show the plan for the current mode
 //	\deep <sql>             show the plan plus its granule trees (Figure 3)
 //	\unnest <sql>           show the step-by-step unnesting chain (Figure 3)
@@ -18,6 +18,7 @@
 //	\avs                    list materialised AVs
 //	\stats                  toggle the per-operator execution profile
 //	\mem <bytes|off>        set a per-query memory budget (e.g. \mem 4194304)
+//	\beam <k|off>           cap DP enumeration at k plans per site (beam tier)
 //	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
 //	\trace                  show the span tree of the last traced query
 //	\metrics                dump DB metrics (Prometheus text exposition)
@@ -49,6 +50,7 @@ func main() {
 	loadDemo(db, true, true)
 	mode := dqo.ModeDQO
 	showStats := false
+	beam := 0
 	opts := dqo.QueryOptions{}
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
@@ -68,7 +70,7 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line, showStats, opts)
+			runQuery(db, mode, line, showStats, opts, beam)
 			continue
 		}
 		fields := strings.Fields(line)
@@ -82,7 +84,7 @@ func main() {
 			}
 		case `\mode`:
 			if len(fields) != 2 {
-				fmt.Println("usage: \\mode sqo|dqo|cal")
+				fmt.Println("usage: \\mode sqo|dqo|cal|greedy")
 				continue
 			}
 			switch fields[1] {
@@ -92,8 +94,10 @@ func main() {
 				mode = dqo.ModeDQO
 			case "cal":
 				mode = dqo.ModeDQOCalibrated
+			case "greedy":
+				mode = dqo.ModeGreedy
 			default:
-				fmt.Println("unknown mode; want sqo, dqo, or cal")
+				fmt.Println("unknown mode; want sqo, dqo, cal, or greedy")
 			}
 		case `\explain`:
 			text, err := db.Explain(mode, strings.TrimSpace(strings.TrimPrefix(line, `\explain`)))
@@ -106,7 +110,7 @@ func main() {
 			report(text, err)
 		case `\analyze`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
-			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts)...))
+			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts, beam)...))
 			report(text, err)
 		case `\compare`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
@@ -178,6 +182,23 @@ func main() {
 			}
 			opts.MemoryLimit = n
 			fmt.Printf("memory budget %d bytes per query.\n", n)
+		case `\beam`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\beam <k|off>")
+				continue
+			}
+			if fields[1] == "off" {
+				beam = 0
+				fmt.Println("beam off; enumeration exact.")
+				continue
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil || k <= 0 {
+				fmt.Println("want a positive beam width or off")
+				continue
+			}
+			beam = k
+			fmt.Printf("beam width %d per DP site.\n", k)
 		case `\timeout`:
 			if len(fields) != 2 {
 				fmt.Println("usage: \\timeout <duration|off>")
@@ -221,7 +242,7 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions) {
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int) {
 	// First Ctrl-C while the query runs cancels its context; the executor
 	// unwinds at the next morsel boundary and we return to the prompt. A
 	// second Ctrl-C (query stuck or user impatient) exits the shell cleanly.
@@ -244,7 +265,7 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 		case <-done:
 		}
 	}()
-	res, err := db.Query(ctx, mode, query, queryOpts(opts)...)
+	res, err := db.Query(ctx, mode, query, queryOpts(opts, beam)...)
 	close(done)
 	signal.Stop(sig)
 	if err != nil {
@@ -266,13 +287,16 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 }
 
 // queryOpts converts the shell's sticky settings into per-query options.
-func queryOpts(opts dqo.QueryOptions) []dqo.QueryOption {
+func queryOpts(opts dqo.QueryOptions, beam int) []dqo.QueryOption {
 	var out []dqo.QueryOption
 	if opts.MemoryLimit > 0 {
 		out = append(out, dqo.WithMemoryLimit(opts.MemoryLimit))
 	}
 	if opts.Timeout > 0 {
 		out = append(out, dqo.WithTimeout(opts.Timeout))
+	}
+	if beam > 0 {
+		out = append(out, dqo.WithBeam(beam))
 	}
 	return out
 }

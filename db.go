@@ -36,6 +36,15 @@ const (
 	// model, letting the optimiser discriminate hash-table schemes, hash
 	// functions, sort algorithms, and loop parallelism.
 	ModeDQOCalibrated
+	// ModeGreedy is the fast planning tier: the deep granule vocabulary and
+	// calibrated model of ModeDQOCalibrated, but a single greedy pass
+	// instead of dynamic programming — join build/probe roles ordered by
+	// visible selectivity (literal predicates, cracked-index ranges, AV
+	// availability), one cost-model probe per candidate granule, and early
+	// exit on provably-empty intermediates. Planning cost is linear in the
+	// plan shape; plan quality tracks the DP tiers when selectivity is
+	// visible in the query itself.
+	ModeGreedy
 )
 
 // String returns the mode name.
@@ -47,6 +56,8 @@ func (m Mode) String() string {
 		return "dqo"
 	case ModeDQOCalibrated:
 		return "dqo-calibrated"
+	case ModeGreedy:
+		return "greedy"
 	default:
 		return "unknown"
 	}
@@ -60,6 +71,8 @@ func (m Mode) coreMode() (core.Mode, error) {
 		return core.DQO(), nil
 	case ModeDQOCalibrated:
 		return core.DQOCalibrated(), nil
+	case ModeGreedy:
+		return core.Greedy(), nil
 	default:
 		return core.Mode{}, fmt.Errorf("dqo: unknown mode %d", uint8(m))
 	}
@@ -156,14 +169,20 @@ func (db *DB) Tables() []string {
 }
 
 // EnablePlanCache turns the plan-level Algorithmic View on or off: with it
-// enabled, repeated queries skip optimisation entirely (the offline vs
-// query-time trade-off of paper Section 3).
+// enabled, repeated query shapes skip enumeration entirely — the cache is
+// keyed on the statement's normalized fingerprint (literals stripped to
+// parameter slots) and a hit rebinds the new literals into the cached plan
+// (the offline vs query-time trade-off of paper Section 3). Disabling drops
+// every entry and zeroes the hit/miss counters, so the exported Prometheus
+// hit ratio reflects only periods the cache was live instead of continuing
+// to skew from stale counts.
 func (db *DB) EnablePlanCache(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.cachePlans = on
 	if !on {
 		db.planCache.Clear()
+		db.planCache.ResetStats()
 	}
 }
 
@@ -180,12 +199,28 @@ func (c catalogView) Table(name string) (*storage.Relation, bool) {
 	return rel, ok
 }
 
+// planTier names the planning tier a core mode resolves to, for span
+// attributes and EXPLAIN ANALYZE headers.
+func planTier(cm core.Mode) string {
+	switch {
+	case cm.Greedy:
+		return "greedy"
+	case cm.Beam > 0:
+		return "beam"
+	case cm.Depth == physio.Deep:
+		return "deep"
+	default:
+		return "shallow"
+	}
+}
+
 // compile parses, binds, and optimises a query, recording the phase
-// durations into pt (which may be nil). workers > 0 overrides the degree of
-// parallelism offered to the optimiser's enumeration (0 keeps the mode's
-// default); memLimit > 0 makes the optimiser prune plan alternatives whose
-// estimated peak memory exceeds it.
-func (db *DB) compile(mode Mode, query string, workers int, memLimit int64, pt *phaseTimes) (*core.Result, *sql.SelectStmt, error) {
+// durations into pt (which may be nil). cfg.workers > 0 overrides the
+// degree of parallelism offered to the optimiser's enumeration (0 keeps the
+// mode's default); cfg.memLimit > 0 makes the optimiser prune plan
+// alternatives whose estimated peak memory exceeds it; cfg.beam > 0 caps
+// the DP table to the beam width.
+func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) (*core.Result, *sql.SelectStmt, error) {
 	if pt == nil {
 		pt = &phaseTimes{}
 	}
@@ -205,14 +240,19 @@ func (db *DB) compile(mode Mode, query string, workers int, memLimit int64, pt *
 	if err != nil {
 		return nil, nil, err
 	}
-	if workers > 0 {
-		cm.DOP = workers
+	if cfg.workers > 0 {
+		cm.DOP = cfg.workers
 	}
-	if memLimit > 0 {
-		cm.MemBudget = memLimit
+	if cfg.memLimit > 0 {
+		cm.MemBudget = cfg.memLimit
+	}
+	if cfg.beam > 0 {
+		cm = cm.WithBeam(cfg.beam)
 	}
 	prov := av.Qualified{Cat: db.avs, Aliases: aliasMap(stmt)}
 	cm = cm.WithAVs(prov, prov).WithCracked(prov)
+	pt.tier = planTier(cm)
+	pt.beam = cm.Beam
 
 	db.mu.RLock()
 	useCache := db.cachePlans
@@ -221,11 +261,14 @@ func (db *DB) compile(mode Mode, query string, workers int, memLimit int64, pt *
 	var res *core.Result
 	hit := false
 	if useCache {
-		// The chosen plan depends on the DOP and memory-budget dimensions,
-		// so the cache key must too: the same statement planned at different
-		// worker counts or budgets may pick different granules.
-		key := fmt.Sprintf("%s|dop=%d|mem=%d|%s", mode, cm.DOP, cm.MemBudget, stmt)
-		res, hit, err = db.planCache.Optimize(key, node, cm)
+		// Template cache: the key is the statement's normalized fingerprint
+		// (literals stripped to parameter slots), so repeated query shapes
+		// hit regardless of their literal values and re-plan by rebinding.
+		// The chosen plan depends on the DOP, memory-budget, and beam
+		// dimensions, so the key must too: the same shape planned at
+		// different worker counts or budgets may pick different granules.
+		key := fmt.Sprintf("%s|dop=%d|mem=%d|beam=%d|%s", mode, cm.DOP, cm.MemBudget, cm.Beam, sql.Fingerprint(stmt))
+		res, hit, err = db.planCache.OptimizeTemplate(key, node, cm)
 	} else {
 		res, err = core.Optimize(node, cm)
 	}
@@ -235,7 +278,7 @@ func (db *DB) compile(mode Mode, query string, workers int, memLimit int64, pt *
 		return nil, nil, err
 	}
 	if !hit {
-		// A cache hit re-uses the original enumeration; only fresh
+		// A cache hit rebinds the original enumeration's plan; only fresh
 		// optimisation runs add alternatives to the DB counters.
 		db.metrics.AddAlternatives(res.Stats.Alternatives)
 	}
@@ -336,7 +379,7 @@ func (db *DB) execQuery(ctx context.Context, mode Mode, query string, cfg queryC
 	if err := ctx.Err(); err != nil {
 		return nil, qerr.From(err)
 	}
-	res, stmt, err := db.compile(mode, query, cfg.workers, cfg.memLimit, pt)
+	res, stmt, err := db.compile(mode, query, cfg, pt)
 	if err != nil {
 		return nil, err
 	}
@@ -390,13 +433,21 @@ func (db *DB) Explain(mode Mode, query string, opts ...ExplainOption) (string, e
 			o(&cfg)
 		}
 	}
-	res, _, err := db.compile(mode, query, 0, 0, nil)
+	var pt phaseTimes
+	res, _, err := db.compile(mode, query, resolveOptions(cfg.qopts), &pt)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode=%s model=%s alternatives=%d kept=%d physicality=%.2f time=%s\n",
-		res.Mode.Name, res.Mode.Model.Name(), res.Stats.Alternatives, res.Stats.Kept,
+	fmt.Fprintf(&b, "mode=%s model=%s tier=%s", res.Mode.Name, res.Mode.Model.Name(), pt.tier)
+	if pt.beam > 0 {
+		fmt.Fprintf(&b, " beam=%d", pt.beam)
+	}
+	if pt.cacheHit {
+		b.WriteString(" plan-cache=hit")
+	}
+	fmt.Fprintf(&b, " alternatives=%d kept=%d physicality=%.2f time=%s\n",
+		res.Stats.Alternatives, res.Stats.Kept,
 		res.Physicality(), res.Stats.Duration)
 	b.WriteString(res.Best.Explain())
 	if cfg.granules {
@@ -421,7 +472,7 @@ func (db *DB) Explain(mode Mode, query string, opts ...ExplainOption) (string, e
 //
 // Deprecated: use Explain(mode, query, ExplainGranules()).
 func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0, 0, nil)
+	res, _, err := db.compile(mode, query, queryConfig{}, nil)
 	if err != nil {
 		return "", err
 	}
@@ -434,7 +485,7 @@ func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
 //
 // Deprecated: use Explain(mode, query, ExplainUnnesting()).
 func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, 0, 0, nil)
+	res, _, err := db.compile(mode, query, queryConfig{}, nil)
 	if err != nil {
 		return "", err
 	}

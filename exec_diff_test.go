@@ -76,7 +76,7 @@ var corpusQueries = []string{
 // workers is the DOP offered to the optimiser (1 = serial plans only).
 func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query, workers, 0, nil)
+	res, stmt, err := db.compile(mode, query, queryConfig{workers: workers}, nil)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}
@@ -99,7 +99,7 @@ func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *stor
 // that DOP, matching QueryContextOptions).
 func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel, workers int) *storage.Relation {
 	t.Helper()
-	res, stmt, err := db.compile(mode, query, workers, 0, nil)
+	res, stmt, err := db.compile(mode, query, queryConfig{workers: workers}, nil)
 	if err != nil {
 		t.Fatalf("%s/%s: compile: %v", mode, query, err)
 	}

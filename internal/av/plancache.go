@@ -10,9 +10,15 @@ import (
 // PlanCache is a plan-level Algorithmic View: a fully optimised plan reused
 // across queries — the prepared-statement analogy of Section 3 ("how much
 // time do I want to spend on DQO offline vs at query time?"). Keys are
-// caller-chosen (typically the SQL text plus the optimisation mode name);
-// the caller is responsible for invalidating entries when base data
-// properties change.
+// caller-chosen; the caller is responsible for invalidating entries when
+// base data properties change.
+//
+// Two lookup disciplines share the store. Optimize keys on exact statements
+// and returns cached results verbatim. OptimizeTemplate keys on normalized
+// query fingerprints (sql.Fingerprint: literals stripped to parameter
+// slots): a hit reuses the cached plan as a parameterised template, splicing
+// the new statement's literals into a structural clone via core.Rebind —
+// repeated query shapes skip enumeration entirely and re-plan in O(rebind).
 type PlanCache struct {
 	mu      sync.Mutex
 	entries map[string]*core.Result
@@ -41,10 +47,45 @@ func (pc *PlanCache) Optimize(key string, n logical.Node, mode core.Mode) (*core
 	if err != nil {
 		return nil, false, err
 	}
+	pc.store(key, res)
+	return res, false, nil
+}
+
+// OptimizeTemplate returns the plan for n, treating the entry under key as a
+// parameterised template: on a hit the cached plan structure is reused and
+// only the literal parameters are rebound (zero enumeration — the returned
+// Stats.Alternatives is 0). A template the new statement cannot rebind into
+// (the fingerprint matched but the plan-relevant literal shape changed, e.g.
+// a literal outside the crackable key range) is replanned and replaced,
+// counted as a miss.
+func (pc *PlanCache) OptimizeTemplate(key string, n logical.Node, mode core.Mode) (*core.Result, bool, error) {
+	pc.mu.Lock()
+	cached, ok := pc.entries[key]
+	pc.mu.Unlock()
+	if ok {
+		if res, err := core.Rebind(cached, n); err == nil {
+			pc.mu.Lock()
+			pc.hits++
+			pc.mu.Unlock()
+			return res, true, nil
+		}
+	}
+	pc.mu.Lock()
+	pc.misses++
+	pc.mu.Unlock()
+
+	res, err := core.Optimize(n, mode)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.store(key, res)
+	return res, false, nil
+}
+
+func (pc *PlanCache) store(key string, res *core.Result) {
 	pc.mu.Lock()
 	pc.entries[key] = res
 	pc.mu.Unlock()
-	return res, false, nil
 }
 
 // Invalidate drops the entry for key (if any).
@@ -66,4 +107,13 @@ func (pc *PlanCache) Stats() (hits, misses int) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return pc.hits, pc.misses
+}
+
+// ResetStats zeroes the hit and miss counters (entries are kept). A
+// disabled cache resets its counters so the exported hit ratio reflects
+// only periods the cache was live.
+func (pc *PlanCache) ResetStats() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.hits, pc.misses = 0, 0
 }

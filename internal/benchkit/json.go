@@ -1,0 +1,23 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// BenchDoc is the envelope of one machine-readable benchmark artifact
+// (BENCH_<experiment>.json): the experiment name, the configuration it ran
+// under, its measured rows, and any acceptance-check verdicts.
+type BenchDoc struct {
+	Experiment string   `json:"experiment"`
+	Config     any      `json:"config,omitempty"`
+	Rows       any      `json:"rows"`
+	Checks     []string `json:"checks,omitempty"`
+}
+
+// WriteBenchJSON writes the artifact as indented JSON.
+func WriteBenchJSON(w io.Writer, doc BenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

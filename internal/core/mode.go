@@ -20,6 +20,20 @@ type Mode struct {
 	// Depth selects the enumeration granularity (physio.Shallow: one opaque
 	// choice per algorithm family; physio.Deep: the molecule space).
 	Depth physio.Depth
+	// Greedy selects the fast planning tier: instead of dynamic programming
+	// over the full (deep) choice space, the optimiser walks the logical
+	// tree once, ordering join build/probe roles by visible selectivity
+	// (literal predicates, cracked-index ranges, AV availability) and
+	// picking each granule with a single cost-model probe per candidate. It
+	// early-exits the probing on provably-empty intermediates. Planning
+	// drops from exponential in the plan shape to linear; plan quality
+	// depends on selectivity being visible, per the greedy-joins design.
+	Greedy bool
+	// Beam, when > 0, caps the DP table to the Beam cheapest
+	// property-distinct partial plans per site, turning Deep-mode planning
+	// cost from exponential to tunable. 0 leaves enumeration exact —
+	// byte-identical to planning without the knob.
+	Beam int
 	// TrackDensity makes key density a plan property. This is the exact
 	// delta of the paper's Figure 5 experiment: "While SQO only considers
 	// data sortedness as in traditional dynamic programming, DQO also
@@ -92,4 +106,19 @@ func DQO() Mode {
 func DQOCalibrated() Mode {
 	return Mode{Name: "dqo-calibrated", Depth: physio.Deep, TrackDensity: true, TrackProbeOrder: true,
 		DOP: runtime.GOMAXPROCS(0), Model: cost.NewCalibrated()}
+}
+
+// Greedy returns the fast planning tier: deep granule vocabulary and the
+// calibrated model, but one greedy pass instead of dynamic programming —
+// constant cost probes per operator, ordered by visible selectivity.
+func Greedy() Mode {
+	return Mode{Name: "greedy", Depth: physio.Deep, Greedy: true, TrackDensity: true, TrackProbeOrder: true,
+		DOP: runtime.GOMAXPROCS(0), Model: cost.NewCalibrated()}
+}
+
+// WithBeam returns a copy of the mode with the DP table capped at the k
+// cheapest property-distinct partial plans per site (0 = exact enumeration).
+func (m Mode) WithBeam(k int) Mode {
+	m.Beam = k
+	return m
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"dqo/internal/cost"
@@ -11,6 +12,7 @@ import (
 	"dqo/internal/physio"
 	"dqo/internal/props"
 	"dqo/internal/sortx"
+	"dqo/internal/storage"
 )
 
 // Stats reports what the optimiser did.
@@ -71,6 +73,15 @@ func Optimize(n logical.Node, mode Mode) (*Result, error) {
 	}
 	start := time.Now()
 	o := &optimizer{mode: mode}
+	if mode.Greedy {
+		best, err := o.greedy(n, "")
+		if err != nil {
+			return nil, err
+		}
+		o.stats.Duration = time.Since(start)
+		o.stats.Kept = 1
+		return &Result{Best: best, Mode: mode, Stats: o.stats}, nil
+	}
 	plans, err := o.optimize(n)
 	if err != nil {
 		return nil, err
@@ -87,6 +98,23 @@ func Optimize(n logical.Node, mode Mode) (*Result, error) {
 type optimizer struct {
 	mode  Mode
 	stats Stats
+	// scanProps memoises per-relation scan properties for the greedy tier,
+	// which revisits base relations (scan variants, AV fallbacks) within one
+	// single-pass run. The DP tiers keep their own enumeration paths.
+	scanProps map[*storage.Relation]props.Set
+	// est shares one memoised cardinality estimator across the greedy pass,
+	// which asks about every node it visits; the DP tiers call the package-
+	// level (per-call) estimators.
+	est *logical.Estimator
+}
+
+// estimator returns the run-shared memoised estimator, creating it on first
+// use.
+func (o *optimizer) estimator() *logical.Estimator {
+	if o.est == nil {
+		o.est = logical.NewEstimator()
+	}
+	return o.est
 }
 
 // cheapest returns the lowest-cost plan (ties: first wins, which prefers
@@ -122,7 +150,19 @@ func (o *optimizer) keepPareto(plans []*Plan) []*Plan {
 	for _, fp := range order {
 		out = append(out, bestBy[fp])
 	}
-	return out
+	return o.beamCap(out)
+}
+
+// beamCap truncates a site's DP table to the mode's beam width: the Beam
+// cheapest property-distinct plans survive, ties resolved in enumeration
+// order (stable sort), so the cap is deterministic. Beam <= 0 returns the
+// table untouched — beam-free enumeration stays byte-identical.
+func (o *optimizer) beamCap(plans []*Plan) []*Plan {
+	if o.mode.Beam <= 0 || len(plans) <= o.mode.Beam {
+		return plans
+	}
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].Cost < plans[j].Cost })
+	return plans[:o.mode.Beam]
 }
 
 // setFootprint derives the node's estimated output row width and peak

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"dqo/internal/logical"
+)
+
+// CloneTree returns a structural copy of the plan: fresh Plan nodes, shared
+// immutable payloads (relations, choices, predicates). Mutating the copy's
+// per-node fields never touches the original — what template rebinding
+// needs to splice new literals into a cached plan.
+func (p *Plan) CloneTree() *Plan {
+	cp := *p
+	if len(p.Children) > 0 {
+		cp.Children = make([]*Plan, len(p.Children))
+		for i, c := range p.Children {
+			cp.Children[i] = c.CloneTree()
+		}
+	}
+	return &cp
+}
+
+// Rebind instantiates a cached plan template for a new logical tree of the
+// same fingerprint: the physical plan structure (granule choices, join
+// roles, enforcers, AV access paths) is reused verbatim and only the
+// literal-bearing payloads are replaced — each Filter node receives the
+// predicate from the new tree, and cracked-index filters recompute their
+// probe range from the new bounds. No enumeration runs: the returned
+// Result's Stats.Alternatives is zero.
+//
+// Rebind fails when the new tree cannot be spliced into the template —
+// a different Filter count, or a predicate a cracked filter cannot turn
+// into a key range (e.g. a literal outside the uint32 key domain). Callers
+// treat failure as a cache miss and re-plan.
+func Rebind(cached *Result, n logical.Node) (*Result, error) {
+	preds := logical.FilterPreds(n)
+	clone := cached.Best.CloneTree()
+	var filters []*Plan
+	clone.PreOrder(func(p *Plan, _ int) {
+		if p.Op == OpFilter {
+			filters = append(filters, p)
+		}
+	})
+	if len(filters) != len(preds) {
+		return nil, fmt.Errorf("core: rebind: template has %d filters, query has %d", len(filters), len(preds))
+	}
+	for i, p := range filters {
+		if p.Crack != nil {
+			oldCol, _, _, _ := predRange(p.Pred)
+			col, lo, hi, ok := predRange(preds[i])
+			if !ok || col != oldCol {
+				return nil, fmt.Errorf("core: rebind: predicate %s is not a %s key range", preds[i], oldCol)
+			}
+			p.CrackLo, p.CrackHi = lo, hi
+		}
+		p.Pred = preds[i]
+	}
+	return &Result{Best: clone, Mode: cached.Mode, Stats: Stats{Kept: cached.Stats.Kept}}, nil
+}

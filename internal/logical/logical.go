@@ -10,6 +10,7 @@ package logical
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dqo/internal/expr"
@@ -232,46 +233,94 @@ func Validate(n Node) error {
 // ScanProps derives the base property set of a stored relation from its
 // column statistics and declared correlations.
 func ScanProps(rel *storage.Relation) props.Set {
+	// The set is built in place rather than through WithSortedBy/WithCorr:
+	// those return defensive copies, and a fresh unshared set has nothing to
+	// defend. The invariants they maintain — SortedBy sorted and duplicate-
+	// free, Corrs deduplicated and in (key, dep) order — are kept by hand.
 	s := props.NewSet()
-	var sorted []string
 	for _, c := range rel.Columns() {
 		if !c.Kind().Integer() {
 			continue
 		}
 		st := c.Stats()
 		if st.Sorted && st.Rows > 0 {
-			sorted = append(sorted, c.Name())
+			s.SortedBy = append(s.SortedBy, c.Name())
 		}
 		s.Cols[c.Name()] = props.FromStats(st.Rows, st.Min, st.Max, st.Distinct, st.Dense, st.Exact)
 		if c.Kind() == storage.KindString {
 			s.ColComp[c.Name()] = props.DictCompression
 		}
 	}
-	if sorted != nil {
-		s = s.WithSortedBy(sorted...)
-	}
+	sort.Strings(s.SortedBy) // column names are unique, so sorting normalises
 	for _, corr := range rel.Corrs() {
-		s = s.WithCorr(corr[0], corr[1])
+		if !s.CorrelatedWith(corr[0], corr[1]) {
+			s.Corrs = append(s.Corrs, props.Corr{Key: corr[0], Dep: corr[1]})
+		}
 	}
+	sort.Slice(s.Corrs, func(i, j int) bool {
+		if s.Corrs[i].Key != s.Corrs[j].Key {
+			return s.Corrs[i].Key < s.Corrs[j].Key
+		}
+		return s.Corrs[i].Dep < s.Corrs[j].Dep
+	})
 	return s
+}
+
+// Estimator memoises cardinality and distinct-count estimates over logical
+// trees. Estimate and ColDistinct are mutually recursive — a join's
+// cardinality needs its children's distinct counts, which in turn need the
+// children's cardinalities — so a plain recursive walk recomputes the same
+// subtree many times over. Trees are immutable during planning, which makes
+// the per-node results cacheable; one Estimator shared across an optimiser
+// run (the greedy tier asks about every node it visits) turns the quadratic
+// re-walks into single visits.
+//
+// The zero value is not usable; call NewEstimator.
+type Estimator struct {
+	rows map[Node]float64
+	dist map[distKey]float64
+}
+
+type distKey struct {
+	n   Node
+	col string
+}
+
+// NewEstimator returns an empty Estimator. Results are cached by node
+// identity, so the estimator must be discarded if a tree it has seen is
+// mutated or its base statistics change.
+func NewEstimator() *Estimator {
+	return &Estimator{rows: make(map[Node]float64), dist: make(map[distKey]float64)}
 }
 
 // Estimate returns the estimated output cardinality of a plan. Estimates use
 // exact base statistics where available and textbook heuristics elsewhere
 // (1/3 for non-equality filters, independence for joins).
-func Estimate(n Node) float64 {
+func Estimate(n Node) float64 { return NewEstimator().Estimate(n) }
+
+// Estimate is the memoised form of the package-level Estimate.
+func (e *Estimator) Estimate(n Node) float64 {
+	if v, ok := e.rows[n]; ok {
+		return v
+	}
+	v := e.estimate(n)
+	e.rows[n] = v
+	return v
+}
+
+func (e *Estimator) estimate(n Node) float64 {
 	switch n := n.(type) {
 	case *Scan:
 		return float64(n.Rel.NumRows())
 	case *Filter:
-		in := Estimate(n.Input)
-		return in * filterSelectivity(n)
+		in := e.Estimate(n.Input)
+		return in * e.filterSelectivity(n)
 	case *Project:
-		return Estimate(n.Input)
+		return e.Estimate(n.Input)
 	case *Join:
-		l, r := Estimate(n.Left), Estimate(n.Right)
-		dl := ColDistinct(n.Left, n.LeftKey)
-		dr := ColDistinct(n.Right, n.RightKey)
+		l, r := e.Estimate(n.Left), e.Estimate(n.Right)
+		dl := e.ColDistinct(n.Left, n.LeftKey)
+		dr := e.ColDistinct(n.Right, n.RightKey)
 		d := dl
 		if dr > d {
 			d = dr
@@ -281,9 +330,9 @@ func Estimate(n Node) float64 {
 		}
 		return l * r / d
 	case *GroupBy:
-		return ColDistinct(n.Input, n.Key)
+		return e.ColDistinct(n.Input, n.Key)
 	case *Sort:
-		return Estimate(n.Input)
+		return e.Estimate(n.Input)
 	default:
 		return 0
 	}
@@ -292,11 +341,11 @@ func Estimate(n Node) float64 {
 // filterSelectivity estimates the fraction of rows a predicate keeps:
 // equality against a literal on a column with d distinct values keeps 1/d;
 // everything else uses the classic 1/3.
-func filterSelectivity(f *Filter) float64 {
+func (e *Estimator) filterSelectivity(f *Filter) float64 {
 	if b, ok := f.Pred.(expr.Bin); ok && b.Op == expr.OpEq {
 		if col, ok := b.L.(expr.Col); ok {
 			if _, isCol := b.R.(expr.Col); !isCol {
-				if d := ColDistinct(f.Input, col.Name); d >= 1 {
+				if d := e.ColDistinct(f.Input, col.Name); d >= 1 {
 					return 1 / d
 				}
 			}
@@ -307,7 +356,20 @@ func filterSelectivity(f *Filter) float64 {
 
 // ColDistinct estimates the number of distinct values of col in the output
 // of n. Returns 0 when nothing is known.
-func ColDistinct(n Node, col string) float64 {
+func ColDistinct(n Node, col string) float64 { return NewEstimator().ColDistinct(n, col) }
+
+// ColDistinct is the memoised form of the package-level ColDistinct.
+func (e *Estimator) ColDistinct(n Node, col string) float64 {
+	k := distKey{n, col}
+	if v, ok := e.dist[k]; ok {
+		return v
+	}
+	v := e.colDistinct(n, col)
+	e.dist[k] = v
+	return v
+}
+
+func (e *Estimator) colDistinct(n Node, col string) float64 {
 	switch n := n.(type) {
 	case *Scan:
 		c, ok := n.Rel.Column(col)
@@ -320,39 +382,58 @@ func ColDistinct(n Node, col string) float64 {
 		}
 		return float64(st.Distinct)
 	case *Filter:
-		d := ColDistinct(n.Input, col)
-		if rows := Estimate(n); d > rows {
+		d := e.ColDistinct(n.Input, col)
+		if rows := e.Estimate(n); d > rows {
 			return rows
 		}
 		return d
 	case *Project:
-		return ColDistinct(n.Input, col)
+		return e.ColDistinct(n.Input, col)
 	case *Join:
 		// Try left first (its names win on clashes), then right with the
 		// suffix stripped.
 		for _, c := range n.Left.Columns() {
 			if c == col {
-				d := ColDistinct(n.Left, col)
-				if rows := Estimate(n); d > rows {
+				d := e.ColDistinct(n.Left, col)
+				if rows := e.Estimate(n); d > rows {
 					return rows
 				}
 				return d
 			}
 		}
 		rcol := strings.TrimSuffix(col, "_r")
-		d := ColDistinct(n.Right, rcol)
-		if rows := Estimate(n); d > rows {
+		d := e.ColDistinct(n.Right, rcol)
+		if rows := e.Estimate(n); d > rows {
 			return rows
 		}
 		return d
 	case *GroupBy:
 		if col == n.Key {
-			return ColDistinct(n.Input, n.Key)
+			return e.ColDistinct(n.Input, n.Key)
 		}
-		return ColDistinct(n.Input, n.Key) // one row per group bounds everything
+		return e.ColDistinct(n.Input, n.Key) // one row per group bounds everything
 	case *Sort:
-		return ColDistinct(n.Input, col)
+		return e.ColDistinct(n.Input, col)
 	default:
 		return 0
 	}
+}
+
+// FilterPreds returns the predicate of every Filter node in pre-order
+// (root first). Bind produces Filters only from WHERE and HAVING clauses,
+// so for two statements sharing a fingerprint the sequences are positionally
+// aligned — the contract plan-template rebinding relies on.
+func FilterPreds(n Node) []expr.Expr {
+	var out []expr.Expr
+	var rec func(n Node)
+	rec = func(n Node) {
+		if f, ok := n.(*Filter); ok {
+			out = append(out, f.Pred)
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
 }

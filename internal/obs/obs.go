@@ -15,6 +15,7 @@ package obs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -54,8 +55,24 @@ type Span struct {
 	DOP       int64 // effective degree of parallelism (1 = serial)
 	PeakBytes int64 // high-water estimate of bytes held
 
+	// Attrs are free-form span attributes (nil when none): the optimise
+	// phase records the chosen planning tier, beam width, and plan-cache
+	// outcome here. Keys render sorted for deterministic output.
+	Attrs map[string]string
+
 	Children []*Span
 }
+
+// SetAttr attaches one attribute to the span, allocating the map lazily.
+func (s *Span) SetAttr(k, v string) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+}
+
+// Attr returns the named attribute ("" when absent).
+func (s *Span) Attr(k string) string { return s.Attrs[k] }
 
 // Walk visits the span and its descendants in pre-order.
 func (s *Span) Walk(fn func(s *Span, depth int)) {
@@ -78,6 +95,16 @@ func (s *Span) Render() string {
 		if sp.Batches > 0 || sp.Rows > 0 {
 			fmt.Fprintf(&b, "  rows=%d batches=%d dop=%d peak=%s",
 				sp.Rows, sp.Batches, sp.DOP, FmtBytes(sp.PeakBytes))
+		}
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %s=%s", k, sp.Attrs[k])
+			}
 		}
 		b.WriteByte('\n')
 	})

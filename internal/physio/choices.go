@@ -2,6 +2,7 @@ package physio
 
 import (
 	"fmt"
+	"strconv"
 
 	"dqo/internal/hashtable"
 	"dqo/internal/physical"
@@ -186,7 +187,7 @@ func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string
 	case physical.HG:
 		loopDetail := "serial insert"
 		if opt.Parallel > 1 {
-			loopDetail = fmt.Sprintf("parallel insert (%d workers, merged partials)", opt.Parallel)
+			loopDetail = "parallel insert (" + strconv.Itoa(opt.Parallel) + " workers, merged partials)"
 		}
 		return New("Γ", LevelOrganelle, "hash-based grouping on "+keyCol,
 			New("partitionBy", LevelMacro, "hash table",
@@ -198,7 +199,7 @@ func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string
 	case physical.SPHG:
 		loopDetail := "serial load"
 		if opt.Parallel > 1 {
-			loopDetail = fmt.Sprintf("parallel load (%d workers)", opt.Parallel)
+			loopDetail = "parallel load (" + strconv.Itoa(opt.Parallel) + " workers)"
 		}
 		return New("Γ", LevelOrganelle, "SPH-based grouping on "+keyCol,
 			New("partitionBy", LevelMacro, "static perfect hash",
@@ -214,7 +215,7 @@ func GroupTree(kind physical.GroupKind, opt physical.GroupOptions, keyCol string
 	case physical.SOG:
 		sortDetail := "key/payload sort"
 		if opt.Parallel > 1 {
-			sortDetail = fmt.Sprintf("parallel sorted runs + merge (%d workers)", opt.Parallel)
+			sortDetail = "parallel sorted runs + merge (" + strconv.Itoa(opt.Parallel) + " workers)"
 		}
 		return New("Γ", LevelOrganelle, "sort & order-based grouping on "+keyCol,
 			New("sort", LevelMacro, sortDetail,
@@ -244,8 +245,8 @@ func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol strin
 	case physical.HJ:
 		build, probe := "chained multimap", "serial probe"
 		if opt.Parallel > 1 {
-			build = fmt.Sprintf("radix-partitioned chained multimap (%d workers)", opt.Parallel)
-			probe = fmt.Sprintf("parallel probe (%d workers)", opt.Parallel)
+			build = "radix-partitioned chained multimap (" + strconv.Itoa(opt.Parallel) + " workers)"
+			probe = "parallel probe (" + strconv.Itoa(opt.Parallel) + " workers)"
 		}
 		return New("⋈", LevelOrganelle, "hash join on "+on,
 			New("build", LevelMacro, build,
@@ -256,7 +257,7 @@ func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol strin
 	case physical.SPHJ:
 		probe := "serial probe"
 		if opt.Parallel > 1 {
-			probe = fmt.Sprintf("parallel probe (%d workers)", opt.Parallel)
+			probe = "parallel probe (" + strconv.Itoa(opt.Parallel) + " workers)"
 		}
 		return New("⋈", LevelOrganelle, "SPH join on "+on,
 			New("build", LevelMacro, "dense array of chain heads",
@@ -272,7 +273,7 @@ func JoinTree(kind physical.JoinKind, opt physical.JoinOptions, lcol, rcol strin
 	case physical.SOJ:
 		sortDetail := "both inputs"
 		if opt.Parallel > 1 {
-			sortDetail = fmt.Sprintf("both inputs, parallel runs + merge (%d workers)", opt.Parallel)
+			sortDetail = "both inputs, parallel runs + merge (" + strconv.Itoa(opt.Parallel) + " workers)"
 		}
 		return New("⋈", LevelOrganelle, "sort-merge join on "+on,
 			New("sort", LevelMacro, sortDetail,

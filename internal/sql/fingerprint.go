@@ -1,0 +1,75 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"dqo/internal/expr"
+)
+
+// Fingerprint returns the normalized shape of a statement for plan-template
+// caching: the String() form with every literal — WHERE/HAVING constants and
+// the LIMIT count — stripped to a parameter slot. Two statements with the
+// same fingerprint bind to structurally identical logical trees whose only
+// differences are literal values, which is exactly what core.Rebind can
+// splice into a cached physical plan: the optimiser's selectivity estimates
+// (1/distinct for equality, 1/3 otherwise) and granule choices do not depend
+// on the literal values, only on the predicate shape.
+func Fingerprint(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	}
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		switch {
+		case it.Agg != nil:
+			parts[i] = it.Agg.String()
+		case it.Alias != "":
+			parts[i] = it.Col + " AS " + it.Alias
+		default:
+			parts[i] = it.Col
+		}
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString(" FROM " + s.From.Table)
+	if s.From.Alias != "" && s.From.Alias != s.From.Table {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " JOIN %s", j.Table.Table)
+		if j.Table.Alias != "" && j.Table.Alias != j.Table.Table {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		fmt.Fprintf(&b, " ON %s = %s", j.Left, j.Right)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + exprFingerprint(s.Where))
+	}
+	if s.GroupBy != "" {
+		b.WriteString(" GROUP BY " + s.GroupBy)
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + exprFingerprint(s.Having))
+	}
+	if s.OrderBy != "" {
+		b.WriteString(" ORDER BY " + s.OrderBy)
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ?")
+	}
+	return b.String()
+}
+
+// exprFingerprint renders an expression with literals replaced by "?".
+func exprFingerprint(e expr.Expr) string {
+	switch e := e.(type) {
+	case expr.Bin:
+		return "(" + exprFingerprint(e.L) + " " + e.Op.String() + " " + exprFingerprint(e.R) + ")"
+	case expr.IntLit, expr.FloatLit, expr.StrLit:
+		return "?"
+	default:
+		return e.String()
+	}
+}

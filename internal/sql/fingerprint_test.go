@@ -1,0 +1,83 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func fp(t *testing.T, query string) string {
+	t.Helper()
+	stmt, err := Parse(query)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	return Fingerprint(stmt)
+}
+
+// TestFingerprintNormalisesLiterals: queries differing only in literal
+// values must share a fingerprint — that equivalence class is the plan
+// template cache's key.
+func TestFingerprintNormalisesLiterals(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT ID FROM R WHERE A = 3", "SELECT ID FROM R WHERE A = 500"},
+		{"SELECT A FROM R WHERE A >= 10 AND A < 30", "SELECT A FROM R WHERE A >= 90 AND A < 95"},
+		{"SELECT A, COUNT(*) FROM R GROUP BY A ORDER BY A LIMIT 5",
+			"SELECT A, COUNT(*) FROM R GROUP BY A ORDER BY A LIMIT 900"},
+		{"SELECT name FROM people WHERE name = 'ann'", "SELECT name FROM people WHERE name = 'bob'"},
+	}
+	for _, p := range pairs {
+		a, b := fp(t, p[0]), fp(t, p[1])
+		if a != b {
+			t.Errorf("fingerprints differ:\n%q -> %s\n%q -> %s", p[0], a, p[1], b)
+		}
+		if strings.ContainsAny(a, "0123456789'") {
+			t.Errorf("fingerprint leaks literals: %s", a)
+		}
+	}
+}
+
+// TestFingerprintSeparatesShapes: structurally different queries must not
+// collide, or the cache would rebind plans onto the wrong template.
+func TestFingerprintSeparatesShapes(t *testing.T) {
+	shapes := []string{
+		"SELECT ID FROM R WHERE A = 3",
+		"SELECT ID FROM R WHERE A < 3",
+		"SELECT ID FROM R WHERE B = 3",
+		"SELECT A FROM R WHERE A = 3",
+		"SELECT ID FROM R",
+		"SELECT ID FROM R ORDER BY ID",
+		"SELECT ID FROM R ORDER BY ID LIMIT 3",
+		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A",
+		"SELECT A, COUNT(*) FROM R GROUP BY A",
+		"SELECT A, COUNT(*) FROM R GROUP BY A HAVING count_star > 2",
+	}
+	seen := map[string]string{}
+	for _, q := range shapes {
+		f := fp(t, q)
+		if prev, dup := seen[f]; dup {
+			t.Errorf("shape collision: %q and %q both fingerprint to %s", prev, q, f)
+		}
+		seen[f] = q
+	}
+}
+
+// TestFingerprintStable: fingerprinting must be deterministic and survive a
+// parse round-trip of the statement's own rendering.
+func TestFingerprintStable(t *testing.T) {
+	q := "SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A LIMIT 7"
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Fingerprint(stmt)
+	if f != Fingerprint(stmt) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	again, err := Parse(stmt.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", stmt.String(), err)
+	}
+	if got := Fingerprint(again); got != f {
+		t.Fatalf("round-trip changed fingerprint: %s vs %s", got, f)
+	}
+}

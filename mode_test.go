@@ -4,7 +4,7 @@ import "testing"
 
 // declaredModes must list every Mode constant; the round-trip test below
 // keeps String and coreMode in sync with the declaration block in db.go.
-var declaredModes = []Mode{ModeSQO, ModeDQO, ModeDQOCalibrated}
+var declaredModes = []Mode{ModeSQO, ModeDQO, ModeDQOCalibrated, ModeGreedy}
 
 func TestModeRoundTrip(t *testing.T) {
 	cases := []struct {
@@ -14,6 +14,7 @@ func TestModeRoundTrip(t *testing.T) {
 		{ModeSQO, "sqo"},
 		{ModeDQO, "dqo"},
 		{ModeDQOCalibrated, "dqo-calibrated"},
+		{ModeGreedy, "greedy"},
 	}
 	if len(cases) != len(declaredModes) {
 		t.Fatalf("round-trip table covers %d modes, %d declared", len(cases), len(declaredModes))

@@ -1,6 +1,7 @@
 package dqo
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -77,7 +78,9 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	return db.Metrics().WriteProm(w)
 }
 
-// phaseTimes are the measured lifecycle phase durations of one query.
+// phaseTimes are the measured lifecycle phase durations of one query, plus
+// the planning-tier facts the optimise phase records (chosen tier, beam
+// width, plan-cache outcome).
 type phaseTimes struct {
 	parse     time.Duration
 	bind      time.Duration
@@ -86,6 +89,8 @@ type phaseTimes struct {
 	admission time.Duration
 	execute   time.Duration
 	cacheHit  bool
+	tier      string // planning tier: "greedy", "beam", "deep", "shallow"
+	beam      int    // beam width (0 = exact enumeration)
 }
 
 // dur returns the phase durations in obs.Phases() order.
@@ -145,6 +150,17 @@ func buildTrace(mode Mode, query string, start time.Time, total time.Duration,
 	durs := pt.dur()
 	for i, name := range obs.Phases() {
 		sp := &obs.Span{Name: name, Start: offset, Dur: durs[i]}
+		if name == obs.PhaseOptimise && pt.tier != "" {
+			// Planning-time attribution: which tier planned this query, at
+			// what beam width, and whether the template cache answered.
+			sp.SetAttr("tier", pt.tier)
+			if pt.beam > 0 {
+				sp.SetAttr("beam", fmt.Sprintf("%d", pt.beam))
+			}
+			if pt.cacheHit {
+				sp.SetAttr("plan-cache", "hit")
+			}
+		}
 		offset += durs[i]
 		root.Children = append(root.Children, sp)
 	}

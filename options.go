@@ -15,6 +15,7 @@ type queryConfig struct {
 	workers   int
 	morsel    int
 	memLimit  int64
+	beam      int
 	timeout   time.Duration
 	tracer    obs.Tracer
 	tracerSet bool // distinguishes WithTracer(nil) from "use the DB tracer"
@@ -52,6 +53,18 @@ func WithMorselSize(rows int) QueryOption {
 // without the option.
 func WithMemoryLimit(bytes int64) QueryOption {
 	return func(c *queryConfig) { c.memLimit = bytes }
+}
+
+// WithBeam caps the optimiser's DP table at the k cheapest
+// property-distinct partial plans per site — the beam-capped Deep planning
+// tier. Enumeration cost becomes tunable instead of exponential in the plan
+// shape; a too-narrow beam can prune the partial plan a later operator
+// would have exploited (an interesting order, a dense domain), trading plan
+// quality for planning time. <= 0 leaves enumeration exact: plans are
+// byte-identical to a query without the option. The knob applies to the DP
+// tiers; ModeGreedy does not enumerate and ignores it.
+func WithBeam(k int) QueryOption {
+	return func(c *queryConfig) { c.beam = k }
 }
 
 // WithTimeout bounds the query's wall-clock time; on expiry the query

@@ -1,0 +1,316 @@
+package dqo
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dqo/internal/storage"
+)
+
+// TestBeamZeroDeepPlansGolden pins the Beam=0 contract: with no beam set,
+// the DP tiers' chosen plans must stay byte-identical to the plans captured
+// before the beam knob existed. The golden file was generated from the
+// pre-beam optimiser over the full corpus; run with -update only if a
+// deliberate planner change moves the plans.
+func TestBeamZeroDeepPlansGolden(t *testing.T) {
+	db := corpusDB(t)
+	var b strings.Builder
+	for _, mode := range []Mode{ModeDQO, ModeDQOCalibrated} {
+		for _, workers := range []int{1, 4} {
+			for _, query := range corpusQueries {
+				res, _, err := db.compile(mode, query, queryConfig{workers: workers}, nil)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", mode, query, err)
+				}
+				fmt.Fprintf(&b, "== mode=%s workers=%d query=%s\n%s", mode, workers, query, res.Best.Explain())
+			}
+		}
+	}
+	path := filepath.Join("testdata", "golden_deep_plans.txt")
+	if *update {
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("Beam=0 plans drifted from the pre-beam golden plans (re-run with -update only if the planner change is deliberate)\ngot:\n%s", b.String())
+	}
+}
+
+// canonicalRows renders a relation as a sorted multiset of row strings, so
+// results can be compared across plans that produce different (but equally
+// valid) row orders.
+func canonicalRows(rel *storage.Relation) []string {
+	out := make([]string, rel.NumRows())
+	for i := range out {
+		parts := make([]string, rel.NumCols())
+		for j, v := range rel.Row(i) {
+			parts[j] = fmt.Sprint(v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// beamQuery runs a query through the morsel executor with the DP table
+// capped at the given beam width.
+func beamQuery(t *testing.T, db *DB, query string, beam, morsel, workers int) *storage.Relation {
+	t.Helper()
+	res, err := db.Query(context.Background(), ModeDQOCalibrated, query,
+		WithWorkers(workers), WithMorselSize(morsel), WithBeam(beam))
+	if err != nil {
+		t.Fatalf("beam=%d/%s: %v", beam, query, err)
+	}
+	return res.rel
+}
+
+// TestFastTierResultsMatchPaperMode is the full-corpus differential for the
+// new planning tiers: ModeGreedy and beam-capped Deep plans must return the
+// same rows as the Paper-mode (ModeDQO) serial bulk reference at every
+// (workers, morsel, beam) point. Row order is canonicalised: tiers may
+// legitimately pick plans with different output orders unless the query
+// itself orders.
+func TestFastTierResultsMatchPaperMode(t *testing.T) {
+	db := corpusDB(t)
+	morselSizes := []int{1, 7, 1024}
+	for _, query := range corpusQueries {
+		want := canonicalRows(bulkQuery(t, db, ModeDQO, query, 1))
+		for _, workers := range workerCounts() {
+			for _, morsel := range morselSizes {
+				got := canonicalRows(morselQuery(t, db, ModeGreedy, query, morsel, workers))
+				if !sameRows(got, want) {
+					t.Errorf("greedy / %q / morsel=%d / workers=%d: rows differ from paper-mode reference\nwant %v\ngot  %v",
+						query, morsel, workers, want, got)
+				}
+				for _, beam := range []int{1, 2, 8} {
+					got := canonicalRows(beamQuery(t, db, query, beam, morsel, workers))
+					if !sameRows(got, want) {
+						t.Errorf("beam=%d / %q / morsel=%d / workers=%d: rows differ from paper-mode reference\nwant %v\ngot  %v",
+							beam, query, morsel, workers, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheTemplateNoStaleLiterals is the template-cache correctness
+// check: repeated query shapes with different literals must hit the cache
+// and still see their own literals — including the cracked-index probe
+// range, which Rebind recomputes from the new bounds. Every cached answer
+// is compared against a cache-disabled reference database.
+func TestPlanCacheTemplateNoStaleLiterals(t *testing.T) {
+	db := corpusDB(t)
+	ref := corpusDB(t)
+	db.EnablePlanCache(true)
+	shapes := []struct {
+		shape string
+		lits  []int
+	}{
+		// Plain filter: the Filter predicate is spliced per query.
+		{"SELECT ID FROM R WHERE A = %d", []int{3, 7, 50}},
+		// Cracked range: CrackLo/CrackHi must follow the literal.
+		{"SELECT A, COUNT(*) FROM R WHERE A < %d GROUP BY A ORDER BY A", []int{30, 12, 77}},
+	}
+	for _, s := range shapes {
+		for _, lit := range s.lits {
+			q := fmt.Sprintf(s.shape, lit)
+			got, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			want, err := ref.QueryContext(context.Background(), ModeDQOCalibrated, q)
+			if err != nil {
+				t.Fatalf("%s (reference): %v", q, err)
+			}
+			if !got.rel.Equal(want.rel) {
+				t.Errorf("%s: cached-template result differs from cache-disabled reference (stale literal?)\nwant:\n%s\ngot:\n%s",
+					q, want.rel, got.rel)
+			}
+		}
+	}
+	hits, misses := db.PlanCacheStats()
+	if misses != len(shapes) {
+		t.Errorf("misses = %d, want %d (one per shape)", misses, len(shapes))
+	}
+	wantHits := 0
+	for _, s := range shapes {
+		wantHits += len(s.lits) - 1
+	}
+	if hits != wantHits {
+		t.Errorf("hits = %d, want %d (every repeat of a shape must hit)", hits, wantHits)
+	}
+	// A hit re-plans in O(rebind): zero enumeration. The DB-level
+	// alternatives counter must not move on hits.
+	before := db.Metrics().OptimizerAlternatives
+	if _, err := db.QueryContext(context.Background(), ModeDQOCalibrated, "SELECT ID FROM R WHERE A = 11"); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.Metrics().OptimizerAlternatives; after != before {
+		t.Errorf("template hit enumerated %d alternatives, want 0", after-before)
+	}
+}
+
+// TestPlanCacheRebindFallback: a statement whose literal cannot be rebound
+// into the cached template — the cached plan probes a cracked index, and
+// the new literal is outside the uint32 key domain, so no probe range
+// exists — must fall back to a full re-plan, counted as a miss, never a
+// wrong answer.
+func TestPlanCacheRebindFallback(t *testing.T) {
+	db := corpusDB(t)
+	db.EnablePlanCache(true)
+	// Prime the template with a crackable range on R.A (cracked AV present).
+	q1 := "SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A"
+	r1, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NumRows() != 20 {
+		t.Fatalf("q1: %d rows, want 20", r1.NumRows())
+	}
+	// Same fingerprint, but the second bound is outside the uint32 key
+	// domain: predRange refuses it, Rebind fails, and the cache must
+	// re-plan instead of serving a template with a stale (or nonsensical)
+	// crack range.
+	q2 := "SELECT A, COUNT(*) FROM R WHERE A >= 0 AND A < 4294967296 GROUP BY A ORDER BY A"
+	r2, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.NumRows() != 100 {
+		t.Fatalf("q2 (unrebindable literal): %d rows, want 100 (every group)\n%s", r2.NumRows(), r2.rel)
+	}
+	hits, misses := db.PlanCacheStats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 0/2: rebind failure must count as a miss", hits, misses)
+	}
+	// The replacement template must serve subsequent crackable literals.
+	q3 := "SELECT A, COUNT(*) FROM R WHERE A >= 90 AND A < 95 GROUP BY A ORDER BY A"
+	r3, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.NumRows() != 5 {
+		t.Fatalf("q3: %d rows, want 5 — stale cracked range?", r3.NumRows())
+	}
+}
+
+// TestEnablePlanCacheDisabledStopsCounting is the satellite fix: a disabled
+// plan cache must stop counting misses entirely and zero its counters, so
+// the exported hit ratio reflects only periods the cache was live.
+func TestEnablePlanCacheDisabledStopsCounting(t *testing.T) {
+	db := corpusDB(t)
+	db.EnablePlanCache(true)
+	if _, err := db.QueryContext(context.Background(), ModeDQO, paperSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := db.PlanCacheStats(); misses != 1 {
+		t.Fatalf("misses = %d, want 1 while enabled", misses)
+	}
+	db.EnablePlanCache(false)
+	if hits, misses := db.PlanCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("stats = %d/%d after disable, want 0/0", hits, misses)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.QueryContext(context.Background(), ModeDQO, paperSQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := db.PlanCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("stats = %d/%d, want 0/0: a disabled cache must not count misses", hits, misses)
+	}
+}
+
+// TestExplainTierHeaders checks that the planning tier is surfaced in the
+// EXPLAIN header for every tier, including the beam width when set.
+func TestExplainTierHeaders(t *testing.T) {
+	db := corpusDB(t)
+	cases := []struct {
+		mode Mode
+		opts []ExplainOption
+		want []string
+	}{
+		{ModeGreedy, nil, []string{"tier=greedy"}},
+		{ModeDQOCalibrated, nil, []string{"tier=deep"}},
+		{ModeSQO, nil, []string{"tier=shallow"}},
+		{ModeDQOCalibrated, []ExplainOption{ExplainWith(WithBeam(2))}, []string{"tier=beam", "beam=2"}},
+	}
+	for _, c := range cases {
+		text, err := db.Explain(c.mode, paperSQL, c.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.mode, err)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: EXPLAIN header missing %q:\n%s", c.mode, want, text)
+			}
+		}
+	}
+}
+
+// TestTraceOptimiseSpanTier checks the planning-time observability rung:
+// the optimise span of a query trace carries the tier (and beam width)
+// attributes the \trace command renders.
+func TestTraceOptimiseSpanTier(t *testing.T) {
+	db := corpusDB(t)
+	optimiseSpan := func(res *Result) *Span {
+		t.Helper()
+		tr := res.Trace()
+		if tr == nil || tr.Root == nil {
+			t.Fatal("no trace")
+		}
+		for _, sp := range tr.Root.Children {
+			if sp.Name == "optimise" {
+				return sp
+			}
+		}
+		t.Fatal("no optimise span in trace")
+		return nil
+	}
+
+	res, err := db.QueryContext(context.Background(), ModeGreedy, paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := optimiseSpan(res).Attr("tier"); got != "greedy" {
+		t.Errorf("greedy optimise span tier = %q, want greedy", got)
+	}
+
+	res, err = db.Query(context.Background(), ModeDQOCalibrated, paperSQL, WithBeam(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := optimiseSpan(res)
+	if got := sp.Attr("tier"); got != "beam" {
+		t.Errorf("beam optimise span tier = %q, want beam", got)
+	}
+	if got := sp.Attr("beam"); got != "3" {
+		t.Errorf("beam optimise span beam = %q, want 3", got)
+	}
+	if !strings.Contains(sp.Render(), "tier=beam") {
+		t.Errorf("span render missing tier attribute:\n%s", sp.Render())
+	}
+}

@@ -154,7 +154,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 	db := groupDB(t, 30000)
 	q := groupSQL + " ORDER BY T.KEY"
 
-	free, _, err := db.compile(ModeDQO, q, 0, 0, nil)
+	free, _, err := db.compile(ModeDQO, q, queryConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 	}
 
 	limit := int64(free.Best.Mem) - 1
-	tight, _, err := db.compile(ModeDQO, q, 0, limit, nil)
+	tight, _, err := db.compile(ModeDQO, q, queryConfig{memLimit: limit}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
