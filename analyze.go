@@ -30,6 +30,12 @@ func analyzeReport(mode Mode, res *Result) string {
 	fmt.Fprintf(&b, "  parse=%s bind=%s optimise=%s compile=%s admission=%s execute=%s\n",
 		rd(pt.parse), rd(pt.bind), rd(pt.optimise), rd(pt.compile), rd(pt.admission), rd(pt.execute))
 	b.WriteString(obs.RenderAnalyze(analyzeRows(res), total))
+	if evs := res.Replans(); len(evs) > 0 {
+		b.WriteString("replanned:\n")
+		for _, ev := range evs {
+			fmt.Fprintf(&b, "  %s\n", ev.String())
+		}
+	}
 	return b.String()
 }
 
@@ -59,14 +65,15 @@ func analyzeRows(res *Result) []obs.AnalyzeRow {
 	rows := make([]obs.AnalyzeRow, 0, len(prof))
 	for i, s := range prof {
 		row := obs.AnalyzeRow{
-			Label:    s.Label,
-			Depth:    s.Depth,
-			ActRows:  s.RowsOut,
-			ActSelf:  s.Self,
-			ActWall:  s.Wall,
-			ActBytes: subtreePeak(prof, i),
-			Batches:  s.Batches,
-			DOP:      s.DOP,
+			Label:     s.Label,
+			Depth:     s.Depth,
+			ActRows:   s.RowsOut,
+			ActSelf:   s.Self,
+			ActWall:   s.Wall,
+			ActBytes:  subtreePeak(prof, i),
+			Batches:   s.Batches,
+			DOP:       s.DOP,
+			Replanned: s.Replans > 0,
 		}
 		for j := range plans {
 			if !plans[j].consumed && plans[j].node.Label() == s.Label {

@@ -10,6 +10,7 @@
 //	dqobench -experiment budget [-n 100000000]
 //	dqobench -experiment observe [-metrics metrics.prom]
 //	dqobench -experiment plantier [-repeats 25]
+//	dqobench -experiment feedback [-n 2000000]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -25,7 +26,10 @@
 // span tree, and the Prometheus metrics exposition); plantier sweeps the
 // planning tiers (greedy, beam-capped Deep, full Deep) over a two-join
 // corpus and reports the planning-time vs execution-time Pareto frontier,
-// always writing the BENCH_plantier.json artifact.
+// always writing the BENCH_plantier.json artifact; feedback runs a skewed
+// corpus cold (mid-query re-planning armed) and again after a harvesting
+// pass has warmed the feedback store, reporting plan-switch counts and
+// executed-time deltas, always writing the BENCH_feedback.json artifact.
 //
 // -json additionally writes a BENCH_<experiment>.json artifact with the
 // machine-readable rows of each experiment that ran.
@@ -39,12 +43,13 @@ import (
 
 	"dqo/internal/benchkit"
 	"dqo/internal/cost"
+	"dqo/internal/feedback"
 	"dqo/internal/hashtable"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | feedback | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -71,6 +76,12 @@ func main() {
 		}
 		fmt.Printf("radix %.2f  cmp(log) %.2f  std(log) %.2f  sph %.2f  og %.2f  bs(log) %.2f  cache(log) %.2f\n",
 			m.RadixRowNS, m.CmpRowNS, m.StdRowNS, m.SPHRowNS, m.OGRowNS, m.BSRowLogNS, m.CacheNS)
+		// The same fit in the runtime feedback format: granule family →
+		// ns per paper-model cost unit, directly importable with
+		// DB.SeedFeedback so offline calibration and runtime feedback
+		// write one representation.
+		fmt.Println("# feedback coefficients (granule family -> ns per paper-model cost unit; DB.SeedFeedback format):")
+		fmt.Print(feedback.MeasuredCoefficients(m, cost.Paper{}).String())
 		return
 	}
 
@@ -98,6 +109,8 @@ func main() {
 		run("observe", func() error { return runObserve(*metrics, *seed) })
 	case "plantier":
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
+	case "feedback":
+		run("feedback", func() error { return runFeedback(*n, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed, *jsonOut) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath, *jsonOut) })
@@ -106,6 +119,7 @@ func main() {
 		run("budget", func() error { return runBudget(*n, *seed, *jsonOut) })
 		run("observe", func() error { return runObserve(*metrics, *seed) })
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
+		run("feedback", func() error { return runFeedback(*n, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -248,6 +262,24 @@ func runBudget(n int, seed uint64, jsonOut bool) error {
 		return writeArtifact("budget", map[string]any{"n": bn, "groups": bn / 2, "seed": seed}, rows, nil)
 	}
 	return nil
+}
+
+func runFeedback(n int, seed uint64) error {
+	cfg := benchkit.DefaultFeedback()
+	cfg.Seed = seed
+	// -n is the figure4 scale (100M default); the feedback corpus runs each
+	// query seven times (cold, harvest, warm, repeats), so cap its fact side
+	// at the default 2M and scale down with small explicit -n values.
+	if n > 0 && n < cfg.FactRows {
+		cfg.FactRows = n
+	}
+	report, err := benchkit.RunFeedback(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	// The cold-vs-warm artifact is the experiment's deliverable; write it
+	// always.
+	return writeArtifact("feedback", report.Config, report, report.Checks)
 }
 
 func runPlanTier(repeats int, seed uint64) error {

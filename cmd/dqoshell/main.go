@@ -17,6 +17,8 @@
 //	\av crack   <tbl> <col> materialise an adaptive (cracked) index AV
 //	\avs                    list materialised AVs
 //	\stats                  toggle the per-operator execution profile
+//	\feedback [on|off|reset] toggle feedback harvesting, or dump the store
+//	\reopt <factor|on|off>  arm mid-query re-planning (on = 10x threshold)
 //	\mem <bytes|off>        set a per-query memory budget (e.g. \mem 4194304)
 //	\beam <k|off>           cap DP enumeration at k plans per site (beam tier)
 //	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
@@ -51,6 +53,7 @@ func main() {
 	mode := dqo.ModeDQO
 	showStats := false
 	beam := 0
+	reopt := 0.0
 	opts := dqo.QueryOptions{}
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
@@ -70,7 +73,7 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line, showStats, opts, beam)
+			runQuery(db, mode, line, showStats, opts, beam, reopt)
 			continue
 		}
 		fields := strings.Fields(line)
@@ -110,7 +113,7 @@ func main() {
 			report(text, err)
 		case `\analyze`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
-			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts, beam)...))
+			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts, beam, reopt)...))
 			report(text, err)
 		case `\compare`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
@@ -216,6 +219,45 @@ func main() {
 			}
 			opts.Timeout = d
 			fmt.Printf("timeout %v per query.\n", d)
+		case `\feedback`:
+			if len(fields) == 1 {
+				fmt.Println(db.DescribeFeedback())
+				continue
+			}
+			switch fields[1] {
+			case "on":
+				db.EnableFeedback(true)
+				fmt.Println("feedback harvesting on; executed queries now tune estimates and costs.")
+			case "off":
+				db.EnableFeedback(false)
+				fmt.Println("feedback harvesting off; the store is kept but unused.")
+			case "reset":
+				db.ResetFeedback()
+				fmt.Println("feedback store cleared.")
+			default:
+				fmt.Println("usage: \\feedback [on|off|reset]")
+			}
+		case `\reopt`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\reopt <factor|on|off>")
+				continue
+			}
+			switch fields[1] {
+			case "off":
+				reopt = 0
+				fmt.Println("mid-query re-planning off.")
+			case "on":
+				reopt = 1 // <=1 means the engine default threshold
+				fmt.Println("mid-query re-planning on (default 10x threshold).")
+			default:
+				f, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil || f <= 1 {
+					fmt.Println("want a misestimate factor > 1, on, or off")
+					continue
+				}
+				reopt = f
+				fmt.Printf("mid-query re-planning on at %gx misestimate.\n", f)
+			}
 		case `\stats`:
 			showStats = !showStats
 			if showStats {
@@ -242,7 +284,7 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int) {
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int, reopt float64) {
 	// First Ctrl-C while the query runs cancels its context; the executor
 	// unwinds at the next morsel boundary and we return to the prompt. A
 	// second Ctrl-C (query stuck or user impatient) exits the shell cleanly.
@@ -265,7 +307,7 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 		case <-done:
 		}
 	}()
-	res, err := db.Query(ctx, mode, query, queryOpts(opts, beam)...)
+	res, err := db.Query(ctx, mode, query, queryOpts(opts, beam, reopt)...)
 	close(done)
 	signal.Stop(sig)
 	if err != nil {
@@ -281,13 +323,19 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 		fmt.Printf("(showing plan cost %.0f, first 20 of %d rows)\n", res.EstimatedCost(), res.NumRows())
 	}
 	fmt.Print(clip(res.String(), 20))
+	if evs := res.Replans(); len(evs) > 0 {
+		fmt.Println("replanned mid-query:")
+		for _, ev := range evs {
+			fmt.Printf("  %s\n", ev.String())
+		}
+	}
 	if showStats {
 		fmt.Print(res.StatsString())
 	}
 }
 
 // queryOpts converts the shell's sticky settings into per-query options.
-func queryOpts(opts dqo.QueryOptions, beam int) []dqo.QueryOption {
+func queryOpts(opts dqo.QueryOptions, beam int, reopt float64) []dqo.QueryOption {
 	var out []dqo.QueryOption
 	if opts.MemoryLimit > 0 {
 		out = append(out, dqo.WithMemoryLimit(opts.MemoryLimit))
@@ -297,6 +345,9 @@ func queryOpts(opts dqo.QueryOptions, beam int) []dqo.QueryOption {
 	}
 	if beam > 0 {
 		out = append(out, dqo.WithBeam(beam))
+	}
+	if reopt > 0 {
+		out = append(out, dqo.WithReoptimize(reopt))
 	}
 	return out
 }

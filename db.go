@@ -10,6 +10,7 @@ import (
 	"dqo/internal/av"
 	"dqo/internal/core"
 	"dqo/internal/exec"
+	"dqo/internal/feedback"
 	"dqo/internal/govern"
 	"dqo/internal/hashtable"
 	"dqo/internal/logical"
@@ -92,6 +93,9 @@ type DB struct {
 	tracer       obs.Tracer     // guarded by mu; nil = tracing off
 	metrics      *obs.Collector // internally synchronised
 	execCounters exec.Counters  // atomic; ticked per morsel by the executor
+
+	feedback   *feedback.Store // internally synchronised; always non-nil
+	feedbackOn bool            // guarded by mu
 }
 
 // SetAdmission installs a DB-level admission gate: at most maxActive
@@ -125,6 +129,7 @@ func Open() *DB {
 		planCache: av.NewPlanCache(),
 		tracer:    obs.NewRingTracer(defaultTraceRing),
 		metrics:   obs.NewCollector(),
+		feedback:  feedback.NewStore(),
 	}
 }
 
@@ -189,6 +194,58 @@ func (db *DB) EnablePlanCache(on bool) {
 // PlanCacheStats returns plan cache hits and misses.
 func (db *DB) PlanCacheStats() (hits, misses int) { return db.planCache.Stats() }
 
+// Coefficients is the shared calibration format: granule family →
+// ns-per-cost-unit, written both by runtime feedback harvesting and by
+// offline hardware calibration (cost.Measure via `dqobench -calibrate`).
+type Coefficients = feedback.Coefficients
+
+// EnableFeedback turns the estimate→measure feedback loop on or off
+// (default off). With it enabled, every successful unlimited query's
+// execution profile is folded back into the DB's feedback store — measured
+// cardinalities per filter/join/group shape and measured ns-per-cost-unit
+// per granule family — and the optimiser plans subsequent queries through
+// those corrections. An empty store is exactly neutral, so plans are
+// unchanged until measurements accumulate. Cached plan templates are
+// version-keyed on the store, so material corrections invalidate them
+// automatically. Disabling stops both harvesting and consultation but keeps
+// the store's contents; use ResetFeedback to drop them.
+func (db *DB) EnableFeedback(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.feedbackOn = on
+}
+
+// ResetFeedback clears every recorded cardinality correction and cost
+// coefficient. The store's version advances, so plan-cache templates built
+// against the old corrections are invalidated.
+func (db *DB) ResetFeedback() { db.feedback.Reset() }
+
+// SeedFeedback imports calibration coefficients into the feedback store —
+// typically the offline hardware calibration `dqobench -calibrate` emits, so
+// a fresh DB starts from measured per-family costs instead of waiting for
+// runtime feedback to accumulate.
+func (db *DB) SeedFeedback(c Coefficients) { db.feedback.SetCoefficients(c) }
+
+// FeedbackCoefficients exports the store's current coefficients in the
+// shared calibration format.
+func (db *DB) FeedbackCoefficients() Coefficients { return db.feedback.Coefficients() }
+
+// DescribeFeedback renders the feedback store's current corrections — the
+// dqoshell \feedback view.
+func (db *DB) DescribeFeedback() string {
+	state := "off"
+	if db.feedbackEnabled() {
+		state = "on"
+	}
+	return fmt.Sprintf("feedback=%s\n%s", state, db.feedback.Snapshot())
+}
+
+func (db *DB) feedbackEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.feedbackOn
+}
+
 // catalogView adapts the table map to the SQL binder's catalog interface.
 type catalogView struct{ db *DB }
 
@@ -251,12 +308,19 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 	}
 	prov := av.Qualified{Cat: db.avs, Aliases: aliasMap(stmt)}
 	cm = cm.WithAVs(prov, prov).WithCracked(prov)
-	pt.tier = planTier(cm)
-	pt.beam = cm.Beam
 
 	db.mu.RLock()
 	useCache := db.cachePlans
+	fbOn := db.feedbackOn
 	db.mu.RUnlock()
+	if fbOn {
+		cm.Feedback = db.feedback
+		pt.feedback = true
+		pt.fbVersion = db.feedback.Version()
+	}
+	pt.tier = planTier(cm)
+	pt.beam = cm.Beam
+
 	t0 = time.Now()
 	var res *core.Result
 	hit := false
@@ -268,6 +332,13 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 		// dimensions, so the key must too: the same shape planned at
 		// different worker counts or budgets may pick different granules.
 		key := fmt.Sprintf("%s|dop=%d|mem=%d|beam=%d|%s", mode, cm.DOP, cm.MemBudget, cm.Beam, sql.Fingerprint(stmt))
+		if fbOn {
+			// Feedback-aware plans embed the store's corrections at insert
+			// time; version-keying retires templates the moment the store
+			// changes materially, so a cache hit never replays a plan the
+			// feedback-aware optimiser would no longer choose.
+			key = fmt.Sprintf("%s|fb=%d", key, pt.fbVersion)
+		}
 		res, hit, err = db.planCache.OptimizeTemplate(key, node, cm)
 	} else {
 		res, err = core.Optimize(node, cm)
@@ -384,7 +455,14 @@ func (db *DB) execQuery(ctx context.Context, mode Mode, query string, cfg queryC
 		return nil, err
 	}
 	t0 := time.Now()
-	root, err := core.Compile(res.Best)
+	var rc *core.ReoptConfig
+	var root exec.Operator
+	if cfg.reopt > 0 {
+		rc = &core.ReoptConfig{Mode: res.Mode, Threshold: cfg.reopt}
+		root, err = core.CompileReopt(res.Best, rc)
+	} else {
+		root, err = core.Compile(res.Best)
+	}
 	pt.compile = time.Since(t0)
 	if err != nil {
 		return nil, err
@@ -410,13 +488,29 @@ func (db *DB) execQuery(ctx context.Context, mode Mode, query string, cfg queryC
 	rel, err := exec.Run(ec, root)
 	pt.execute = time.Since(t0)
 	if err != nil {
-		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err}, err
+		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err, replans: replanEvents(rc)}, err
 	}
 	rel, err = applyAliases(rel, stmt)
 	if err != nil {
-		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err}, err
+		return &Result{plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak(), err: err, replans: replanEvents(rc)}, err
 	}
-	return &Result{rel: rel, plan: res, profile: exec.CollectProfile(root), memPeak: mem.Peak()}, nil
+	prof := exec.CollectProfile(root)
+	if db.feedbackEnabled() && stmt.Limit < 0 {
+		// Close the loop: fold the measured profile back into the store.
+		// LIMIT queries are skipped — early exit truncates every
+		// measurement below the limit operator.
+		core.HarvestFeedback(db.feedback, res.Best, prof)
+	}
+	return &Result{rel: rel, plan: res, profile: prof, memPeak: mem.Peak(), replans: replanEvents(rc)}, nil
+}
+
+// replanEvents extracts the splice log of a reoptimising run (nil rc = no
+// reoptimisation requested).
+func replanEvents(rc *core.ReoptConfig) []ReplanEvent {
+	if rc == nil {
+		return nil
+	}
+	return rc.Events()
 }
 
 // Explain renders the chosen physical plan for a query: operators,
@@ -445,6 +539,9 @@ func (db *DB) Explain(mode Mode, query string, opts ...ExplainOption) (string, e
 	}
 	if pt.cacheHit {
 		b.WriteString(" plan-cache=hit")
+	}
+	if pt.feedback {
+		fmt.Fprintf(&b, " feedback=v%d", pt.fbVersion)
 	}
 	fmt.Fprintf(&b, " alternatives=%d kept=%d physicality=%.2f time=%s\n",
 		res.Stats.Alternatives, res.Stats.Kept,

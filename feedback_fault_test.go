@@ -1,0 +1,47 @@
+//go:build faultinject
+
+package dqo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dqo/internal/faultinject"
+)
+
+// TestReplanSpliceFault arms the failure point between the re-plan decision
+// and the spliced kernel's execution: the query must fail with the injected
+// error (not hang, not fall back silently) and return the partial-result
+// post-mortem. Disarmed, the same query succeeds and still splices.
+func TestReplanSpliceFault(t *testing.T) {
+	db := skewDB(t)
+	ctx := context.Background()
+	boom := errors.New("injected: replan splice")
+	faultinject.Set(faultinject.PointReplanSplice, faultinject.Action{Err: boom})
+	defer faultinject.Clear(faultinject.PointReplanSplice)
+
+	res, err := db.Query(ctx, ModeDQO, skewSQL, WithWorkers(1), WithReoptimize(0))
+	if err == nil {
+		t.Fatal("armed splice point did not fail the query")
+	}
+	if !errors.Is(err, boom) && !strings.Contains(err.Error(), "replan splice") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if res == nil {
+		t.Error("failed query returned no partial result")
+	}
+	if faultinject.Fired(faultinject.PointReplanSplice) == 0 {
+		t.Error("splice point never fired")
+	}
+
+	faultinject.Clear(faultinject.PointReplanSplice)
+	ok, err := db.Query(ctx, ModeDQO, skewSQL, WithWorkers(1), WithReoptimize(0))
+	if err != nil {
+		t.Fatalf("disarmed query failed: %v", err)
+	}
+	if len(ok.Replans()) == 0 {
+		t.Error("disarmed query no longer splices")
+	}
+}

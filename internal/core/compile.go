@@ -39,6 +39,14 @@ type ExecOptions struct {
 // across the worker pool; everything else lowers to the serial operators, so
 // DOP = 1 plans execute exactly as before the parallel dimension existed.
 func Compile(p *Plan) (exec.Operator, error) {
+	return compileNode(p, nil)
+}
+
+// compileNode is the compiler body. With a non-nil ReoptConfig, every
+// pipeline-breaker kernel is wrapped with a mid-query re-planning check
+// (index joins excepted: their build side was prepaid offline). rc == nil
+// lowers exactly as Compile always has.
+func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 	switch p.Op {
 	case OpScan:
 		return exec.NewScan(p.Label(), p.Rel), nil
@@ -60,7 +68,7 @@ func Compile(p *Plan) (exec.Operator, error) {
 				return crack.Range64(lo, hi)
 			}), nil
 		}
-		child, err := Compile(p.Children[0])
+		child, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
 		}
@@ -71,48 +79,64 @@ func Compile(p *Plan) (exec.Operator, error) {
 				return op, nil
 			}
 		}
-		child, err := Compile(p.Children[0])
+		child, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
 		}
 		return exec.NewProject(p.Label(), child, p.Cols), nil
 	case OpSort:
-		child, err := Compile(p.Children[0])
+		child, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
 		}
 		key, kind, dop := p.SortKey, p.SortKind, p.DOP
-		b := exec.NewBreaker1(p.Label(), child, func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+		kernel := func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
 			w := 1
 			if dop > 1 {
 				w = ec.EffectiveDOP(dop)
 			}
 			return physical.SortRelParCtl(in, key, kind, w, ec.Ctl())
-		})
+		}
+		var b *exec.Breaker1
+		if rc != nil {
+			node, orig := p, kernel
+			kernel = func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+				return rc.replan1(ec, node, in, orig, func() { b.NoteReplan() })
+			}
+		}
+		b = exec.NewBreaker1(p.Label(), child, kernel)
 		b.SetDOP(dop)
 		return b, nil
 	case OpGroup:
-		child, err := Compile(p.Children[0])
+		child, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
 		}
 		key, aggs, kind, opt, dom := p.GroupKey, p.Aggs, p.Group.Kind, p.Group.Opt, p.KeyDom
-		b := exec.NewBreaker1(p.Label(), child, func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+		kernel := func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
 			o := opt
 			if o.Parallel > 1 {
 				o.Parallel = ec.EffectiveDOP(o.Parallel)
 			}
 			o.Ctl = ec.Ctl()
 			return physical.GroupByRelDom(in, key, aggs, kind, o, dom)
-		})
+		}
+		var b *exec.Breaker1
+		if rc != nil {
+			node, orig := p, kernel
+			kernel = func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
+				return rc.replan1(ec, node, in, orig, func() { b.NoteReplan() })
+			}
+		}
+		b = exec.NewBreaker1(p.Label(), child, kernel)
 		b.SetDOP(opt.Parallel)
 		return b, nil
 	case OpJoin:
-		left, err := Compile(p.Children[0])
+		left, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Compile(p.Children[1])
+		right, err := compileNode(p.Children[1], rc)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +164,14 @@ func Compile(p *Plan) (exec.Operator, error) {
 				return physical.JoinRelDom(l, r, node.LeftKey, node.RightKey, node.Join.Kind, clamp(ec), node.KeyDom)
 			}
 		}
-		b := exec.NewBreaker2(p.Label(), left, right, kernel)
+		var b *exec.Breaker2
+		if rc != nil && p.Index == nil {
+			orig := kernel
+			kernel = func(ec *exec.ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
+				return rc.replan2(ec, node, l, r, orig, func() { b.NoteReplan() })
+			}
+		}
+		b = exec.NewBreaker2(p.Label(), left, right, kernel)
 		b.SetDOP(p.Join.Opt.Parallel)
 		return b, nil
 	default:

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"dqo/internal/exec"
+	"dqo/internal/feedback"
+	"dqo/internal/logical"
+)
+
+// HarvestFeedback folds one executed query's measurements into the feedback
+// store, closing the estimate→measure loop: the measured output cardinality
+// of every filter, join, and grouping shape (consulted by the hint-aware
+// estimator next time the shape is planned), and the measured
+// ns-per-cost-unit of every granule family (consulted by the tuned cost
+// model). Profile rows are matched to plan nodes by label in pre-order —
+// the same first-unconsumed-match walk EXPLAIN ANALYZE uses — so
+// executor-only operators (Limit, pipe drivers) are skipped naturally.
+func HarvestFeedback(st *feedback.Store, plan *Plan, prof exec.Profile) {
+	if st == nil || plan == nil || len(prof) == 0 {
+		return
+	}
+	type slot struct {
+		node     *Plan
+		consumed bool
+	}
+	var plans []slot
+	plan.PreOrder(func(n *Plan, _ int) { plans = append(plans, slot{node: n}) })
+
+	famNS := make(map[string]float64)
+	famCost := make(map[string]float64)
+	var totalNS, totalCost float64
+	for _, s := range prof {
+		var node *Plan
+		for j := range plans {
+			if !plans[j].consumed && plans[j].node.Label() == s.Label {
+				plans[j].consumed = true
+				node = plans[j].node
+				break
+			}
+		}
+		if node == nil {
+			continue
+		}
+		switch node.Op {
+		case OpFilter, OpJoin, OpGroup:
+			if key := planShapeKey(node); key != "" {
+				st.RecordCard(key, float64(s.RowsOut))
+			}
+		}
+		fam := granuleFamily(node)
+		if fam == "" {
+			continue
+		}
+		c := node.SelfCost()
+		ns := float64(s.Self.Nanoseconds())
+		if c <= 0 || ns <= 0 {
+			continue
+		}
+		famNS[fam] += ns
+		famCost[fam] += c
+		totalNS += ns
+		totalCost += c
+	}
+	if totalNS <= 0 || totalCost <= 0 {
+		return
+	}
+	fams := make(map[string]float64, len(famNS))
+	for f, ns := range famNS {
+		if famCost[f] > 0 {
+			fams[f] = ns / famCost[f]
+		}
+	}
+	st.RecordCoeffs(totalNS/totalCost, fams)
+}
+
+// planShapeKey derives the logical shape key of a physical subtree, mirrored
+// off logical.ShapeKey via its exported combinators so measurements recorded
+// against executed plans are found again when the same logical shape is
+// planned. Projects and sorts key through to their input (cardinality-
+// neutral); AV scan variants key on the base table they materialise.
+func planShapeKey(p *Plan) string {
+	switch p.Op {
+	case OpScan:
+		return logical.ScanShapeKey(p.Table)
+	case OpFilter:
+		return logical.FilterShapeKey(fmt.Sprint(p.Pred), planShapeKey(p.Children[0]))
+	case OpProject, OpSort:
+		return planShapeKey(p.Children[0])
+	case OpJoin:
+		// Swapped joins keep the logical left/right in Children and
+		// LeftKey/RightKey, so the key matches the logical tree's.
+		return logical.JoinShapeKey(p.LeftKey, p.RightKey,
+			planShapeKey(p.Children[0]), planShapeKey(p.Children[1]))
+	case OpGroup:
+		return logical.GroupShapeKey(p.GroupKey, planShapeKey(p.Children[0]))
+	default:
+		return ""
+	}
+}
+
+// granuleFamily maps a plan node onto the feedback store's coefficient
+// families (per-algorithm for sorts, groups, and joins).
+func granuleFamily(p *Plan) string {
+	switch p.Op {
+	case OpScan:
+		return feedback.FamilyScan
+	case OpFilter:
+		return feedback.FamilyFilter
+	case OpSort:
+		return feedback.SortFamily(p.SortKind)
+	case OpGroup:
+		return feedback.GroupFamily(p.Group.Kind)
+	case OpJoin:
+		return feedback.JoinFamily(p.Join.Kind)
+	default:
+		return ""
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 
 	"dqo/internal/cost"
+	"dqo/internal/feedback"
 	"dqo/internal/physio"
 )
 
@@ -75,6 +76,13 @@ type Mode struct {
 	// algorithm family offline while leaving molecule choices to query
 	// time. Returning an empty slice falls back to the unrestricted set.
 	GroupFilter func(key string, choices []physio.GroupChoice) []physio.GroupChoice
+	// Feedback, when non-nil, closes the estimate→measure loop: the
+	// optimiser resolves Model through the store's measured per-family
+	// coefficients (feedback.Tune) and the cardinality estimator consults
+	// the store's measured cardinalities for previously-seen filter, join,
+	// and grouping shapes. An empty store is exactly neutral, so plans are
+	// unchanged until measurements accumulate.
+	Feedback *feedback.Store
 }
 
 // WithAVs returns a copy of the mode with the given AV providers installed

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dqo/internal/cost"
+	"dqo/internal/feedback"
 	"dqo/internal/logical"
 	"dqo/internal/physical"
 	"dqo/internal/physio"
@@ -71,6 +72,12 @@ func Optimize(n logical.Node, mode Mode) (*Result, error) {
 	if mode.Model == nil {
 		return nil, fmt.Errorf("core: mode %q has no cost model", mode.Name)
 	}
+	// Close the estimate→measure loop: resolve the cost model through the
+	// mode's feedback store. Tune is idempotent and an empty store is
+	// neutral, so feedback-free planning is untouched.
+	if mode.Feedback != nil {
+		mode.Model = feedback.Tune(mode.Model, mode.Feedback)
+	}
 	start := time.Now()
 	o := &optimizer{mode: mode}
 	if mode.Greedy {
@@ -102,17 +109,24 @@ type optimizer struct {
 	// which revisits base relations (scan variants, AV fallbacks) within one
 	// single-pass run. The DP tiers keep their own enumeration paths.
 	scanProps map[*storage.Relation]props.Set
-	// est shares one memoised cardinality estimator across the greedy pass,
-	// which asks about every node it visits; the DP tiers call the package-
-	// level (per-call) estimators.
+	// est shares one memoised cardinality estimator across the whole run —
+	// the greedy pass asks about every node it visits, and the DP tiers
+	// revisit subtree cardinalities per enumeration site. It is also where
+	// measured-cardinality feedback enters: with a feedback store on the
+	// mode, previously-seen filter/join/group shapes estimate at their
+	// measured cardinality.
 	est *logical.Estimator
 }
 
 // estimator returns the run-shared memoised estimator, creating it on first
-// use.
+// use (hint-aware when the mode carries a feedback store).
 func (o *optimizer) estimator() *logical.Estimator {
 	if o.est == nil {
-		o.est = logical.NewEstimator()
+		if o.mode.Feedback != nil {
+			o.est = logical.NewEstimatorHints(o.mode.Feedback)
+		} else {
+			o.est = logical.NewEstimator()
+		}
 	}
 	return o.est
 }
@@ -275,7 +289,7 @@ func isStreamSegment(p *Plan) bool {
 func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 	switch n := n.(type) {
 	case *logical.Scan:
-		rows := logical.Estimate(n)
+		rows := o.estimator().Estimate(n)
 		p := &Plan{
 			Op: OpScan, Table: n.Table, Rel: n.Rel,
 			Props: o.restrict(logical.ScanProps(n.Rel)),
@@ -308,7 +322,7 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := logical.Estimate(n)
+		rows := o.estimator().Estimate(n)
 		var out []*Plan
 		for _, c := range children {
 			p := &Plan{
@@ -349,8 +363,8 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 						base := &Plan{
 							Op: OpScan, Table: scan.Table, Rel: scan.Rel,
 							Props: o.restrict(logical.ScanProps(scan.Rel)),
-							Rows:  logical.Estimate(scan),
-							Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
+							Rows:  o.estimator().Estimate(scan),
+							Cost:  o.mode.Model.Scan(o.estimator().Estimate(scan)),
 						}
 						setFootprint(base)
 						o.stats.Alternatives++
@@ -510,9 +524,9 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 	lefts = o.withEnforcers(lefts, n.LeftKey)
 	rights = o.withEnforcers(rights, n.RightKey)
 
-	rows := logical.Estimate(n)
-	keyDistinct := logical.ColDistinct(n.Left, n.LeftKey)
-	rightDistinct := logical.ColDistinct(n.Right, n.RightKey)
+	rows := o.estimator().Estimate(n)
+	keyDistinct := o.estimator().ColDistinct(n.Left, n.LeftKey)
+	rightDistinct := o.estimator().ColDistinct(n.Right, n.RightKey)
 	choices := physio.JoinChoices(n.LeftKey, n.RightKey, o.mode.Depth, o.dop())
 	// Join commutativity: the same algorithm families with build and probe
 	// roles exchanged. Requirements and costs are evaluated with the right
@@ -571,8 +585,8 @@ func (o *optimizer) optimizeJoin(n *logical.Join) ([]*Plan, error) {
 				base := &Plan{
 					Op: OpScan, Table: scan.Table, Rel: scan.Rel,
 					Props: o.restrict(logical.ScanProps(scan.Rel)),
-					Rows:  logical.Estimate(scan),
-					Cost:  o.mode.Model.Scan(logical.Estimate(scan)),
+					Rows:  o.estimator().Estimate(scan),
+					Cost:  o.mode.Model.Scan(o.estimator().Estimate(scan)),
 				}
 				setFootprint(base)
 				kind := physical.HJ
@@ -625,8 +639,8 @@ func (o *optimizer) optimizeGroup(n *logical.GroupBy) ([]*Plan, error) {
 	}
 	children = o.withEnforcers(children, n.Key)
 
-	groups := logical.ColDistinct(n.Input, n.Key)
-	rows := logical.Estimate(n)
+	groups := o.estimator().ColDistinct(n.Input, n.Key)
+	rows := o.estimator().Estimate(n)
 	choices := physio.GroupChoices(n.Key, o.mode.Depth, o.dop())
 	if o.mode.GroupFilter != nil {
 		if filtered := o.mode.GroupFilter(n.Key, choices); len(filtered) > 0 {

@@ -131,6 +131,7 @@ type OpStats struct {
 	Wall      time.Duration // time spent in Next, inclusive of children
 	PeakBytes int64         // high-water estimate of bytes held (batches + materialised state)
 	DOP       int64         // effective degree of parallelism (0 = serial operator)
+	Replans   int64         // mid-query re-planning splices taken at this operator
 }
 
 // base supplies the label/stats boilerplate shared by all operators.
@@ -162,6 +163,10 @@ func (b *base) peak(n int64) {
 	}
 }
 
+// NoteReplan counts one mid-query re-planning of the operator's kernel
+// (recorded by the core compiler's reoptimising breaker wrappers).
+func (b *base) NoteReplan() { atomic.AddInt64(&b.stats.Replans, 1) }
+
 // emitted records an outgoing batch.
 func (b *base) emitted(batch *storage.Relation) {
 	atomic.AddInt64(&b.stats.Batches, 1)
@@ -178,6 +183,7 @@ func (s *OpStats) snapshot() OpStats {
 		Wall:      time.Duration(atomic.LoadInt64((*int64)(&s.Wall))),
 		PeakBytes: atomic.LoadInt64(&s.PeakBytes),
 		DOP:       atomic.LoadInt64(&s.DOP),
+		Replans:   atomic.LoadInt64(&s.Replans),
 	}
 }
 
@@ -270,6 +276,7 @@ type OpStat struct {
 	Self      time.Duration // Wall minus children's Wall
 	PeakBytes int64
 	DOP       int64 // effective degree of parallelism (1 = serial)
+	Replans   int64 // mid-query re-planning splices taken at this operator
 }
 
 // Profile is the per-operator execution profile of one query, in pre-order
@@ -298,6 +305,7 @@ func CollectProfile(root Operator) Profile {
 			Label: op.Label(), Depth: depth,
 			RowsIn: st.RowsIn, RowsOut: st.RowsOut, Batches: st.Batches,
 			Wall: st.Wall, Self: self, PeakBytes: st.PeakBytes, DOP: dop,
+			Replans: st.Replans,
 		})
 		for _, c := range op.Children() {
 			rec(c, depth+1)

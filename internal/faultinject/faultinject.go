@@ -23,6 +23,7 @@ const (
 	PointSortxMerge      = "sortx.merge"         // each parallel-sort merge pass
 	PointPhysicalBuild   = "physical.join.build" // parallel hash-join build phase
 	PointPhysicalScatter = "physical.scatter"    // radix partition scatter workers
+	PointReplanSplice    = "core.replan.splice"  // before a re-planned suffix is spliced in
 )
 
 // Points lists every registered failure point, for coverage reporting.
@@ -36,4 +37,5 @@ var Points = []string{
 	PointSortxMerge,
 	PointPhysicalBuild,
 	PointPhysicalScatter,
+	PointReplanSplice,
 }

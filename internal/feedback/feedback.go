@@ -1,0 +1,312 @@
+// Package feedback closes the estimate→measure loop: it holds what the
+// executor has measured — per-granule-family ns-per-cost-unit coefficients
+// and per-plan-shape cardinality corrections — so the optimiser's next run
+// can plan with the truth instead of textbook heuristics.
+//
+// The Store is populated from execution profiles after every traced query
+// (core.HarvestFeedback), persisted on the DB, and consulted in two places:
+// logical.Estimator resolves cardinality estimates for previously-seen
+// filter/join/group shapes through CardHint, and the Tuned cost model scales
+// each granule family's cost by its measured deviation from the query-wide
+// ns-per-cost-unit ratio. An empty store is exactly neutral — every hint
+// misses and every multiplier is 1.0 — so zero-feedback plans are
+// byte-identical to planning without the loop.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dqo/internal/physical"
+	"dqo/internal/sortx"
+)
+
+// Granule families the coefficient side of the store calibrates. Sort,
+// group, and join families are keyed per algorithm (kind), matching the
+// resolution at which the cost models price them.
+const (
+	FamilyScan   = "scan"
+	FamilyFilter = "filter"
+)
+
+// SortFamily returns the coefficient key of a sort algorithm.
+func SortFamily(k sortx.Kind) string { return "sort:" + k.String() }
+
+// GroupFamily returns the coefficient key of a grouping algorithm family.
+func GroupFamily(k physical.GroupKind) string { return "group:" + k.String() }
+
+// JoinFamily returns the coefficient key of a join algorithm family.
+func JoinFamily(k physical.JoinKind) string { return "join:" + k.String() }
+
+// GlobalFamily keys the workload-wide mean ns-per-cost-unit in the shared
+// Coefficients format; per-family multipliers are taken against it.
+const GlobalFamily = "*"
+
+// Coefficients is the shared calibration format: granule family →
+// ns-per-cost-unit. Both runtime feedback (core.HarvestFeedback) and offline
+// hardware calibration (MeasuredCoefficients over cost.Measure's fitted
+// model) produce it, and Store.SetCoefficients consumes it — one format, two
+// producers.
+type Coefficients map[string]float64
+
+// String renders the coefficients sorted by family, one per line.
+func (c Coefficients) String() string {
+	fams := make([]string, 0, len(c))
+	for f := range c {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "%-16s %.3f\n", f, c[f])
+	}
+	return b.String()
+}
+
+// maxCards bounds the cardinality-correction map: beyond it, new shapes are
+// dropped and only already-known shapes keep updating, so a churning ad-hoc
+// workload cannot grow the store without bound.
+const maxCards = 4096
+
+// coeffAlpha is the EWMA weight of the newest coefficient measurement —
+// high enough to track a phase change within a few queries, low enough that
+// one noisy query does not dominate.
+const coeffAlpha = 0.5
+
+// materialChange is the relative coefficient change that bumps the store
+// version (the plan-cache invalidation signal): smaller drifts keep cached
+// templates valid.
+const materialChange = 0.25
+
+// Store is the DB-resident feedback state. It is safe for concurrent use,
+// bounded (maxCards cardinality entries), and resettable.
+//
+// The coefficient side records, per granule family, an EWMA of the measured
+// ns-per-cost-unit (operator self time / estimated self cost) plus the
+// query-wide mean; Multiplier reports each family's deviation from that
+// mean, which is the dimensionless factor the Tuned cost model applies.
+// The cardinality side records measured output rows per plan shape key
+// (logical.ShapeKey) — for filters that is a (table, predicate-fingerprint)
+// pair — which logical.Estimator consults before falling back to heuristics.
+type Store struct {
+	mu       sync.RWMutex
+	coeff    map[string]float64 // family → ns-per-cost-unit EWMA
+	globalNS float64            // query-wide ns-per-cost-unit EWMA (0 = none)
+	cards    map[string]float64 // shape key → measured output rows
+	version  uint64
+}
+
+// NewStore returns an empty feedback store.
+func NewStore() *Store {
+	return &Store{coeff: make(map[string]float64), cards: make(map[string]float64)}
+}
+
+// RecordCard records the measured output cardinality of a plan shape. New
+// shapes and changed measurements bump the store version; once the store
+// holds maxCards shapes, unknown shapes are dropped.
+func (s *Store) RecordCard(key string, rows float64) {
+	if key == "" || rows < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.cards[key]
+	if !ok && len(s.cards) >= maxCards {
+		return
+	}
+	if ok && old == rows {
+		return
+	}
+	s.cards[key] = rows
+	s.version++
+}
+
+// CardHint returns the measured output cardinality recorded for a plan
+// shape. It implements logical.CardHints.
+func (s *Store) CardHint(key string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.cards[key]
+	return v, ok
+}
+
+// RecordCoeffs folds one query's measured ns-per-cost-unit ratios into the
+// store: global is the query-wide ratio, fams the per-family ratios. The
+// version bumps only when a coefficient moves materially (or appears), so
+// plan-cache invalidation tracks meaningful drift, not noise.
+func (s *Store) RecordCoeffs(global float64, fams map[string]float64) {
+	if global <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	material := false
+	blend := func(old, x float64) float64 {
+		if old <= 0 {
+			return x
+		}
+		return old*(1-coeffAlpha) + x*coeffAlpha
+	}
+	moved := func(old, new float64) bool {
+		return old <= 0 || new >= old*(1+materialChange) || new <= old*(1-materialChange)
+	}
+	if nv := blend(s.globalNS, global); moved(s.globalNS, nv) {
+		material = true
+		s.globalNS = nv
+	} else {
+		s.globalNS = nv
+	}
+	for f, x := range fams {
+		if x <= 0 {
+			continue
+		}
+		old := s.coeff[f]
+		nv := blend(old, x)
+		if moved(old, nv) {
+			material = true
+		}
+		s.coeff[f] = nv
+	}
+	if material {
+		s.version++
+	}
+}
+
+// Multiplier returns the dimensionless cost factor of a granule family: its
+// measured ns-per-cost-unit divided by the workload-wide mean. Families the
+// store has never measured (and an empty store) return exactly 1.0, which
+// keeps zero-feedback costing bit-identical to the base model.
+func (s *Store) Multiplier(family string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.coeff[family]
+	if !ok || c <= 0 || s.globalNS <= 0 {
+		return 1.0
+	}
+	return c / s.globalNS
+}
+
+// Version is a counter that advances when the store's contents change enough
+// to invalidate previously chosen plans: any cardinality correction, a
+// material (>= 25%) coefficient move, a coefficient import, or a reset.
+// Plan caches fold it into their keys so stale templates miss.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Reset drops every correction and coefficient; the version advances so
+// cached plans keyed on the old contents are invalidated.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.coeff = make(map[string]float64)
+	s.cards = make(map[string]float64)
+	s.globalNS = 0
+	s.version++
+}
+
+// SetCoefficients imports coefficients in the shared format (e.g. offline
+// hardware calibration from cost.Measure), replacing per-family values. The
+// GlobalFamily entry seeds the workload-wide mean.
+func (s *Store) SetCoefficients(c Coefficients) {
+	if len(c) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for f, v := range c {
+		if v <= 0 {
+			continue
+		}
+		if f == GlobalFamily {
+			s.globalNS = v
+			continue
+		}
+		s.coeff[f] = v
+	}
+	s.version++
+}
+
+// Coefficients exports the store's coefficient side in the shared format,
+// including the GlobalFamily mean when one is known.
+func (s *Store) Coefficients() Coefficients {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(Coefficients, len(s.coeff)+1)
+	for f, v := range s.coeff {
+		out[f] = v
+	}
+	if s.globalNS > 0 {
+		out[GlobalFamily] = s.globalNS
+	}
+	return out
+}
+
+// CoeffStat is one granule family's calibration state in a Snapshot.
+type CoeffStat struct {
+	Family     string
+	NsPerUnit  float64 // measured ns per base-model cost unit (EWMA)
+	Multiplier float64 // NsPerUnit / workload-wide mean; what Tuned applies
+}
+
+// CardStat is one recorded cardinality correction in a Snapshot.
+type CardStat struct {
+	Key  string
+	Rows float64
+}
+
+// Snapshot is a point-in-time view of the store, sorted for stable display.
+type Snapshot struct {
+	Version  uint64
+	GlobalNS float64 // workload-wide mean ns-per-cost-unit (0 = none)
+	Coeffs   []CoeffStat
+	Cards    []CardStat
+}
+
+// Snapshot returns a consistent copy of the store's contents.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn := Snapshot{Version: s.version, GlobalNS: s.globalNS}
+	for f, v := range s.coeff {
+		m := 1.0
+		if s.globalNS > 0 && v > 0 {
+			m = v / s.globalNS
+		}
+		sn.Coeffs = append(sn.Coeffs, CoeffStat{Family: f, NsPerUnit: v, Multiplier: m})
+	}
+	sort.Slice(sn.Coeffs, func(i, j int) bool { return sn.Coeffs[i].Family < sn.Coeffs[j].Family })
+	for k, v := range s.cards {
+		sn.Cards = append(sn.Cards, CardStat{Key: k, Rows: v})
+	}
+	sort.Slice(sn.Cards, func(i, j int) bool { return sn.Cards[i].Key < sn.Cards[j].Key })
+	return sn
+}
+
+// String renders the snapshot as a human-readable report (the dqoshell
+// \feedback view).
+func (sn Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "feedback store v%d\n", sn.Version)
+	if len(sn.Coeffs) == 0 && len(sn.Cards) == 0 {
+		b.WriteString("(empty)\n")
+		return b.String()
+	}
+	if len(sn.Coeffs) > 0 {
+		fmt.Fprintf(&b, "coefficients (workload mean %.2f ns/unit):\n", sn.GlobalNS)
+		for _, c := range sn.Coeffs {
+			fmt.Fprintf(&b, "  %-16s %10.2f ns/unit  x%.2f\n", c.Family, c.NsPerUnit, c.Multiplier)
+		}
+	}
+	if len(sn.Cards) > 0 {
+		b.WriteString("cardinality corrections:\n")
+		for _, c := range sn.Cards {
+			fmt.Fprintf(&b, "  %-48s rows=%.0f\n", c.Key, c.Rows)
+		}
+	}
+	return b.String()
+}

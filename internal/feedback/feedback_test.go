@@ -1,0 +1,290 @@
+package feedback
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dqo/internal/cost"
+	"dqo/internal/physical"
+	"dqo/internal/physio"
+	"dqo/internal/sortx"
+)
+
+func TestEmptyStoreNeutral(t *testing.T) {
+	s := NewStore()
+	if v := s.Version(); v != 0 {
+		t.Fatalf("fresh store version = %d, want 0", v)
+	}
+	for _, fam := range []string{FamilyScan, FamilyFilter, SortFamily(sortx.Radix),
+		GroupFamily(physical.HG), JoinFamily(physical.HJ), "nonsense"} {
+		if m := s.Multiplier(fam); m != 1.0 {
+			t.Errorf("empty store Multiplier(%q) = %v, want exactly 1.0", fam, m)
+		}
+	}
+	if _, ok := s.CardHint("filter(x>1)|scan(t)"); ok {
+		t.Error("empty store returned a cardinality hint")
+	}
+}
+
+func TestRecordCardVersioning(t *testing.T) {
+	s := NewStore()
+	s.RecordCard("k1", 100)
+	if v := s.Version(); v != 1 {
+		t.Fatalf("version after first card = %d, want 1", v)
+	}
+	// Same value again: no bump (the plan cache should not churn).
+	s.RecordCard("k1", 100)
+	if v := s.Version(); v != 1 {
+		t.Fatalf("version after identical re-record = %d, want 1", v)
+	}
+	// Changed value: bump.
+	s.RecordCard("k1", 200)
+	if v := s.Version(); v != 2 {
+		t.Fatalf("version after changed card = %d, want 2", v)
+	}
+	if rows, ok := s.CardHint("k1"); !ok || rows != 200 {
+		t.Fatalf("CardHint(k1) = %v, %v; want 200, true", rows, ok)
+	}
+	// Invalid records are ignored.
+	s.RecordCard("", 5)
+	s.RecordCard("k2", -1)
+	if _, ok := s.CardHint("k2"); ok {
+		t.Error("negative-row record was stored")
+	}
+	if v := s.Version(); v != 2 {
+		t.Fatalf("version after invalid records = %d, want 2", v)
+	}
+}
+
+func TestRecordCardBounded(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < maxCards; i++ {
+		s.RecordCard(strings.Repeat("x", 1)+string(rune('a'+i%26))+itoa(i), float64(i))
+	}
+	sn := s.Snapshot()
+	if len(sn.Cards) != maxCards {
+		t.Fatalf("stored %d cards, want %d", len(sn.Cards), maxCards)
+	}
+	// A new shape is dropped once full...
+	s.RecordCard("overflow-key", 42)
+	if _, ok := s.CardHint("overflow-key"); ok {
+		t.Error("store grew past maxCards")
+	}
+	// ...but an already-known shape keeps updating.
+	known := sn.Cards[0].Key
+	s.RecordCard(known, 99999)
+	if rows, _ := s.CardHint(known); rows != 99999 {
+		t.Errorf("known key stopped updating at capacity: got %v", rows)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestCoeffEWMAAndMultiplier(t *testing.T) {
+	s := NewStore()
+	s.RecordCoeffs(10, map[string]float64{"join:HJ": 20, "sort:radix": 5})
+	if m := s.Multiplier("join:HJ"); m != 2.0 {
+		t.Errorf("Multiplier(join:HJ) = %v, want 2.0", m)
+	}
+	if m := s.Multiplier("sort:radix"); m != 0.5 {
+		t.Errorf("Multiplier(sort:radix) = %v, want 0.5", m)
+	}
+	if m := s.Multiplier("group:HG"); m != 1.0 {
+		t.Errorf("unmeasured family multiplier = %v, want exactly 1.0", m)
+	}
+	// EWMA blend: old*(1-α) + new*α with α = 0.5.
+	s.RecordCoeffs(10, map[string]float64{"join:HJ": 40})
+	want := 20*(1-coeffAlpha) + 40*coeffAlpha
+	if m := s.Multiplier("join:HJ"); math.Abs(m-want/10) > 1e-12 {
+		t.Errorf("EWMA multiplier = %v, want %v", m, want/10)
+	}
+	// Non-positive measurements are ignored.
+	v := s.Version()
+	s.RecordCoeffs(0, map[string]float64{"join:HJ": 1e9})
+	if s.Version() != v {
+		t.Error("non-positive global ratio mutated the store")
+	}
+}
+
+func TestCoeffVersionBumpsOnlyOnMaterialMove(t *testing.T) {
+	s := NewStore()
+	s.RecordCoeffs(100, map[string]float64{"filter": 100})
+	v1 := s.Version()
+	if v1 == 0 {
+		t.Fatal("first coefficient record did not bump version")
+	}
+	// A tiny drift (well under 25% post-EWMA) must not bump.
+	s.RecordCoeffs(101, map[string]float64{"filter": 101})
+	if s.Version() != v1 {
+		t.Errorf("immaterial drift bumped version %d -> %d", v1, s.Version())
+	}
+	// A big jump must bump: EWMA of (100, 1000) moves far past 25%.
+	s.RecordCoeffs(1000, map[string]float64{"filter": 1000})
+	if s.Version() == v1 {
+		t.Error("material coefficient move did not bump version")
+	}
+}
+
+func TestResetAndImport(t *testing.T) {
+	s := NewStore()
+	s.RecordCard("k", 7)
+	s.RecordCoeffs(10, map[string]float64{"scan": 30})
+	v := s.Version()
+	s.Reset()
+	if s.Version() <= v {
+		t.Error("Reset did not advance the version")
+	}
+	if _, ok := s.CardHint("k"); ok {
+		t.Error("Reset kept a cardinality correction")
+	}
+	if m := s.Multiplier("scan"); m != 1.0 {
+		t.Errorf("Reset kept a coefficient: multiplier = %v", m)
+	}
+
+	// Import round-trip through the shared Coefficients format.
+	in := Coefficients{GlobalFamily: 10, "join:HJ": 25, "bogus": -1}
+	s.SetCoefficients(in)
+	if m := s.Multiplier("join:HJ"); m != 2.5 {
+		t.Errorf("imported multiplier = %v, want 2.5", m)
+	}
+	out := s.Coefficients()
+	if out[GlobalFamily] != 10 || out["join:HJ"] != 25 {
+		t.Errorf("Coefficients round-trip = %v", out)
+	}
+	if _, ok := out["bogus"]; ok {
+		t.Error("non-positive import entry survived")
+	}
+	if s.SetCoefficients(nil); false {
+		t.Error("unreachable")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := NewStore()
+	if got := s.Snapshot().String(); !strings.Contains(got, "(empty)") {
+		t.Errorf("empty snapshot rendered %q", got)
+	}
+	s.RecordCoeffs(10, map[string]float64{"join:HJ": 20})
+	s.RecordCard("filter(a>1)|scan(t)", 12)
+	got := s.Snapshot().String()
+	for _, want := range []string{"join:HJ", "x2.00", "filter(a>1)|scan(t)", "rows=12"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestTunedBitIdentityEmptyStore pins the zero-feedback invariant: with an
+// empty store every Tuned cost is bit-for-bit the base model's cost, so
+// plans chosen through an empty feedback loop cannot differ.
+func TestTunedBitIdentityEmptyStore(t *testing.T) {
+	s := NewStore()
+	base := cost.Paper{}
+	tuned := Tune(base, s)
+	if tuned.Name() != base.Name() {
+		t.Errorf("Name() = %q, want %q", tuned.Name(), base.Name())
+	}
+	rows := []float64{0, 1, 3, 1000, 1e7, 12345.678}
+	for _, r := range rows {
+		if got, want := tuned.Scan(r), base.Scan(r); got != want {
+			t.Errorf("Scan(%v) = %v, want %v", r, got, want)
+		}
+		if got, want := tuned.Filter(r), base.Filter(r); got != want {
+			t.Errorf("Filter(%v) = %v, want %v", r, got, want)
+		}
+		for _, k := range sortx.Kinds() {
+			if got, want := tuned.SortBy(r, k), base.SortBy(r, k); got != want {
+				t.Errorf("SortBy(%v, %v) = %v, want %v", r, k, got, want)
+			}
+		}
+		for _, gc := range physio.GroupChoices("k", physio.Shallow, 1) {
+			if got, want := tuned.Group(gc, r, r/4), base.Group(gc, r, r/4); got != want {
+				t.Errorf("Group(%v, %v) = %v, want %v", gc.Kind, r, got, want)
+			}
+		}
+		for _, jc := range physio.JoinChoices("l", "r", physio.Shallow, 1) {
+			if got, want := tuned.Join(jc, r, 2*r, r/4), base.Join(jc, r, 2*r, r/4); got != want {
+				t.Errorf("Join(%v, %v) = %v, want %v", jc.Kind, r, got, want)
+			}
+		}
+		if got, want := tuned.Parallel(r, 4), base.Parallel(r, 4); got != want {
+			t.Errorf("Parallel(%v, 4) = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestTuneIdempotent(t *testing.T) {
+	s := NewStore()
+	base := cost.Paper{}
+	t1 := Tune(base, s)
+	if t2 := Tune(t1, s); t2 != t1 {
+		t.Error("re-tuning against the same store wrapped again")
+	}
+	s2 := NewStore()
+	t3 := Tune(t1, s2)
+	if t3 == t1 {
+		t.Error("tuning against a different store returned the old wrapper")
+	}
+	if tt, ok := t3.(*Tuned); !ok || tt.Base() != cost.Model(base) {
+		t.Error("re-tuning against a new store double-wrapped the base model")
+	}
+	if got := Tune(base, nil); got != cost.Model(base) {
+		t.Error("Tune with nil store did not return the base model")
+	}
+}
+
+func TestTunedAppliesMultiplier(t *testing.T) {
+	s := NewStore()
+	s.RecordCoeffs(10, map[string]float64{JoinFamily(physical.HJ): 30})
+	tuned := Tune(cost.Paper{}, s)
+	jc := physio.JoinChoice{Kind: physical.HJ}
+	base := cost.Paper{}.Join(jc, 100, 200, 50)
+	if got, want := tuned.Join(jc, 100, 200, 50), 3.0*base; math.Abs(got-want) > 1e-9 {
+		t.Errorf("tuned HJ cost = %v, want %v", got, want)
+	}
+	// Other join kinds unmeasured: unchanged.
+	oj := physio.JoinChoice{Kind: physical.OJ}
+	if got, want := tuned.Join(oj, 100, 200, 50), (cost.Paper{}).Join(oj, 100, 200, 50); got != want {
+		t.Errorf("unmeasured OJ cost = %v, want %v", got, want)
+	}
+}
+
+// TestMeasuredCoefficients checks the shared-format bridge from offline
+// hardware calibration: every family the base model prices with nonzero
+// cost gets a positive coefficient, plus the workload mean.
+func TestMeasuredCoefficients(t *testing.T) {
+	m := cost.Measure(1 << 12)
+	c := MeasuredCoefficients(m, cost.Paper{})
+	if len(c) == 0 {
+		t.Fatal("no coefficients measured")
+	}
+	if c[GlobalFamily] <= 0 {
+		t.Errorf("global mean = %v, want > 0", c[GlobalFamily])
+	}
+	for f, v := range c {
+		if v <= 0 {
+			t.Errorf("coefficient %q = %v, want > 0", f, v)
+		}
+	}
+	// Paper prices scans at zero, so no scan ratio can be formed.
+	if _, ok := c[FamilyScan]; ok {
+		t.Error("scan family measured against a zero-cost base")
+	}
+	// The store accepts the measured format directly.
+	s := NewStore()
+	s.SetCoefficients(c)
+	if s.Version() == 0 {
+		t.Error("import did not bump the version")
+	}
+}

@@ -1,0 +1,54 @@
+package feedback
+
+import (
+	"dqo/internal/cost"
+	"dqo/internal/physio"
+	"dqo/internal/sortx"
+)
+
+// Reference workload at which offline calibration is expressed: large enough
+// that per-row terms dominate fixed overheads, matching the scale
+// cost.Measure probes at.
+const (
+	measureRows   = 1 << 20
+	measureGroups = 1 << 12
+)
+
+// MeasuredCoefficients expresses an offline-calibrated cost model (the
+// *cost.Calibrated fitted by cost.Measure) in the feedback store's
+// coefficient format: for every granule family, the calibrated model's cost
+// of a reference workload divided by the base model's cost of the same
+// workload — the ns-per-cost-unit quantity runtime feedback harvesting
+// records. The GlobalFamily entry is the mean over all families, so seeding
+// a store with the result (Store.SetCoefficients) and tuning the base model
+// against it reproduces the calibrated model's relative family ordering.
+// This is what makes `dqobench -calibrate` and runtime feedback one
+// calibration mechanism instead of two.
+func MeasuredCoefficients(m *cost.Calibrated, base cost.Model) Coefficients {
+	out := make(Coefficients)
+	add := func(family string, measured, ref float64) {
+		if measured > 0 && ref > 0 {
+			out[family] = measured / ref
+		}
+	}
+	add(FamilyScan, m.Scan(measureRows), base.Scan(measureRows))
+	add(FamilyFilter, m.Filter(measureRows), base.Filter(measureRows))
+	for _, k := range sortx.Kinds() {
+		add(SortFamily(k), m.SortBy(measureRows, k), base.SortBy(measureRows, k))
+	}
+	for _, c := range physio.GroupChoices("k", physio.Shallow, 1) {
+		add(GroupFamily(c.Kind), m.Group(c, measureRows, measureGroups), base.Group(c, measureRows, measureGroups))
+	}
+	for _, c := range physio.JoinChoices("l", "r", physio.Shallow, 1) {
+		add(JoinFamily(c.Kind), m.Join(c, measureGroups, measureRows, measureGroups),
+			base.Join(c, measureGroups, measureRows, measureGroups))
+	}
+	if len(out) > 0 {
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		out[GlobalFamily] = sum / float64(len(out))
+	}
+	return out
+}

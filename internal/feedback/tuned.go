@@ -1,0 +1,66 @@
+package feedback
+
+import (
+	"dqo/internal/cost"
+	"dqo/internal/physio"
+	"dqo/internal/sortx"
+)
+
+// Tune resolves a cost model through a feedback store: each granule family's
+// cost is scaled by the store's measured multiplier for that family. A nil
+// store returns the base model unchanged, and wrapping is idempotent — tuning
+// an already-tuned model against the same store is a no-op, so re-planning
+// under a mode whose model was tuned at compile time does not stack factors.
+func Tune(base cost.Model, s *Store) cost.Model {
+	if s == nil {
+		return base
+	}
+	if t, ok := base.(*Tuned); ok {
+		if t.store == s {
+			return t
+		}
+		base = t.base
+	}
+	return &Tuned{base: base, store: s}
+}
+
+// Tuned is a cost model whose per-family costs are scaled by measured
+// ns-per-cost-unit multipliers from a feedback Store. With an empty store
+// every multiplier is exactly 1.0 and every method returns the base model's
+// cost bit-for-bit, so plans (and their printed costs) are unchanged until
+// feedback actually accumulates.
+type Tuned struct {
+	base  cost.Model
+	store *Store
+}
+
+// Base returns the wrapped model.
+func (t *Tuned) Base() cost.Model { return t.base }
+
+// Name reports the base model's name: tuning rescales the same cost space,
+// it does not define a new model, and EXPLAIN headers stay stable.
+func (t *Tuned) Name() string { return t.base.Name() }
+
+func (t *Tuned) Scan(rows float64) float64 {
+	return t.store.Multiplier(FamilyScan) * t.base.Scan(rows)
+}
+
+func (t *Tuned) Filter(rows float64) float64 {
+	return t.store.Multiplier(FamilyFilter) * t.base.Filter(rows)
+}
+
+func (t *Tuned) SortBy(rows float64, kind sortx.Kind) float64 {
+	return t.store.Multiplier(SortFamily(kind)) * t.base.SortBy(rows, kind)
+}
+
+func (t *Tuned) Group(c physio.GroupChoice, rows, groups float64) float64 {
+	return t.store.Multiplier(GroupFamily(c.Kind)) * t.base.Group(c, rows, groups)
+}
+
+func (t *Tuned) Join(c physio.JoinChoice, build, probe, keyDistinct float64) float64 {
+	return t.store.Multiplier(JoinFamily(c.Kind)) * t.base.Join(c, build, probe, keyDistinct)
+}
+
+// Parallel delegates untouched: the parallelism discount is a property of
+// the fan-out machinery, not of any one granule family.
+func (t *Tuned) Parallel(c float64, dop int) float64 { return t.base.Parallel(c, dop) }

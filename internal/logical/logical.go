@@ -277,8 +277,10 @@ func ScanProps(rel *storage.Relation) props.Set {
 //
 // The zero value is not usable; call NewEstimator.
 type Estimator struct {
-	rows map[Node]float64
-	dist map[distKey]float64
+	rows  map[Node]float64
+	dist  map[distKey]float64
+	hints CardHints
+	keys  map[Node]string
 }
 
 type distKey struct {
@@ -290,7 +292,15 @@ type distKey struct {
 // identity, so the estimator must be discarded if a tree it has seen is
 // mutated or its base statistics change.
 func NewEstimator() *Estimator {
-	return &Estimator{rows: make(map[Node]float64), dist: make(map[distKey]float64)}
+	return NewEstimatorHints(nil)
+}
+
+// NewEstimatorHints returns an Estimator that resolves filter, join, and
+// grouping cardinalities through h before falling back to the textbook
+// heuristics: shapes the hint source has measured estimate at their true
+// cardinality. A nil h behaves exactly like NewEstimator.
+func NewEstimatorHints(h CardHints) *Estimator {
+	return &Estimator{rows: make(map[Node]float64), dist: make(map[distKey]float64), hints: h}
 }
 
 // Estimate returns the estimated output cardinality of a plan. Estimates use
@@ -303,9 +313,27 @@ func (e *Estimator) Estimate(n Node) float64 {
 	if v, ok := e.rows[n]; ok {
 		return v
 	}
-	v := e.estimate(n)
+	v, ok := e.hinted(n)
+	if !ok {
+		v = e.estimate(n)
+	}
 	e.rows[n] = v
 	return v
+}
+
+// hinted resolves a node's cardinality through the estimator's CardHints.
+// Only operators whose output cardinality the heuristics can misjudge are
+// consulted — scans are exact from base statistics, projects and sorts are
+// cardinality-neutral.
+func (e *Estimator) hinted(n Node) (float64, bool) {
+	if e.hints == nil {
+		return 0, false
+	}
+	switch n.(type) {
+	case *Filter, *Join, *GroupBy:
+		return e.hints.CardHint(e.ShapeKey(n))
+	}
+	return 0, false
 }
 
 func (e *Estimator) estimate(n Node) float64 {

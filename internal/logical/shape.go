@@ -1,0 +1,83 @@
+package logical
+
+import "fmt"
+
+// CardHints supplies measured output cardinalities for previously executed
+// plan shapes, keyed by ShapeKey. The feedback store implements it; an
+// Estimator built with NewEstimatorHints consults it before falling back to
+// heuristic selectivities.
+type CardHints interface {
+	CardHint(key string) (rows float64, ok bool)
+}
+
+// ShapeKey returns a stable textual identity for the cardinality-relevant
+// shape of a logical subtree: base tables, predicate fingerprints, join
+// keys, and grouping keys. Projects and sorts are cardinality-neutral and
+// key through to their input, so a measured cardinality recorded for an
+// executed physical plan matches every logical tree with the same data
+// shape regardless of decoration. For a filter over a scan the key is
+// exactly the (table, predicate-fingerprint) pair.
+func ShapeKey(n Node) string {
+	switch n := n.(type) {
+	case *Scan:
+		return ScanShapeKey(n.Table)
+	case *Filter:
+		return FilterShapeKey(fmt.Sprint(n.Pred), ShapeKey(n.Input))
+	case *Project:
+		return ShapeKey(n.Input)
+	case *Sort:
+		return ShapeKey(n.Input)
+	case *Join:
+		return JoinShapeKey(n.LeftKey, n.RightKey, ShapeKey(n.Left), ShapeKey(n.Right))
+	case *GroupBy:
+		return GroupShapeKey(n.Key, ShapeKey(n.Input))
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// The combinators below build shape keys piecewise, so physical plans (which
+// are not logical Nodes) can derive identical keys from their own structure.
+
+// ScanShapeKey keys a base-table scan.
+func ScanShapeKey(table string) string { return "scan(" + table + ")" }
+
+// FilterShapeKey keys a predicate applied to a child shape.
+func FilterShapeKey(pred, child string) string { return "filter(" + pred + ")|" + child }
+
+// JoinShapeKey keys an equi-join of two child shapes.
+func JoinShapeKey(leftKey, rightKey, left, right string) string {
+	return "join(" + leftKey + "=" + rightKey + ")|" + left + "|" + right
+}
+
+// GroupShapeKey keys a grouping of a child shape.
+func GroupShapeKey(key, child string) string { return "group(" + key + ")|" + child }
+
+// ShapeKey is the memoised per-estimator form of the package-level ShapeKey.
+func (e *Estimator) ShapeKey(n Node) string {
+	if k, ok := e.keys[n]; ok {
+		return k
+	}
+	var k string
+	switch n := n.(type) {
+	case *Scan:
+		k = ScanShapeKey(n.Table)
+	case *Filter:
+		k = FilterShapeKey(fmt.Sprint(n.Pred), e.ShapeKey(n.Input))
+	case *Project:
+		k = e.ShapeKey(n.Input)
+	case *Sort:
+		k = e.ShapeKey(n.Input)
+	case *Join:
+		k = JoinShapeKey(n.LeftKey, n.RightKey, e.ShapeKey(n.Left), e.ShapeKey(n.Right))
+	case *GroupBy:
+		k = GroupShapeKey(n.Key, e.ShapeKey(n.Input))
+	default:
+		k = fmt.Sprintf("%T", n)
+	}
+	if e.keys == nil {
+		e.keys = make(map[Node]string)
+	}
+	e.keys[n] = k
+	return k
+}

@@ -1,0 +1,114 @@
+package logical
+
+import (
+	"testing"
+
+	"dqo/internal/expr"
+	"dqo/internal/storage"
+)
+
+func shapeTree() (*GroupBy, *Filter, *Join) {
+	rid := make([]uint32, 300)
+	sid := make([]uint32, 900)
+	for i := range rid {
+		rid[i] = uint32(i)
+	}
+	for i := range sid {
+		sid[i] = uint32(i % 300)
+	}
+	r := storage.MustNewRelation("R", storage.NewUint32("ID", rid))
+	s := storage.MustNewRelation("S", storage.NewUint32("R_ID", sid))
+	f := &Filter{
+		Input: &Scan{Table: "R", Rel: r},
+		Pred:  expr.Bin{Op: expr.OpLt, L: expr.Col{Name: "ID"}, R: expr.IntLit{V: 2}},
+	}
+	j := &Join{Left: f, Right: &Scan{Table: "S", Rel: s}, LeftKey: "ID", RightKey: "R_ID"}
+	gb := &GroupBy{Input: j, Key: "ID", Aggs: []expr.AggSpec{{Func: expr.AggCount}}}
+	return gb, f, j
+}
+
+func TestShapeKeyStructure(t *testing.T) {
+	gb, f, j := shapeTree()
+	fKey := ShapeKey(f)
+	if fKey != FilterShapeKey(f.Pred.String(), ScanShapeKey("R")) {
+		t.Errorf("filter key = %q", fKey)
+	}
+	if got, want := ShapeKey(j), JoinShapeKey("ID", "R_ID", fKey, ScanShapeKey("S")); got != want {
+		t.Errorf("join key = %q, want %q", got, want)
+	}
+	if got, want := ShapeKey(gb), GroupShapeKey("ID", ShapeKey(j)); got != want {
+		t.Errorf("group key = %q, want %q", got, want)
+	}
+}
+
+// TestShapeKeyDecorationNeutral: projects and sorts do not change
+// cardinality, so decorating a tree with them must not change its shape key
+// — a measured correction recorded for the executed plan has to match the
+// equivalent undecorated logical tree.
+func TestShapeKeyDecorationNeutral(t *testing.T) {
+	_, f, _ := shapeTree()
+	base := ShapeKey(f)
+	decorated := &Sort{Input: &Project{Input: f, Cols: []string{"ID"}}, Key: "ID"}
+	if got := ShapeKey(decorated); got != base {
+		t.Errorf("decorated key = %q, want %q", got, base)
+	}
+}
+
+func TestEstimatorShapeKeyMatchesPackage(t *testing.T) {
+	gb, f, j := shapeTree()
+	e := NewEstimator()
+	for _, n := range []Node{gb, f, j} {
+		if got, want := e.ShapeKey(n), ShapeKey(n); got != want {
+			t.Errorf("estimator key %q != package key %q", got, want)
+		}
+		// Memoised second call must be stable.
+		if got := e.ShapeKey(n); got != ShapeKey(n) {
+			t.Errorf("memoised key drifted: %q", got)
+		}
+	}
+}
+
+// mapHints is a test CardHints over a plain map.
+type mapHints map[string]float64
+
+func (m mapHints) CardHint(key string) (float64, bool) {
+	v, ok := m[key]
+	return v, ok
+}
+
+func TestEstimatorConsultsHints(t *testing.T) {
+	gb, f, j := shapeTree()
+
+	// Baseline: no hints.
+	plain := NewEstimator()
+	baseF, baseJ, baseG := plain.Estimate(f), plain.Estimate(j), plain.Estimate(gb)
+
+	// A hint for the filter shape overrides the 1/3 heuristic and propagates
+	// upward into the join and grouping estimates.
+	hints := mapHints{ShapeKey(f): 1}
+	e := NewEstimatorHints(hints)
+	if got := e.Estimate(f); got != 1 {
+		t.Errorf("hinted filter estimate = %v, want 1", got)
+	}
+	if got := e.Estimate(j); got >= baseJ {
+		t.Errorf("join estimate %v did not shrink below heuristic %v", got, baseJ)
+	}
+	if got := e.Estimate(gb); got > baseG {
+		t.Errorf("group estimate %v grew above heuristic %v", got, baseG)
+	}
+
+	// Scans are exact statistics, never hinted.
+	scan := f.Input.(*Scan)
+	withScanHint := NewEstimatorHints(mapHints{ShapeKey(scan): 1e9})
+	if got := withScanHint.Estimate(scan); got != plain.Estimate(scan) {
+		t.Errorf("scan estimate changed under a hint: %v", got)
+	}
+
+	// An empty hint source is exactly the heuristic estimator.
+	empty := NewEstimatorHints(mapHints{})
+	for n, want := range map[Node]float64{f: baseF, j: baseJ, gb: baseG} {
+		if got := empty.Estimate(n); got != want {
+			t.Errorf("empty-hints estimate %v != heuristic %v", got, want)
+		}
+	}
+}

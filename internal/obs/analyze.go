@@ -25,6 +25,10 @@ type AnalyzeRow struct {
 	ActBytes int64 // measured subtree peak bytes
 	Batches  int64
 	DOP      int64
+
+	// Replanned marks an operator whose kernel was swapped mid-query by a
+	// re-planning splice; its estimates describe the plan before the switch.
+	Replanned bool
 }
 
 // RenderAnalyze renders EXPLAIN ANALYZE rows as an aligned table with
@@ -57,6 +61,9 @@ func RenderAnalyze(rows []AnalyzeRow, total time.Duration) string {
 	for _, r := range rows {
 		var c cells
 		c.vals[0] = strings.Repeat("  ", r.Depth) + r.Label
+		if r.Replanned {
+			c.vals[0] += " [replanned]"
+		}
 		c.vals[2] = fmt.Sprintf("%d", r.ActRows)
 		c.vals[5] = fmtDur(r.ActSelf)
 		c.vals[8] = FmtBytes(r.ActBytes)

@@ -91,6 +91,8 @@ type phaseTimes struct {
 	cacheHit  bool
 	tier      string // planning tier: "greedy", "beam", "deep", "shallow"
 	beam      int    // beam width (0 = exact enumeration)
+	feedback  bool   // the optimiser planned through the DB's feedback store
+	fbVersion uint64 // feedback store version the plan was built against
 }
 
 // dur returns the phase durations in obs.Phases() order.
@@ -160,6 +162,9 @@ func buildTrace(mode Mode, query string, start time.Time, total time.Duration,
 			if pt.cacheHit {
 				sp.SetAttr("plan-cache", "hit")
 			}
+			if pt.feedback {
+				sp.SetAttr("feedback", fmt.Sprintf("v%d", pt.fbVersion))
+			}
 		}
 		offset += durs[i]
 		root.Children = append(root.Children, sp)
@@ -194,6 +199,9 @@ func profileSpans(prof exec.Profile, start time.Duration) []*obs.Span {
 			Batches:   s.Batches,
 			DOP:       s.DOP,
 			PeakBytes: s.PeakBytes,
+		}
+		if s.Replans > 0 {
+			sp.SetAttr("replanned", fmt.Sprintf("%d", s.Replans))
 		}
 		if s.Depth < 0 || s.Depth > len(stack) {
 			continue // malformed profile; skip rather than panic

@@ -3,6 +3,7 @@ package dqo
 import (
 	"time"
 
+	"dqo/internal/core"
 	"dqo/internal/obs"
 )
 
@@ -16,6 +17,7 @@ type queryConfig struct {
 	morsel    int
 	memLimit  int64
 	beam      int
+	reopt     float64 // misestimation factor triggering mid-query re-planning (0 = off)
 	timeout   time.Duration
 	tracer    obs.Tracer
 	tracerSet bool // distinguishes WithTracer(nil) from "use the DB tracer"
@@ -65,6 +67,25 @@ func WithMemoryLimit(bytes int64) QueryOption {
 // tiers; ModeGreedy does not enumerate and ignores it.
 func WithBeam(k int) QueryOption {
 	return func(c *queryConfig) { c.beam = k }
+}
+
+// WithReoptimize enables mid-query re-planning at pipeline-breaker
+// boundaries: when a breaker (hash build, sort, aggregation input)
+// materialises its input and the actual cardinality is at least factor× off
+// the optimiser's estimate in either direction, the remaining plan suffix is
+// re-enumerated with the true cardinality under the active planning tier and
+// spliced into the running query. Switches are recorded on Result.Replans,
+// counted per operator in Stats, and marked "[replanned]" in EXPLAIN
+// ANALYZE. Results are bit-identical to running without the option (row
+// order of unordered queries aside, which SQL leaves unspecified). factor
+// <= 1 selects the default threshold of 10×.
+func WithReoptimize(factor float64) QueryOption {
+	return func(c *queryConfig) {
+		if factor <= 1 {
+			factor = core.DefaultReoptThreshold
+		}
+		c.reopt = factor
+	}
 }
 
 // WithTimeout bounds the query's wall-clock time; on expiry the query

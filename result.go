@@ -25,7 +25,19 @@ type Result struct {
 	trace   *obs.QueryTrace
 	phases  phaseTimes
 	memPeak int64 // budget high-water mark (0 when no budget was installed)
+	replans []ReplanEvent
 }
+
+// ReplanEvent records one mid-query re-planning decision taken at a
+// pipeline-breaker boundary under WithReoptimize: which operator's estimate
+// was off, by how much, and what was spliced in instead.
+type ReplanEvent = core.ReplanEvent
+
+// Replans returns the mid-query re-planning decisions taken during
+// execution, in splice order. It is empty unless the query ran with
+// WithReoptimize and at least one breaker's materialised input was far
+// enough off-estimate to trigger a suffix re-plan.
+func (r *Result) Replans() []ReplanEvent { return r.replans }
 
 // Err reports the execution error of a partial result (nil for a
 // successful query).
@@ -53,6 +65,7 @@ type OpStat struct {
 	Self      time.Duration // Wall minus the inputs' Wall
 	PeakBytes int64         // high-water estimate of bytes held
 	DOP       int64         // effective degree of parallelism (1 = serial)
+	Replans   int64         // mid-query re-planning splices taken at this operator
 }
 
 // Stats returns the per-operator execution profile in pre-order (root
