@@ -11,6 +11,7 @@
 //	dqobench -experiment observe [-metrics metrics.prom]
 //	dqobench -experiment plantier [-repeats 25]
 //	dqobench -experiment feedback [-n 2000000]
+//	dqobench -experiment compress [-n 4000000] [-repeats 3]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -29,7 +30,11 @@
 // always writing the BENCH_plantier.json artifact; feedback runs a skewed
 // corpus cold (mid-query re-planning armed) and again after a harvesting
 // pass has warmed the feedback store, reporting plan-switch counts and
-// executed-time deltas, always writing the BENCH_feedback.json artifact.
+// executed-time deltas, always writing the BENCH_feedback.json artifact;
+// compress sweeps the direct-on-compressed kernels (zone-map skipping,
+// run-aware RLE selection/aggregation, delta-space packed comparison)
+// against their decoded twins over cardinality × skew × clustering, always
+// writing the BENCH_compress.json artifact.
 //
 // -json additionally writes a BENCH_<experiment>.json artifact with the
 // machine-readable rows of each experiment that ran.
@@ -49,7 +54,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | feedback | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | feedback | compress | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -111,6 +116,8 @@ func main() {
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 	case "feedback":
 		run("feedback", func() error { return runFeedback(*n, *seed) })
+	case "compress":
+		run("compress", func() error { return runCompress(*n, *repeats, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed, *jsonOut) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath, *jsonOut) })
@@ -120,6 +127,7 @@ func main() {
 		run("observe", func() error { return runObserve(*metrics, *seed) })
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 		run("feedback", func() error { return runFeedback(*n, *seed) })
+		run("compress", func() error { return runCompress(*n, *repeats, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -294,4 +302,31 @@ func runPlanTier(repeats int, seed uint64) error {
 	}
 	// The Pareto artifact is the experiment's deliverable; write it always.
 	return writeArtifact("plantier", report.Config, report.Rows, report.Checks)
+}
+
+func runCompress(n int, repeats int, seed uint64) error {
+	// -n is the figure4 scale (100M default); the compress sweep times nine
+	// kernels per grid point, so cap it at 4M and scale down with small
+	// explicit -n values.
+	const compressCap = 4_000_000
+	if n <= 0 || n > compressCap {
+		n = compressCap
+	}
+	cfg := benchkit.DefaultCompress(n)
+	cfg.Seed = seed
+	if repeats > 1 {
+		cfg.Repeats = repeats
+	}
+	rows, err := benchkit.RunCompress(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	checks := benchkit.CheckCompressShape(rows)
+	fmt.Println("\n# shape checks against the compressed-execution claims:")
+	for _, line := range checks {
+		fmt.Println(line)
+	}
+	// The encoded-vs-decoded artifact is the experiment's deliverable;
+	// write it always.
+	return writeArtifact("compress", cfg, rows, checks)
 }

@@ -16,6 +16,9 @@
 //	\av sph     <tbl> <col> materialise an SPH-directory AV
 //	\av crack   <tbl> <col> materialise an adaptive (cracked) index AV
 //	\avs                    list materialised AVs
+//	\storage [tbl]          show per-column encoding, segments, ratio, zones
+//	\compress <tbl>         re-encode a table into compressed column segments
+//	\decompress <tbl>       restore a table to plain column storage
 //	\stats                  toggle the per-operator execution profile
 //	\feedback [on|off|reset] toggle feedback harvesting, or dump the store
 //	\reopt <factor|on|off>  arm mid-query re-planning (on = 10x threshold)
@@ -158,6 +161,34 @@ func main() {
 			}
 		case `\avs`:
 			fmt.Println(db.DescribeAVs())
+		case `\storage`:
+			name := ""
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+			text, err := db.DescribeStorage(name)
+			report(text, err)
+		case `\compress`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\compress <table>")
+				continue
+			}
+			if err := db.CompressTable(fields[1]); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			text, err := db.DescribeStorage(fields[1])
+			report(text, err)
+		case `\decompress`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\decompress <table>")
+				continue
+			}
+			if err := db.DecompressTable(fields[1]); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("restored to plain storage.")
 		case `\trace`:
 			if t := db.LastTrace(); t != nil {
 				fmt.Print(t.String())

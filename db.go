@@ -3,6 +3,7 @@ package dqo
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -149,6 +150,125 @@ func (db *DB) Register(t *Table) error {
 	db.tables[name] = t.rel
 	db.planCache.Clear()
 	return nil
+}
+
+// CompressTable re-encodes a table's columns into compressed column
+// segments — dictionary-RLE, bit-packing, or frame-of-reference, auto-chosen
+// per column by encoded size; columns that would not shrink stay plain. The
+// logical contents are unchanged, so every query returns byte-identical
+// results, but the optimiser sees the encodings as per-column compression
+// properties and may choose direct-on-compressed granules (zone-map segment
+// skipping, run-aware filtering) where the cost model favours them. Cached
+// plans are invalidated; Algorithmic Views stay valid because row positions
+// are unchanged.
+func (db *DB) CompressTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", name)
+	}
+	db.tables[name] = rel.Compress()
+	db.planCache.Clear()
+	return nil
+}
+
+// DecompressTable restores a table to plain column storage, decoding any
+// compressed segments. Inverse of CompressTable; cached plans are
+// invalidated.
+func (db *DB) DecompressTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("dqo: unknown table %q", name)
+	}
+	db.tables[name] = rel.Materialize()
+	db.planCache.Clear()
+	return nil
+}
+
+// DescribeStorage renders the physical storage of a table's columns — the
+// dqoshell \storage view: per-column encoding, segment and run counts,
+// stored vs plain bytes, compression ratio, and zone-map coverage. An empty
+// name describes every registered table.
+func (db *DB) DescribeStorage(name string) (string, error) {
+	db.mu.RLock()
+	var rels []*storage.Relation
+	if name == "" {
+		for _, n := range sortedKeys(db.tables) {
+			rels = append(rels, db.tables[n])
+		}
+	} else if rel, ok := db.tables[name]; ok {
+		rels = append(rels, rel)
+	}
+	db.mu.RUnlock()
+	if len(rels) == 0 {
+		if name == "" {
+			return "no tables registered\n", nil
+		}
+		return "", fmt.Errorf("dqo: unknown table %q", name)
+	}
+	var b strings.Builder
+	for i, rel := range rels {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		renderStorage(&b, rel)
+	}
+	return b.String(), nil
+}
+
+// renderStorage writes one table's column-storage report.
+func renderStorage(b *strings.Builder, rel *storage.Relation) {
+	info := rel.StorageInfo()
+	var plain, stored int64
+	for _, cs := range info {
+		plain += cs.PlainBytes
+		stored += cs.StoredBytes
+	}
+	ratio := 1.0
+	if stored > 0 {
+		ratio = float64(plain) / float64(stored)
+	}
+	fmt.Fprintf(b, "table %s (%d rows, %s stored, %.2fx)\n",
+		rel.Name(), rel.NumRows(), fmtBytes(stored), ratio)
+	fmt.Fprintf(b, "  %-16s %-8s %-8s %9s %9s %12s %7s %6s\n",
+		"column", "kind", "encoding", "segments", "runs", "bytes", "ratio", "zones")
+	for _, cs := range info {
+		segs, runs, zones := "-", "-", "-"
+		if cs.Encoding != storage.EncNone {
+			segs = fmt.Sprintf("%d", cs.Segments)
+			zones = "100%"
+			if cs.Encoding == storage.EncDictRLE {
+				runs = fmt.Sprintf("%d", cs.Runs)
+			}
+		}
+		fmt.Fprintf(b, "  %-16s %-8s %-8s %9s %9s %12s %6.2fx %6s\n",
+			cs.Name, cs.Kind, cs.Encoding, segs, runs, fmtBytes(cs.StoredBytes), cs.Ratio(), zones)
+	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]*storage.Relation) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Table returns a registered table.

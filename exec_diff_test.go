@@ -10,6 +10,7 @@ import (
 
 	"dqo/internal/core"
 	"dqo/internal/cost"
+	"dqo/internal/datagen"
 	"dqo/internal/exec"
 	"dqo/internal/physio"
 	"dqo/internal/sql"
@@ -54,6 +55,14 @@ func corpusDB(t testing.TB) *DB {
 	if err := db.MaterializeCrackedAV("R", "A"); err != nil {
 		t.Fatal(err)
 	}
+	// A clustered low-cardinality table: long equal-value runs spanning
+	// multiple segments, so the compressed twin of the corpus exercises the
+	// RLE run-aware kernels and zone-map segment skipping (and morsel
+	// boundaries land mid-run).
+	runs := datagen.CompressRelation("runs", 7, 10_000, 8, 1.2, true)
+	if err := db.Register(&Table{rel: runs}); err != nil {
+		t.Fatal(err)
+	}
 	return db
 }
 
@@ -69,6 +78,9 @@ var corpusQueries = []string{
 	"SELECT city, SUM(amount) AS total FROM orders GROUP BY city",
 	"SELECT name, score FROM people WHERE id = 2",
 	"SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A",
+	"SELECT R_ID, M FROM S WHERE R_ID < 100 ORDER BY R_ID",
+	"SELECT key, SUM(val) AS s FROM runs WHERE key < 3 GROUP BY key ORDER BY key",
+	"SELECT key, val FROM runs WHERE key = 5",
 }
 
 // bulkQuery runs a query through the retained pre-morsel interpreter

@@ -7,6 +7,7 @@ import (
 	"dqo/internal/exec"
 	"dqo/internal/govern"
 	"dqo/internal/physical"
+	"dqo/internal/props"
 	"dqo/internal/storage"
 )
 
@@ -49,12 +50,25 @@ func Compile(p *Plan) (exec.Operator, error) {
 func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 	switch p.Op {
 	case OpScan:
+		if p.Enc != props.NoCompression {
+			return exec.NewCompressedScan(p.Label(), p.Rel), nil
+		}
 		return exec.NewScan(p.Label(), p.Rel), nil
 	case OpFilter:
 		if p.DOP > 1 {
 			if op, ok := compilePipe(p); ok {
 				return op, nil
 			}
+		}
+		if p.Enc != props.NoCompression {
+			// The direct-on-compressed kernel answers the filter straight off
+			// the encoded segments, so — like the cracked index — it subsumes
+			// the scan below it.
+			child := p.Children[0]
+			if child.Op != OpScan {
+				return nil, fmt.Errorf("core: compressed filter over %v, want Scan", child.Op)
+			}
+			return exec.NewCompressedFilter(p.Label(), child.Rel, p.EncCol, p.EncLo, p.EncHi), nil
 		}
 		if p.Crack != nil {
 			// The cracked index answers the filter with base-table row
@@ -188,7 +202,7 @@ func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 func compilePipe(p *Plan) (exec.Operator, bool) {
 	var chain []*Plan
 	n := p
-	for (n.Op == OpFilter && n.Crack == nil) || n.Op == OpProject {
+	for (n.Op == OpFilter && n.Crack == nil && n.Enc == props.NoCompression) || n.Op == OpProject {
 		chain = append(chain, n)
 		n = n.Children[0]
 	}

@@ -6,6 +6,7 @@ import (
 	"dqo/internal/exec"
 	"dqo/internal/feedback"
 	"dqo/internal/logical"
+	"dqo/internal/props"
 )
 
 // HarvestFeedback folds one executed query's measurements into the feedback
@@ -104,8 +105,14 @@ func planShapeKey(p *Plan) string {
 func granuleFamily(p *Plan) string {
 	switch p.Op {
 	case OpScan:
+		if p.Enc != props.NoCompression {
+			return feedback.FamilyScanCompressed
+		}
 		return feedback.FamilyScan
 	case OpFilter:
+		if p.Enc != props.NoCompression {
+			return feedback.FamilyFilterCompressed
+		}
 		return feedback.FamilyFilter
 	case OpSort:
 		return feedback.SortFamily(p.SortKind)

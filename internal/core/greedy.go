@@ -110,6 +110,19 @@ func (o *optimizer) greedyScan(n *logical.Scan, want string) *Plan {
 			return vp
 		}
 	}
+	// Compressed-scan twin: one strict-< probe, so models that cannot see
+	// storage format (Paper) keep the plain scan on the tie.
+	if enc := relCompression(n.Rel); enc != props.NoCompression {
+		o.stats.Alternatives++
+		if cc := o.mode.Model.ScanCompressed(rows, enc); cc < p.Cost {
+			cp := &Plan{
+				Op: OpScan, Table: n.Table, Rel: n.Rel, Enc: enc,
+				Props: p.Props, Rows: rows, Cost: cc,
+			}
+			setFootprint(cp)
+			return cp
+		}
+	}
 	return p
 }
 
@@ -167,6 +180,34 @@ func (o *optimizer) greedyFilter(n *logical.Filter, want string) (*Plan, error) 
 						setFootprint(cp)
 						if cp.Cost < p.Cost {
 							return cp, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	// Direct-on-compressed filter over a bare base scan: one strict-< probe
+	// priced from the exact zone-map census (segments skipped, encoded units
+	// left to compare). Output order matches the decoded filter, so no
+	// want-order guard is needed.
+	if rows > 0 {
+		if scan, isScan := n.Input.(*logical.Scan); isScan {
+			if col, lo, hi, ok := predRange(n.Pred); ok {
+				if plo, phi, okb := encBounds(lo, hi); okb {
+					if enc, skipped, total, work, oke := encFilterTarget(scan.Rel, col, plo, phi); oke {
+						base := o.greedyScan(scan, "")
+						o.stats.Alternatives++
+						ep := &Plan{
+							Op: OpFilter, Children: []*Plan{base}, Pred: n.Pred,
+							Enc: enc, EncCol: col, EncLo: plo, EncHi: phi,
+							SegsSkipped: skipped, SegsTotal: total,
+							Props: base.Props,
+							Rows:  rows,
+							Cost:  base.Cost + o.mode.Model.FilterCompressed(base.Rows, float64(work), rows, enc),
+						}
+						setFootprint(ep)
+						if ep.Cost < p.Cost {
+							return ep, nil
 						}
 					}
 				}

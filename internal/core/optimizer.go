@@ -271,14 +271,16 @@ func (o *optimizer) dop() int {
 
 // isStreamSegment reports whether p is a scan→filter→project chain a
 // parallel pipe can be fanned over: every stage is morsel-decomposable and
-// the source is a plain (or AV-variant) table scan. Cracked filters are
-// excluded — the adaptive index replaces the scan with position lists.
+// the source is a plain (or AV-variant) table scan. Cracked and
+// direct-on-compressed filters are excluded — both replace the scan with a
+// whole-table position-list probe.
 func isStreamSegment(p *Plan) bool {
 	for {
 		switch {
 		case p.Op == OpScan:
 			return true
-		case p.Op == OpFilter && p.Crack == nil, p.Op == OpProject:
+		case p.Op == OpFilter && p.Crack == nil && p.Enc == props.NoCompression,
+			p.Op == OpProject:
 			p = p.Children[0]
 		default:
 			return false
@@ -313,6 +315,25 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 				setFootprint(vp)
 				o.stats.Alternatives++
 				out = append(out, vp)
+			}
+		}
+		// Compressed-scan granule twin: decode every segment once and stream
+		// plain morsels, instead of per-morsel lazy views of the encoded
+		// payload. Identical output and properties, so it competes purely on
+		// cost — models blind to storage format (Paper) price it as an exact
+		// tie, which the first-enumerated plain scan wins. Deep-only: shallow
+		// enumeration stays at the classical operator boundary.
+		if o.mode.Depth == physio.Deep {
+			if enc := relCompression(n.Rel); enc != props.NoCompression {
+				cp := &Plan{
+					Op: OpScan, Table: n.Table, Rel: n.Rel, Enc: enc,
+					Props: o.restrict(logical.ScanProps(n.Rel)),
+					Rows:  rows,
+					Cost:  o.mode.Model.ScanCompressed(rows, enc),
+				}
+				setFootprint(cp)
+				o.stats.Alternatives++
+				out = append(out, cp)
 			}
 		}
 		return o.keepPareto(out), nil
@@ -379,6 +400,46 @@ func (o *optimizer) optimize(n logical.Node) ([]*Plan, error) {
 						}
 						setFootprint(cp)
 						out = append(out, cp)
+					}
+				}
+			}
+		}
+		// Direct-on-compressed filter granule: a range predicate over a base
+		// scan of an encoded column runs on the compressed payload itself —
+		// zone maps answer whole segments, RLE runs decide once per run,
+		// packed segments compare in delta space — and only qualifying rows
+		// are gathered (ascending, so output order and hence properties match
+		// the decoded filter exactly). The cost model sees the exact zone-map
+		// census: segments skipped and the encoded units left to compare.
+		if o.mode.Depth == physio.Deep {
+			if scan, isScan := n.Input.(*logical.Scan); isScan {
+				if col, lo, hi, ok := predRange(n.Pred); ok {
+					if plo, phi, okb := encBounds(lo, hi); okb {
+						if enc, skipped, total, work, oke := encFilterTarget(scan.Rel, col, plo, phi); oke {
+							scanRows := o.estimator().Estimate(scan)
+							// The kernel reads the encoded payload, so the
+							// subsumed base scan is priced (and displayed) as
+							// its compressed twin.
+							base := &Plan{
+								Op: OpScan, Table: scan.Table, Rel: scan.Rel,
+								Enc:   relCompression(scan.Rel),
+								Props: o.restrict(logical.ScanProps(scan.Rel)),
+								Rows:  scanRows,
+								Cost:  o.mode.Model.ScanCompressed(scanRows, enc),
+							}
+							setFootprint(base)
+							o.stats.Alternatives++
+							ep := &Plan{
+								Op: OpFilter, Children: []*Plan{base}, Pred: n.Pred,
+								Enc: enc, EncCol: col, EncLo: plo, EncHi: phi,
+								SegsSkipped: skipped, SegsTotal: total,
+								Props: base.Props,
+								Rows:  rows,
+								Cost:  base.Cost + o.mode.Model.FilterCompressed(scanRows, float64(work), rows, enc),
+							}
+							setFootprint(ep)
+							out = append(out, ep)
+						}
 					}
 				}
 			}

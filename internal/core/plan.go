@@ -80,6 +80,17 @@ type Plan struct {
 	// [CrackLo, CrackHi).
 	Crack            RangeIndex
 	CrackLo, CrackHi uint64
+	// Enc marks a direct-on-compressed granule: an OpScan that decodes the
+	// encoded relation once and streams plain morsels, or an OpFilter whose
+	// range predicate runs on the encoded payload of column EncCol with
+	// inclusive value/code bounds [EncLo, EncHi]. SegsSkipped/SegsTotal are
+	// the plan-time zone-map census (exact — zone maps are exact metadata),
+	// surfaced by EXPLAIN.
+	Enc          props.Compression
+	EncCol       string
+	EncLo, EncHi uint32
+	SegsSkipped  int
+	SegsTotal    int
 
 	// DOP is this operator's chosen degree of parallelism (0 or 1 =
 	// serial). For joins/groups/sorts it mirrors the chosen kernel's
@@ -132,10 +143,17 @@ func (p *Plan) Label() string {
 		if p.AV != "" {
 			return fmt.Sprintf("Scan(%s via %s)", p.Table, p.AV)
 		}
+		if p.Enc != props.NoCompression {
+			return fmt.Sprintf("CompressedScan(%s) [%s]", p.Table, p.Enc)
+		}
 		return fmt.Sprintf("Scan(%s)", p.Table)
 	case OpFilter:
 		if p.AV != "" {
 			return fmt.Sprintf("Filter(%s) via %s", p.Pred, p.AV)
+		}
+		if p.Enc != props.NoCompression {
+			return fmt.Sprintf("CompressedFilter(%s) [%s segs=%d/%d skipped]",
+				p.Pred, p.Enc, p.SegsSkipped, p.SegsTotal)
 		}
 		return fmt.Sprintf("Filter(%s)", p.Pred)
 	case OpProject:

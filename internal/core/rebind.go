@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dqo/internal/logical"
+	"dqo/internal/props"
 )
 
 // CloneTree returns a structural copy of the plan: fresh Plan nodes, shared
@@ -53,6 +54,26 @@ func Rebind(cached *Result, n logical.Node) (*Result, error) {
 				return nil, fmt.Errorf("core: rebind: predicate %s is not a %s key range", preds[i], oldCol)
 			}
 			p.CrackLo, p.CrackHi = lo, hi
+		}
+		if p.Enc != props.NoCompression {
+			// A compressed filter's encoded bounds derive from the literals;
+			// recompute them (and the zone-map census EXPLAIN shows) for the
+			// new predicate, or fail into a re-plan.
+			oldCol, _, _, _ := predRange(p.Pred)
+			col, lo, hi, ok := predRange(preds[i])
+			if !ok || col != oldCol {
+				return nil, fmt.Errorf("core: rebind: predicate %s is not a %s key range", preds[i], oldCol)
+			}
+			plo, phi, okb := encBounds(lo, hi)
+			if !okb {
+				return nil, fmt.Errorf("core: rebind: predicate %s leaves the encoded %s domain", preds[i], col)
+			}
+			p.EncLo, p.EncHi = plo, phi
+			if child := p.Children[0]; child.Op == OpScan {
+				if _, skipped, total, _, oke := encFilterTarget(child.Rel, col, plo, phi); oke {
+					p.SegsSkipped, p.SegsTotal = skipped, total
+				}
+			}
 		}
 		p.Pred = preds[i]
 	}

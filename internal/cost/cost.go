@@ -16,6 +16,7 @@ import (
 	"dqo/internal/hashtable"
 	"dqo/internal/physical"
 	"dqo/internal/physio"
+	"dqo/internal/props"
 	"dqo/internal/sortx"
 )
 
@@ -42,6 +43,18 @@ type Model interface {
 	// tie with serial ones — and ties resolve to the first-enumerated
 	// (serial) variant, preserving those models' plans exactly.
 	Parallel(c float64, dop int) float64
+	// ScanCompressed returns the cost of producing rows from a base table
+	// stored with the given segment encoding (decode-once + stream). Models
+	// blind to storage format (Paper) price it like Scan, so compressed
+	// granule twins tie and lose to the first-enumerated plain plan.
+	ScanCompressed(rows float64, enc props.Compression) float64
+	// FilterCompressed returns the cost of a range/equality filter evaluated
+	// directly on a compressed column: rows input rows, work the encoded
+	// units actually compared (runs or packed values in segments the zone
+	// maps could not answer), and out the qualifying rows gathered. work and
+	// out come from the segment zone metadata at plan time, so the model sees
+	// exactly how much of the payload the predicate must touch.
+	FilterCompressed(rows, work, out float64, enc props.Compression) float64
 }
 
 func log2(x float64) float64 {
@@ -78,6 +91,15 @@ func (Paper) Parallel(c float64, dop int) float64 { return c }
 
 // Filter implements Model.
 func (Paper) Filter(rows float64) float64 { return rows }
+
+// ScanCompressed implements Model: the paper's model counts abstract element
+// operations and cannot see storage format, so compressed scans tie with
+// plain ones (and ties keep the first-enumerated plain plan).
+func (Paper) ScanCompressed(rows float64, _ props.Compression) float64 { return 0 }
+
+// FilterCompressed implements Model: identical to Filter for the same
+// reason — |R| comparisons regardless of representation.
+func (Paper) FilterCompressed(rows, _, _ float64, _ props.Compression) float64 { return rows }
 
 // SortBy implements Model.
 func (Paper) SortBy(rows float64, _ sortx.Kind) float64 { return rows * log2(rows) }
@@ -145,6 +167,13 @@ type Calibrated struct {
 	// modelled as +CacheNS per row per log2(groups) above CacheGroups.
 	CacheGroups float64
 	CacheNS     float64
+	// Compressed-storage kernels: one-shot sequential decode per row
+	// (cheaper than the per-morsel lazy slicing a plain scan of encoded
+	// storage pays), per encoded unit compared in partial segments, and per
+	// qualifying row gathered from the payload.
+	EncScanRowNS float64
+	EncWorkNS    float64
+	EncEmitNS    float64
 }
 
 // NewCalibrated returns the default-coefficient calibrated model. The
@@ -178,6 +207,9 @@ func NewCalibrated() *Calibrated {
 		ParallelEff:     0.75,
 		CacheGroups:     4096,
 		CacheNS:         0.5,
+		EncScanRowNS:    0.15,
+		EncWorkNS:       1.0,
+		EncEmitNS:       2.0,
 	}
 }
 
@@ -199,6 +231,22 @@ func (m *Calibrated) Parallel(c float64, dop int) float64 {
 
 // Filter implements Model.
 func (*Calibrated) Filter(rows float64) float64 { return 1.5 * rows }
+
+// ScanCompressed implements Model: a compressed scan decodes each segment
+// once into a streamable buffer, beating the plain scan's per-morsel view
+// bookkeeping over the same encoded storage.
+func (m *Calibrated) ScanCompressed(rows float64, _ props.Compression) float64 {
+	return m.EncScanRowNS * rows
+}
+
+// FilterCompressed implements Model. The decoded alternative pays
+// Filter(rows) = 1.5·rows; the direct kernel pays only for the encoded
+// units the zone maps could not answer plus the qualifying-row gather, so
+// run-heavy or zone-prunable columns undercut it and the optimiser picks
+// the compressed granule exactly where the payload shape earns it.
+func (m *Calibrated) FilterCompressed(rows, work, out float64, _ props.Compression) float64 {
+	return m.EncWorkNS*work + m.EncEmitNS*out
+}
 
 // SortBy implements Model.
 func (m *Calibrated) SortBy(rows float64, kind sortx.Kind) float64 {

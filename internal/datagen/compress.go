@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"dqo/internal/storage"
+	"dqo/internal/xrand"
+)
+
+// This file generates the compression-experiment datasets: uint32 key
+// columns whose cardinality and skew are swept independently, so the
+// encoded-vs-decoded kernels can be measured where each encoding is strong
+// (low cardinality and clustering → dictionary-RLE runs, narrow domains →
+// bit-packing, shifted narrow domains → frame-of-reference) and where none
+// is (high-cardinality uniform data, which EncodeAuto leaves plain).
+
+// SkewedKeys generates n uint32 keys over g distinct values drawn with Zipf
+// exponent s (s = 0 is uniform; s > 1 concentrates mass on few values).
+// Clustered keys are sorted, producing the long runs the RLE kernels
+// exploit; unclustered keys are a random permutation of the same multiset,
+// so clustered/unclustered pairs are logically identical workloads.
+func SkewedKeys(seed uint64, n, g int, s float64, clustered bool) []uint32 {
+	if g <= 0 || n < g {
+		panic(fmt.Sprintf("datagen: SkewedKeys needs 0 < g <= n, got n=%d g=%d", n, g))
+	}
+	r := xrand.New(seed)
+	z := xrand.NewZipf(r, g, s)
+	keys := make([]uint32, n)
+	// Guarantee all g values appear, then fill the rest from the sampler.
+	for i := 0; i < g; i++ {
+		keys[i] = uint32(i)
+	}
+	for i := g; i < n; i++ {
+		keys[i] = uint32(z.Next())
+	}
+	if clustered {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	} else {
+		r.ShuffleUint32(keys)
+	}
+	return keys
+}
+
+// CompressRelation builds the compression-experiment table named name: a
+// "key" column from SkewedKeys with exact ground-truth statistics and a
+// small int64 "val" payload for aggregates. The relation is returned in
+// plain storage; callers compress it with (*storage.Relation).Compress to
+// get the encoded twin of the identical logical table.
+func CompressRelation(name string, seed uint64, n, g int, s float64, clustered bool) *storage.Relation {
+	keys := SkewedKeys(seed, n, g, s, clustered)
+	vals := make([]int64, n)
+	vr := xrand.New(seed ^ 0xc0dec0de)
+	for i := range vals {
+		vals[i] = int64(vr.Uint64n(1000))
+	}
+	keyCol := storage.NewUint32("key", keys)
+	st := storage.Stats{Rows: n, Distinct: g, Sorted: clustered, Exact: true,
+		Min: 0, Max: uint64(g - 1), Dense: true}
+	keyCol.SetStats(st)
+	return storage.MustNewRelation(name, keyCol, storage.NewInt64("val", vals))
+}

@@ -29,6 +29,11 @@ import (
 const (
 	FamilyScan   = "scan"
 	FamilyFilter = "filter"
+	// Direct-on-compressed granule twins calibrate separately from their
+	// decoded counterparts: their measured ns-per-cost-unit reflects zone
+	// pruning and run-at-a-time work, not per-row streaming.
+	FamilyScanCompressed   = "scan:enc"
+	FamilyFilterCompressed = "filter:enc"
 )
 
 // SortFamily returns the coefficient key of a sort algorithm.

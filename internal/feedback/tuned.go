@@ -3,6 +3,7 @@ package feedback
 import (
 	"dqo/internal/cost"
 	"dqo/internal/physio"
+	"dqo/internal/props"
 	"dqo/internal/sortx"
 )
 
@@ -47,6 +48,14 @@ func (t *Tuned) Scan(rows float64) float64 {
 
 func (t *Tuned) Filter(rows float64) float64 {
 	return t.store.Multiplier(FamilyFilter) * t.base.Filter(rows)
+}
+
+func (t *Tuned) ScanCompressed(rows float64, enc props.Compression) float64 {
+	return t.store.Multiplier(FamilyScanCompressed) * t.base.ScanCompressed(rows, enc)
+}
+
+func (t *Tuned) FilterCompressed(rows, work, out float64, enc props.Compression) float64 {
+	return t.store.Multiplier(FamilyFilterCompressed) * t.base.FilterCompressed(rows, work, out, enc)
 }
 
 func (t *Tuned) SortBy(rows float64, kind sortx.Kind) float64 {

@@ -247,8 +247,19 @@ func ScanProps(rel *storage.Relation) props.Set {
 			s.SortedBy = append(s.SortedBy, c.Name())
 		}
 		s.Cols[c.Name()] = props.FromStats(st.Rows, st.Min, st.Max, st.Distinct, st.Dense, st.Exact)
-		if c.Kind() == storage.KindString {
-			s.ColComp[c.Name()] = props.DictCompression
+		// Compression is a per-column plan property (paper §2): segment
+		// encodings surface as themselves, plain string storage as dict.
+		switch c.Encoding() {
+		case storage.EncDictRLE:
+			s.ColComp[c.Name()] = props.RLECompression
+		case storage.EncBitPack:
+			s.ColComp[c.Name()] = props.BitPackCompression
+		case storage.EncFoR:
+			s.ColComp[c.Name()] = props.FoRCompression
+		default:
+			if c.Kind() == storage.KindString {
+				s.ColComp[c.Name()] = props.DictCompression
+			}
 		}
 	}
 	sort.Strings(s.SortedBy) // column names are unique, so sorting normalises

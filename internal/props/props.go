@@ -71,18 +71,32 @@ func (l Layout) String() string {
 // Compression identifies per-column compression.
 type Compression uint8
 
-// Compression schemes tracked as properties.
+// Compression schemes tracked as properties. Dict marks dictionary-encoded
+// string storage; RLE, BitPack, and FoR mark the segment encodings of
+// internal/storage that the optimiser can enumerate direct-on-compressed
+// granules against.
 const (
 	NoCompression Compression = iota
 	DictCompression
+	RLECompression
+	BitPackCompression
+	FoRCompression
 )
 
 // String returns the compression name.
 func (c Compression) String() string {
-	if c == DictCompression {
+	switch c {
+	case DictCompression:
 		return "dict"
+	case RLECompression:
+		return "rle"
+	case BitPackCompression:
+		return "bitpack"
+	case FoRCompression:
+		return "for"
+	default:
+		return "none"
 	}
-	return "none"
 }
 
 // Corr records an order correlation: Dep is non-decreasing when rows are

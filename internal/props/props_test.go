@@ -1,6 +1,7 @@
 package props
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -257,17 +258,28 @@ func TestFingerprintIsFunctionOfContent(t *testing.T) {
 }
 
 func TestEnumStrings(t *testing.T) {
-	if ColumnLayout.String() != "columnar" || RowLayout.String() != "row" || PAXLayout.String() != "pax" {
-		t.Fatal("layout names wrong")
+	tests := []struct {
+		enum fmt.Stringer
+		want string
+	}{
+		{ColumnLayout, "columnar"},
+		{RowLayout, "row"},
+		{PAXLayout, "pax"},
+		{Layout(99), "unknown"},
+		{NoCompression, "none"},
+		{DictCompression, "dict"},
+		{RLECompression, "rle"},
+		{BitPackCompression, "bitpack"},
+		{FoRCompression, "for"},
+		{Compression(99), "none"},
+		{ReqSorted, "sorted"},
+		{ReqGrouped, "grouped"},
+		{ReqDense, "dense"},
+		{Requirement{ReqDense, "col"}, "dense(col)"},
 	}
-	if NoCompression.String() != "none" || DictCompression.String() != "dict" {
-		t.Fatal("compression names wrong")
-	}
-	if ReqSorted.String() != "sorted" || ReqGrouped.String() != "grouped" || ReqDense.String() != "dense" {
-		t.Fatal("requirement names wrong")
-	}
-	r := Requirement{ReqDense, "col"}
-	if r.String() != "dense(col)" {
-		t.Fatalf("requirement String = %q", r.String())
+	for _, tt := range tests {
+		if got := tt.enum.String(); got != tt.want {
+			t.Errorf("%T(%#v).String() = %q, want %q", tt.enum, tt.enum, got, tt.want)
+		}
 	}
 }

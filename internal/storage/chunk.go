@@ -76,7 +76,7 @@ func concatColumns(cols []*Column) (*Column, error) {
 	case KindUint32:
 		out := make([]uint32, 0, total)
 		for _, c := range cols {
-			out = append(out, c.u32...)
+			out = append(out, c.data32()...)
 		}
 		return &Column{name: first.name, kind: first.kind, u32: out}, nil
 	case KindUint64:
@@ -108,14 +108,14 @@ func concatColumns(cols []*Column) (*Column, error) {
 		out := make([]uint32, 0, total)
 		if shared != nil {
 			for _, c := range cols {
-				out = append(out, c.u32...)
+				out = append(out, c.data32()...)
 			}
 			return &Column{name: first.name, kind: KindString, u32: out, dict: shared}, nil
 		}
 		// Differing dictionaries: re-intern by decoded value.
 		d := NewDict()
 		for _, c := range cols {
-			for _, code := range c.u32 {
+			for _, code := range c.data32() {
 				out = append(out, d.Intern(c.dict.Lookup(code)))
 			}
 		}
@@ -138,12 +138,23 @@ func elemBytes(k Kind) int64 {
 	}
 }
 
+// MemBytes estimates the resident column-data bytes of the column. Encoded
+// columns are charged their segments' encoded bytes — plus the decode
+// buffer once the lazy fallback has materialised it — rather than the
+// logical 4 bytes per row.
+func (c *Column) MemBytes() int64 {
+	if c.enc != nil {
+		return c.enc.memBytes()
+	}
+	return int64(c.Len()) * elemBytes(c.kind)
+}
+
 // MemBytes estimates the resident column-data bytes of the relation, used
 // by the executor's per-operator peak-allocation counters.
 func (r *Relation) MemBytes() int64 {
 	var total int64
 	for _, c := range r.cols {
-		total += int64(c.Len()) * elemBytes(c.kind)
+		total += c.MemBytes()
 	}
 	return total
 }

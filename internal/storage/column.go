@@ -23,7 +23,31 @@ type Column struct {
 
 	dict *Dict
 
+	// enc, when non-nil, replaces u32 as the backing store: the column's
+	// uint32 payload (values or dictionary codes) lives compressed and is
+	// decoded lazily when a kernel asks for the raw slice. See segment.go.
+	enc *encview
+
 	stats *Stats // lazily computed or declared
+}
+
+// data32 returns the column's uint32 payload, decoding an encoded backing
+// store on first use. The direct-on-compressed kernels bypass this and read
+// the segments via EncodedView.
+func (c *Column) data32() []uint32 {
+	if c.enc != nil {
+		return c.enc.decoded()
+	}
+	return c.u32
+}
+
+// at32 returns the uint32 payload value of row i without forcing a full
+// decode of an encoded column.
+func (c *Column) at32(i int) uint32 {
+	if c.enc != nil {
+		return c.enc.p.At(c.enc.lo + i)
+	}
+	return c.u32[i]
 }
 
 // NewUint32 returns a uint32 column backed by vals (not copied).
@@ -78,6 +102,9 @@ func (c *Column) Kind() Kind { return c.kind }
 func (c *Column) Len() int {
 	switch c.kind {
 	case KindUint32, KindString:
+		if c.enc != nil {
+			return c.enc.hi - c.enc.lo
+		}
 		return len(c.u32)
 	case KindUint64:
 		return len(c.u64)
@@ -104,7 +131,7 @@ func (c *Column) Uint32s() []uint32 {
 	if c.kind != KindUint32 && c.kind != KindString {
 		panic(fmt.Sprintf("storage: Uint32s on %s column %q", c.kind, c.name))
 	}
-	return c.u32
+	return c.data32()
 }
 
 // Uint64s returns the backing uint64 slice. It panics unless KindUint64.
@@ -140,8 +167,9 @@ func (c *Column) Dict() *Dict { return c.dict }
 func (c *Column) Keys() []uint64 {
 	switch c.kind {
 	case KindUint32, KindString:
-		out := make([]uint64, len(c.u32))
-		for i, v := range c.u32 {
+		vals := c.data32()
+		out := make([]uint64, len(vals))
+		for i, v := range vals {
 			out[i] = uint64(v)
 		}
 		return out
@@ -162,7 +190,7 @@ func (c *Column) Keys() []uint64 {
 func (c *Column) KeyAt(i int) uint64 {
 	switch c.kind {
 	case KindUint32, KindString:
-		return uint64(c.u32[i])
+		return uint64(c.at32(i))
 	case KindUint64:
 		return c.u64[i]
 	case KindInt64:
@@ -201,7 +229,7 @@ func (v Value) String() string {
 func (c *Column) ValueAt(i int) Value {
 	switch c.kind {
 	case KindUint32:
-		return Value{Kind: KindUint32, U: uint64(c.u32[i])}
+		return Value{Kind: KindUint32, U: uint64(c.at32(i))}
 	case KindUint64:
 		return Value{Kind: KindUint64, U: c.u64[i]}
 	case KindInt64:
@@ -209,7 +237,7 @@ func (c *Column) ValueAt(i int) Value {
 	case KindFloat64:
 		return Value{Kind: KindFloat64, F: c.f64[i]}
 	case KindString:
-		return Value{Kind: KindString, S: c.dict.Lookup(c.u32[i])}
+		return Value{Kind: KindString, S: c.dict.Lookup(c.at32(i))}
 	default:
 		return Value{}
 	}
@@ -236,7 +264,7 @@ func (c *Column) ResetStats() { c.stats = nil }
 func (c *Column) computeStats() Stats {
 	switch c.kind {
 	case KindUint32, KindString:
-		return statsForUint32(c.u32)
+		return statsForUint32(c.data32())
 	case KindUint64:
 		return computeStatsU64(c.u64)
 	case KindInt64:
@@ -265,8 +293,14 @@ func (c *Column) Gather(idx []int32) *Column {
 	switch c.kind {
 	case KindUint32, KindString:
 		out := make([]uint32, len(idx))
-		for i, j := range idx {
-			out[i] = c.u32[j]
+		if c.enc != nil {
+			// Gather straight off the encoded payload: ascending index lists
+			// (selection vectors) ride the run cursor, no full decode needed.
+			c.enc.p.Gather(c.enc.lo, idx, out)
+		} else {
+			for i, j := range idx {
+				out[i] = c.u32[j]
+			}
 		}
 		return &Column{name: c.name, kind: c.kind, u32: out, dict: c.dict}
 	case KindUint64:
@@ -316,8 +350,9 @@ func (c *Column) newGatherDst(n int) *Column {
 func (c *Column) gatherRange(dst *Column, idx []int32, lo, hi int) {
 	switch c.kind {
 	case KindUint32, KindString:
+		src := c.data32() // sync.Once decode: safe under concurrent ranges
 		for i := lo; i < hi; i++ {
-			dst.u32[i] = c.u32[idx[i]]
+			dst.u32[i] = src[idx[i]]
 		}
 	case KindUint64:
 		for i := lo; i < hi; i++ {
@@ -340,6 +375,12 @@ func (c *Column) Slice(lo, hi int) *Column {
 	nc.stats = nil
 	switch c.kind {
 	case KindUint32, KindString:
+		if c.enc != nil {
+			// Zero-copy window onto the shared encoded payload; the view
+			// decodes independently of (and lazily like) its parent.
+			nc.enc = &encview{p: c.enc.p, lo: c.enc.lo + lo, hi: c.enc.lo + hi}
+			break
+		}
 		nc.u32 = c.u32[lo:hi]
 	case KindUint64:
 		nc.u64 = c.u64[lo:hi]
@@ -360,8 +401,9 @@ func (c *Column) Equal(o *Column) bool {
 	}
 	switch c.kind {
 	case KindUint32:
-		for i, v := range c.u32 {
-			if o.u32[i] != v {
+		ov := o.data32()
+		for i, v := range c.data32() {
+			if ov[i] != v {
 				return false
 			}
 		}
@@ -384,8 +426,9 @@ func (c *Column) Equal(o *Column) bool {
 			}
 		}
 	case KindString:
-		for i := range c.u32 {
-			if c.dict.Lookup(c.u32[i]) != o.dict.Lookup(o.u32[i]) {
+		cv, ov := c.data32(), o.data32()
+		for i := range cv {
+			if c.dict.Lookup(cv[i]) != o.dict.Lookup(ov[i]) {
 				return false
 			}
 		}
