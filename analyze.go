@@ -65,15 +65,18 @@ func analyzeRows(res *Result) []obs.AnalyzeRow {
 	rows := make([]obs.AnalyzeRow, 0, len(prof))
 	for i, s := range prof {
 		row := obs.AnalyzeRow{
-			Label:     s.Label,
-			Depth:     s.Depth,
-			ActRows:   s.RowsOut,
-			ActSelf:   s.Self,
-			ActWall:   s.Wall,
-			ActBytes:  subtreePeak(prof, i),
-			Batches:   s.Batches,
-			DOP:       s.DOP,
-			Replanned: s.Replans > 0,
+			Label:       s.Label,
+			Depth:       s.Depth,
+			ActRows:     s.RowsOut,
+			ActSelf:     s.Self,
+			ActWall:     s.Wall,
+			ActBytes:    subtreePeak(prof, i),
+			Batches:     s.Batches,
+			DOP:         s.DOP,
+			Replanned:   s.Replans > 0,
+			SpillBytes:  s.SpillBytes,
+			SpillParts:  s.SpillParts,
+			SpillPasses: s.SpillPasses,
 		}
 		for j := range plans {
 			if !plans[j].consumed && plans[j].node.Label() == s.Label {

@@ -8,6 +8,7 @@
 //	dqobench -experiment ablations [-n 10000000]
 //	dqobench -experiment scaling [-n 100000000] [-workers 8]
 //	dqobench -experiment budget [-n 100000000]
+//	dqobench -experiment spill [-n 100000000]
 //	dqobench -experiment observe [-metrics metrics.prom]
 //	dqobench -experiment plantier [-repeats 25]
 //	dqobench -experiment feedback [-n 2000000]
@@ -22,7 +23,12 @@
 // -workers workers and prints per-query speedup over serial; budget sweeps
 // a per-query memory limit over a high-cardinality grouping query and shows
 // the optimiser trading hash aggregation for sort-based plans as the budget
-// tightens; observe runs a mixed success/failure workload through the public
+// tightens; spill descends the same way on a selective hash join but with
+// spill-to-disk armed, showing the in-memory -> grace-hash-join -> abort
+// ladder (at the starvation budget the query completes byte-identically by
+// spilling, aborts when spilling is off, and fails with the typed
+// spill-limit error under a tiny disk cap), always writing the
+// BENCH_spill.json artifact; observe runs a mixed success/failure workload through the public
 // query API and dumps the observability surfaces (EXPLAIN ANALYZE, the last
 // span tree, and the Prometheus metrics exposition); plantier sweeps the
 // planning tiers (greedy, beam-capped Deep, full Deep) over a two-join
@@ -54,7 +60,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | observe | plantier | feedback | compress | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | spill | observe | plantier | feedback | compress | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -110,6 +116,8 @@ func main() {
 		run("scaling", func() error { return runScaling(*n, *workers, *seed, *jsonOut) })
 	case "budget":
 		run("budget", func() error { return runBudget(*n, *seed, *jsonOut) })
+	case "spill":
+		run("spill", func() error { return runSpill(*n, *seed) })
 	case "observe":
 		run("observe", func() error { return runObserve(*metrics, *seed) })
 	case "plantier":
@@ -124,6 +132,7 @@ func main() {
 		run("ablations", func() error { return runAblations(*n, *seed, *jsonOut) })
 		run("scaling", func() error { return runScaling(*n, *workers, *seed, *jsonOut) })
 		run("budget", func() error { return runBudget(*n, *seed, *jsonOut) })
+		run("spill", func() error { return runSpill(*n, *seed) })
 		run("observe", func() error { return runObserve(*metrics, *seed) })
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 		run("feedback", func() error { return runFeedback(*n, *seed) })
@@ -270,6 +279,23 @@ func runBudget(n int, seed uint64, jsonOut bool) error {
 		return writeArtifact("budget", map[string]any{"n": bn, "groups": bn / 2, "seed": seed}, rows, nil)
 	}
 	return nil
+}
+
+func runSpill(n int, seed uint64) error {
+	// The spill ladder runs at a thousandth of the figure4 scale: each rung
+	// re-optimises and re-executes a selective join, and the starved rungs
+	// run a serial grace hash join on purpose. All-distinct sparse keys keep
+	// the two sides nearly disjoint, so the hash table dwarfs the output.
+	sn := n / 1000
+	if sn < 200000 {
+		sn = 200000
+	}
+	rows, checks, err := benchkit.RunSpill(sn, sn, seed, os.Stdout)
+	if err != nil {
+		return err
+	}
+	// The ladder artifact is the experiment's deliverable; write it always.
+	return writeArtifact("spill", map[string]any{"n": sn, "seed": seed}, rows, checks)
 }
 
 func runFeedback(n int, seed uint64) error {

@@ -23,6 +23,7 @@
 //	\feedback [on|off|reset] toggle feedback harvesting, or dump the store
 //	\reopt <factor|on|off>  arm mid-query re-planning (on = 10x threshold)
 //	\mem <bytes|off>        set a per-query memory budget (e.g. \mem 4194304)
+//	\spill <dir|tmp|off>    let queries spill past the budget into dir (tmp = OS temp)
 //	\beam <k|off>           cap DP enumeration at k plans per site (beam tier)
 //	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
 //	\trace                  show the span tree of the last traced query
@@ -57,6 +58,7 @@ func main() {
 	showStats := false
 	beam := 0
 	reopt := 0.0
+	spillDir := ""
 	opts := dqo.QueryOptions{}
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
@@ -76,7 +78,7 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line, showStats, opts, beam, reopt)
+			runQuery(db, mode, line, showStats, opts, beam, reopt, spillDir)
 			continue
 		}
 		fields := strings.Fields(line)
@@ -116,7 +118,7 @@ func main() {
 			report(text, err)
 		case `\analyze`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
-			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts, beam, reopt)...))
+			text, err := db.Explain(mode, q, dqo.ExplainAnalyze(), dqo.ExplainWith(queryOpts(opts, beam, reopt, spillDir)...))
 			report(text, err)
 		case `\compare`:
 			q := strings.TrimSpace(strings.TrimPrefix(line, `\compare`))
@@ -216,6 +218,30 @@ func main() {
 			}
 			opts.MemoryLimit = n
 			fmt.Printf("memory budget %d bytes per query.\n", n)
+		case `\spill`:
+			if len(fields) == 1 {
+				if spillDir == "" {
+					fmt.Println("spilling off; use \\spill <dir|tmp> to enable.")
+				} else {
+					fmt.Printf("spilling into %s.\n", spillDir)
+				}
+				continue
+			}
+			switch fields[1] {
+			case "off":
+				spillDir = ""
+				fmt.Println("spilling off; past-budget queries abort again.")
+			case "tmp":
+				spillDir = os.TempDir()
+				fmt.Printf("spilling into %s; past-budget queries degrade to disk.\n", spillDir)
+			default:
+				if st, err := os.Stat(fields[1]); err != nil || !st.IsDir() {
+					fmt.Printf("not a directory: %s\n", fields[1])
+					continue
+				}
+				spillDir = fields[1]
+				fmt.Printf("spilling into %s; past-budget queries degrade to disk.\n", spillDir)
+			}
 		case `\beam`:
 			if len(fields) != 2 {
 				fmt.Println("usage: \\beam <k|off>")
@@ -315,7 +341,7 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int, reopt float64) {
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int, reopt float64, spillDir string) {
 	// First Ctrl-C while the query runs cancels its context; the executor
 	// unwinds at the next morsel boundary and we return to the prompt. A
 	// second Ctrl-C (query stuck or user impatient) exits the shell cleanly.
@@ -338,7 +364,7 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 		case <-done:
 		}
 	}()
-	res, err := db.Query(ctx, mode, query, queryOpts(opts, beam, reopt)...)
+	res, err := db.Query(ctx, mode, query, queryOpts(opts, beam, reopt, spillDir)...)
 	close(done)
 	signal.Stop(sig)
 	if err != nil {
@@ -360,16 +386,35 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 			fmt.Printf("  %s\n", ev.String())
 		}
 	}
+	if n := res.SpilledBytes(); n > 0 {
+		fmt.Printf("spilled %s to disk (run files removed).\n", fmtBytes(n))
+	}
 	if showStats {
 		fmt.Print(res.StatsString())
 	}
 }
 
+// fmtBytes renders a byte count in the nearest binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
 // queryOpts converts the shell's sticky settings into per-query options.
-func queryOpts(opts dqo.QueryOptions, beam int, reopt float64) []dqo.QueryOption {
+func queryOpts(opts dqo.QueryOptions, beam int, reopt float64, spillDir string) []dqo.QueryOption {
 	var out []dqo.QueryOption
 	if opts.MemoryLimit > 0 {
 		out = append(out, dqo.WithMemoryLimit(opts.MemoryLimit))
+	}
+	if spillDir != "" {
+		out = append(out, dqo.WithSpillDir(spillDir))
 	}
 	if opts.Timeout > 0 {
 		out = append(out, dqo.WithTimeout(opts.Timeout))
@@ -394,7 +439,11 @@ func printQueryError(err error) {
 	case errors.Is(err, dqo.ErrTimeout):
 		fmt.Println("query timed out:", err)
 	case errors.Is(err, dqo.ErrMemoryBudgetExceeded):
-		fmt.Println("memory budget exceeded:", err)
+		fmt.Println("memory budget exceeded (try \\spill tmp to degrade to disk):", err)
+	case errors.Is(err, dqo.ErrSpillLimitExceeded):
+		fmt.Println("spill disk cap exceeded:", err)
+	case errors.Is(err, dqo.ErrSpillIO):
+		fmt.Println("spill I/O failed (disk full or corrupt run file):", err)
 	case errors.Is(err, dqo.ErrQueueFull):
 		fmt.Println("rejected by admission control:", err)
 	case errors.Is(err, dqo.ErrInternal):

@@ -423,6 +423,12 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 	if cfg.memLimit > 0 {
 		cm.MemBudget = cfg.memLimit
 	}
+	if cfg.spillDir != "" {
+		// With a spill directory armed, over-budget breaker sites enumerate
+		// disk-backed twins instead of keeping a plan the runtime budget
+		// aborts. No-op without a MemBudget (nothing is ever over budget).
+		cm.Spill = true
+	}
 	if cfg.beam > 0 {
 		cm = cm.WithBeam(cfg.beam)
 	}
@@ -448,10 +454,12 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 		// Template cache: the key is the statement's normalized fingerprint
 		// (literals stripped to parameter slots), so repeated query shapes
 		// hit regardless of their literal values and re-plan by rebinding.
-		// The chosen plan depends on the DOP, memory-budget, and beam
-		// dimensions, so the key must too: the same shape planned at
-		// different worker counts or budgets may pick different granules.
-		key := fmt.Sprintf("%s|dop=%d|mem=%d|beam=%d|%s", mode, cm.DOP, cm.MemBudget, cm.Beam, sql.Fingerprint(stmt))
+		// The chosen plan depends on the DOP, memory-budget, beam, and
+		// spill dimensions, so the key must too: the same shape planned at
+		// different worker counts or budgets may pick different granules,
+		// and an over-budget shape planned with spilling armed picks the
+		// disk-backed twin.
+		key := fmt.Sprintf("%s|dop=%d|mem=%d|beam=%d|spill=%t|%s", mode, cm.DOP, cm.MemBudget, cm.Beam, cm.Spill, sql.Fingerprint(stmt))
 		if fbOn {
 			// Feedback-aware plans embed the store's corrections at insert
 			// time; version-keying retires templates the moment the store
@@ -603,6 +611,9 @@ func (db *DB) execQuery(ctx context.Context, mode Mode, query string, cfg queryC
 		mem = govern.NewBudget(cfg.memLimit)
 	}
 	ec := exec.NewExecContextBudget(ctx, cfg.morsel, cfg.workers, mem)
+	if cfg.spillDir != "" {
+		ec.SetSpill(cfg.spillDir, cfg.spillLimit)
+	}
 	ec.Counters = &db.execCounters
 	t0 = time.Now()
 	rel, err := exec.Run(ec, root)

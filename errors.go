@@ -18,6 +18,13 @@ var (
 	// ErrQueueFull reports a query rejected by the admission gate
 	// (SetAdmission) because all slots and queue positions were taken.
 	ErrQueueFull = qerr.ErrQueueFull
+	// ErrSpillLimitExceeded reports a spilling query that hit its
+	// WithSpillLimit cap on live run-file bytes: the spill write that would
+	// have passed the cap failed instead of touching disk.
+	ErrSpillLimitExceeded = qerr.ErrSpillLimitExceeded
+	// ErrSpillIO reports a spill run-file I/O failure — disk full, a short
+	// write, or a corrupt frame (bad magic or checksum) on read-back.
+	ErrSpillIO = qerr.ErrSpillIO
 	// ErrInternal reports a panic inside the execution engine, converted to
 	// an error with the panic site's stack trace attached.
 	ErrInternal = qerr.ErrInternal

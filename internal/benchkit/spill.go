@@ -1,0 +1,282 @@
+package benchkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dqo/internal/core"
+	"dqo/internal/datagen"
+	"dqo/internal/govern"
+	"dqo/internal/logical"
+	"dqo/internal/qerr"
+	"dqo/internal/storage"
+)
+
+// SpillRow is one measured point of the spill ladder: a selective join
+// optimised and executed under one (memory limit, spill setting) pair.
+type SpillRow struct {
+	LimitBytes int64 // 0 = unlimited
+	SpillOn    bool  // spilling allowed for this rung
+	SpillCap   int64 // live run-file byte cap (0 = uncapped)
+	Plan       string
+	EstMem     float64 // optimiser's peak-footprint estimate (bytes)
+	PeakBytes  int64   // runtime memory high-water mark (0 when unlimited)
+
+	SpillBytes  int64 // run-file bytes written
+	SpillParts  int64 // partitions / runs flushed
+	SpillPasses int64 // extra read-back passes over spilled data
+
+	Millis    float64
+	Status    string // "ok" or the failure kind
+	Identical bool   // result matches the unlimited baseline row-for-row
+}
+
+// RunSpill demonstrates the in-memory -> spill -> abort ladder on a
+// selective join: two n-row relations with nearly disjoint random keys, so
+// the build-side hash table dominates residency while the join output is a
+// handful of rows. The sweep descends like the budget experiment — each
+// rung's limit sits just below the previous rung's chosen-plan footprint —
+// until no in-memory plan fits. At that point three rungs share one
+// starvation budget (just below the in-memory plan's measured runtime
+// floor) and differ only in policy:
+//
+//   - spilling on: the optimiser prices a grace-hash-join twin, the query
+//     completes with run files on disk, and the result is byte-identical to
+//     the unlimited baseline;
+//   - spilling off: the pre-spill behaviour — the query aborts with
+//     ErrMemoryBudgetExceeded;
+//   - spilling on under a tiny disk cap: the query aborts with
+//     ErrSpillLimitExceeded before filling the disk.
+//
+// The returned check lines assert that ladder shape.
+func RunSpill(n, groups int, seed uint64, w io.Writer) ([]SpillRow, []string, error) {
+	q := datagen.Quadrant{Sorted: false, Dense: false}
+	relR := datagen.GroupingRelation(seed, n, groups, q)
+	relS := datagen.GroupingRelation(seed^0x5eed1abe, n, groups, q)
+	query := &logical.Join{
+		Left:     &logical.Scan{Table: "R", Rel: relR},
+		Right:    &logical.Scan{Table: "S", Rel: relS},
+		LeftKey:  "key",
+		RightKey: "key",
+	}
+	dir, err := os.MkdirTemp("", "dqo-bench-spill-")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// DOP pinned so the rungs are machine-independent (the spill twin is
+	// always serial regardless).
+	newMode := func(spillOK bool) core.Mode {
+		m := core.DQOCalibrated()
+		m.DOP = 4
+		m.Spill = spillOK
+		return m
+	}
+
+	fmt.Fprintf(w, "# spill ladder: SELECT * FROM R JOIN S ON R.key = S.key (nearly disjoint keys)\n")
+	fmt.Fprintf(w, "# n=%d per side; descending limits until no in-memory plan fits, then spill vs abort at the same budget\n", n)
+	fmt.Fprintf(w, "%-14s %-5s  %-24s %9s %9s %10s %6s %7s %9s  %s\n",
+		"limit", "spill", "chosen plan", "est MB", "peak MB", "spill MB", "parts", "passes", "ms", "status")
+
+	var rows []SpillRow
+	var baseline *storage.Relation
+	var inMemPeak int64 // measured runtime floor of the last in-memory rung
+	limit := int64(0)
+	for rung := 0; rung < 8; rung++ {
+		mode := newMode(true)
+		mode.MemBudget = limit
+		res, err := core.Optimize(query, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !res.Best.Spill {
+			row, rel := runSpillRung(res, limit, true, 0, dir, baseline, w)
+			rows = append(rows, row)
+			if baseline == nil {
+				baseline = rel
+			}
+			if row.Status == "ok" && row.PeakBytes > 0 {
+				inMemPeak = row.PeakBytes
+			}
+			next := int64(res.Best.Mem) - 1
+			if limit > 0 && next >= limit {
+				break // estimates stopped shrinking without a spill twin
+			}
+			limit = next
+			continue
+		}
+		// No in-memory plan's estimate fits any more. The estimates are
+		// conservative, so the real starvation point is the measured runtime
+		// floor of the in-memory plan: just below it, three rungs share one
+		// budget and differ only in policy — spill on (completes), spill off
+		// (the pre-spill abort), spill under a tiny disk cap (capped abort).
+		starve := limit
+		if inMemPeak > 0 && inMemPeak-1 < starve {
+			starve = inMemPeak - 1
+			res, err = core.Optimize(query, modeWith(newMode(true), starve))
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		row, _ := runSpillRung(res, starve, true, 0, dir, baseline, w)
+		rows = append(rows, row)
+		off, err := core.Optimize(query, modeWith(newMode(false), starve))
+		if err != nil {
+			return nil, nil, err
+		}
+		row, _ = runSpillRung(off, starve, false, 0, dir, baseline, w)
+		rows = append(rows, row)
+		row, _ = runSpillRung(res, starve, true, 32<<10, dir, baseline, w)
+		rows = append(rows, row)
+		break
+	}
+	checks := checkSpillLadder(rows, dir)
+	fmt.Fprintf(w, "\n# ladder checks:\n")
+	for _, line := range checks {
+		fmt.Fprintln(w, line)
+	}
+	return rows, checks, nil
+}
+
+func modeWith(m core.Mode, limit int64) core.Mode {
+	m.MemBudget = limit
+	return m
+}
+
+// runSpillRung executes the chosen plan under the given limit and spill
+// policy, prints one table row, and returns the produced relation for
+// baseline capture.
+func runSpillRung(res *core.Result, limit int64, spillOK bool, diskCap int64,
+	dir string, baseline *storage.Relation, w io.Writer) (SpillRow, *storage.Relation) {
+	var mem *govern.Budget
+	if limit > 0 {
+		mem = govern.NewBudget(limit)
+	}
+	opts := core.ExecOptions{Mem: mem}
+	if spillOK {
+		opts.SpillDir = dir
+		opts.SpillLimit = diskCap
+	}
+	start := time.Now()
+	out, prof, runErr := core.ExecuteContext(context.Background(), res.Best, opts)
+	row := SpillRow{
+		LimitBytes: limit,
+		SpillOn:    spillOK,
+		SpillCap:   diskCap,
+		Plan:       planSummary(res.Best),
+		EstMem:     res.Best.Mem,
+		PeakBytes:  mem.Peak(),
+		Millis:     float64(time.Since(start).Microseconds()) / 1000.0,
+		Status:     "ok",
+	}
+	for _, s := range prof {
+		row.SpillBytes += s.SpillBytes
+		row.SpillParts += s.SpillParts
+		row.SpillPasses += s.SpillPasses
+	}
+	switch {
+	case runErr == nil:
+		row.Identical = baseline == nil || sameRows(out, baseline)
+	case errors.Is(runErr, qerr.ErrSpillLimitExceeded):
+		row.Status = "spill limit exceeded"
+	case errors.Is(runErr, qerr.ErrMemoryBudgetExceeded):
+		row.Status = "memory budget exceeded"
+	default:
+		row.Status = runErr.Error()
+	}
+	lim := "unlimited"
+	if limit > 0 {
+		lim = fmt.Sprintf("%.2f MB", float64(limit)/(1<<20))
+	}
+	spill := "off"
+	if spillOK {
+		spill = "on"
+		if diskCap > 0 {
+			spill = fmt.Sprintf("%dK", diskCap>>10)
+		}
+	}
+	fmt.Fprintf(w, "%-14s %-5s  %-24s %9.2f %9.2f %10.2f %6d %7d %9.2f  %s\n",
+		lim, spill, row.Plan, row.EstMem/(1<<20), float64(row.PeakBytes)/(1<<20),
+		float64(row.SpillBytes)/(1<<20), row.SpillParts, row.SpillPasses, row.Millis, row.Status)
+	return row, out
+}
+
+// sameRows compares two relations as row multisets. The ladder's rungs pick
+// different join kinds, and join kinds order their output differently, so
+// content identity is the meaningful cross-rung check (the kernel twin tests
+// prove byte-identity against the same base plan).
+func sameRows(a, b *storage.Relation) bool {
+	if a.NumRows() != b.NumRows() {
+		return false
+	}
+	render := func(r *storage.Relation) []string {
+		out := make([]string, r.NumRows())
+		for i := range out {
+			out[i] = fmt.Sprint(r.Row(i))
+		}
+		sort.Strings(out)
+		return out
+	}
+	ra, rb := render(a), render(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSpillLadder asserts the in-memory -> spill -> abort shape and that
+// every run file was removed.
+func checkSpillLadder(rows []SpillRow, dir string) []string {
+	check := func(ok bool, format string, args ...any) string {
+		tag := "PASS"
+		if !ok {
+			tag = "FAIL"
+		}
+		return tag + ": " + fmt.Sprintf(format, args...)
+	}
+	var out []string
+	if len(rows) == 0 {
+		return []string{"FAIL: no rungs ran"}
+	}
+	first := rows[0]
+	out = append(out, check(first.Status == "ok" && first.SpillBytes == 0,
+		"unlimited rung completes in memory (status=%s, spilled=%d)", first.Status, first.SpillBytes))
+	var spilled, aborted, capped *SpillRow
+	for i := range rows {
+		r := &rows[i]
+		switch {
+		case r.SpillOn && r.SpillCap == 0 && r.SpillBytes > 0:
+			spilled = r
+		case !r.SpillOn && r.LimitBytes > 0:
+			aborted = r
+		case r.SpillCap > 0:
+			capped = r
+		}
+	}
+	out = append(out, check(spilled != nil && spilled.Status == "ok" && spilled.Identical,
+		"a starved rung completes by spilling, row-identical to the baseline"))
+	if spilled != nil && aborted != nil {
+		out = append(out, check(aborted.Status == "memory budget exceeded" && aborted.LimitBytes == spilled.LimitBytes,
+			"the same budget aborts when spilling is off (status=%s)", aborted.Status))
+	} else {
+		out = append(out, "FAIL: no spill-off contrast rung ran")
+	}
+	if capped != nil {
+		out = append(out, check(capped.Status == "spill limit exceeded",
+			"a %dKiB disk cap aborts with the typed spill-limit error (status=%s)", capped.SpillCap>>10, capped.Status))
+	} else {
+		out = append(out, "FAIL: no disk-cap rung ran")
+	}
+	ents, err := os.ReadDir(dir)
+	out = append(out, check(err == nil && len(ents) == 0,
+		"every spill directory was removed (leftovers=%d)", len(ents)))
+	return out
+}

@@ -30,6 +30,20 @@ type ExecOptions struct {
 	// operators and kernels reserve against it and fail the query with
 	// qerr.ErrMemoryBudgetExceeded instead of allocating past the limit.
 	Mem *govern.Budget
+	// SpillDir, when non-empty, arms spill-to-disk execution: spill-lowered
+	// breakers write budget-accounted run files under a temp directory
+	// created beneath it (removed when the query ends, however it ends).
+	// Empty leaves spilling disarmed — a plan with spill nodes then fails
+	// at the first write attempt.
+	SpillDir string
+	// SpillLimit caps the query's live spill bytes on disk; <= 0 is
+	// unlimited. Past it, writes fail with qerr.ErrSpillLimitExceeded.
+	SpillLimit int64
+	// SpillQuota, when positive, overrides the budget-derived run quota —
+	// the bytes a spilling operator buffers before flushing a run. Tests
+	// and benchmarks use a tiny quota to force the disk path without
+	// starving the memory budget.
+	SpillQuota int64
 }
 
 // Compile lowers an optimised plan to its operator tree. The tree is
@@ -103,6 +117,12 @@ func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p.Spill {
+			// Disk-backed twin: external merge sort, byte-identical to the
+			// serial in-memory sort. No reopt wrapping — the spill twin is
+			// already the last resort under the budget.
+			return exec.NewSpillSort(p.Label(), child, p.SortKey, p.SortKind), nil
+		}
 		key, kind, dop := p.SortKey, p.SortKind, p.DOP
 		kernel := func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
 			w := 1
@@ -125,6 +145,11 @@ func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 		child, err := compileNode(p.Children[0], rc)
 		if err != nil {
 			return nil, err
+		}
+		if p.Spill {
+			// Disk-backed twin: partition-and-recurse hash aggregation,
+			// byte-identical to the serial chained-hash kernel.
+			return exec.NewSpillGroup(p.Label(), child, p.GroupKey, p.Aggs, p.Group.Opt, p.KeyDom), nil
 		}
 		key, aggs, kind, opt, dom := p.GroupKey, p.Aggs, p.Group.Kind, p.Group.Opt, p.KeyDom
 		kernel := func(ec *exec.ExecContext, in *storage.Relation) (*storage.Relation, error) {
@@ -153,6 +178,12 @@ func compileNode(p *Plan, rc *ReoptConfig) (exec.Operator, error) {
 		right, err := compileNode(p.Children[1], rc)
 		if err != nil {
 			return nil, err
+		}
+		if p.Spill {
+			// Disk-backed twin: grace hash join, byte-identical to the serial
+			// in-memory hash join.
+			return exec.NewSpillJoin(p.Label(), left, right, p.LeftKey, p.RightKey,
+				p.Join.Opt, p.Swapped, p.KeyDom), nil
 		}
 		node := p
 		clamp := func(ec *exec.ExecContext) physical.JoinOptions {
@@ -240,6 +271,12 @@ func ExecuteContext(ctx context.Context, p *Plan, opts ExecOptions) (*storage.Re
 		return nil, nil, err
 	}
 	ec := exec.NewExecContextBudget(ctx, opts.MorselSize, opts.Workers, opts.Mem)
+	if opts.SpillDir != "" {
+		ec.SetSpill(opts.SpillDir, opts.SpillLimit)
+		if opts.SpillQuota > 0 {
+			ec.SetSpillQuota(opts.SpillQuota)
+		}
+	}
 	rel, err := exec.Run(ec, root)
 	prof := exec.CollectProfile(root)
 	if err != nil {

@@ -62,6 +62,15 @@ type Mode struct {
 	// smallest survives and the runtime govern.Budget enforces the limit.
 	// 0 leaves enumeration exactly as without the budget dimension.
 	MemBudget int64
+	// Spill, when true alongside a MemBudget, replaces the prune-to-abort
+	// fallback: when every alternative at a breaker site exceeds the budget,
+	// the optimiser enumerates a disk-backed spill twin (external merge
+	// sort, grace hash join, spilling hash aggregation) of the cheapest
+	// spill-compatible variant instead of keeping a plan the runtime budget
+	// will abort. Spill twins are priced by Model.Spill, which always
+	// exceeds the in-memory cost — any alternative that fits still wins, so
+	// plans below the budget are byte-identical with the flag on or off.
+	Spill bool
 	// Scans optionally supplies Algorithmic-View access paths (sorted
 	// projections) per table.
 	Scans ScanProvider

@@ -8,6 +8,7 @@ import (
 
 	"dqo/internal/cost"
 	"dqo/internal/feedback"
+	"dqo/internal/hashtable"
 	"dqo/internal/logical"
 	"dqo/internal/physical"
 	"dqo/internal/physio"
@@ -212,10 +213,13 @@ func setFootprint(p *Plan) {
 }
 
 // pruneMem drops alternatives whose estimated peak memory exceeds the
-// mode's budget; if every alternative exceeds it the single smallest
-// survives, so optimisation still returns a plan and the runtime budget
-// enforces the limit. MemBudget <= 0 returns plans untouched, keeping
-// budget-free enumeration byte-identical.
+// mode's budget; if every alternative exceeds it, a spill-enabled mode
+// degrades to the disk-backed twin of the cheapest spill-compatible
+// alternative, and otherwise the single smallest survives, so optimisation
+// still returns a plan and the runtime budget enforces the limit.
+// MemBudget <= 0 returns plans untouched, keeping budget-free enumeration
+// byte-identical; so does any site with at least one alternative under the
+// budget, keeping fitting plans byte-identical with Spill on or off.
 func (o *optimizer) pruneMem(plans []*Plan) []*Plan {
 	if o.mode.MemBudget <= 0 || len(plans) == 0 {
 		return plans
@@ -232,9 +236,98 @@ func (o *optimizer) pruneMem(plans []*Plan) []*Plan {
 		}
 	}
 	if len(out) == 0 {
+		if o.mode.Spill {
+			if twin := o.spillTwin(plans, budget); twin != nil {
+				return []*Plan{twin}
+			}
+		}
 		return []*Plan{minP}
 	}
 	return out
+}
+
+// spillCompatible reports whether a breaker alternative has a disk-backed
+// twin: the serial kernels whose emission order partitioned or merged
+// execution reproduces exactly (see the internal/exec spill operators).
+// Sorts spill at any sort kind (stable runs merge into the stable full
+// sort); joins only as the serial non-AV hash join (grace partitioning);
+// groupings only as the serial chained-scheme hash aggregation (first-seen
+// iteration order is partition-recomposable).
+func spillCompatible(p *Plan) bool {
+	switch p.Op {
+	case OpSort:
+		return p.DOP <= 1
+	case OpJoin:
+		return p.Join.Kind == physical.HJ && p.AV == "" && p.Index == nil &&
+			p.Join.Opt.Parallel <= 1
+	case OpGroup:
+		return p.Group.Kind == physical.HG && p.Group.Opt.Parallel <= 1 &&
+			p.Group.Opt.Scheme == hashtable.Chained
+	default:
+		return false
+	}
+}
+
+// spillTwin builds the disk-backed twin of the cheapest spill-compatible
+// alternative at a site where nothing fits the memory budget. Bases whose
+// inputs themselves fit the budget are preferred — spilling the breaker
+// cannot shrink a child's residency. The twin produces the identical output
+// (same property vector), is priced by Model.Spill over the input rows with
+// a nominal two disk passes (partition write + read; deeper recursion is
+// the skew exception, not the rule), and claims the budget as its peak
+// residency — the runtime kernel bounds itself to the spill grant.
+func (o *optimizer) spillTwin(plans []*Plan, budget float64) *Plan {
+	var base *Plan
+	baseFits := false
+	for _, p := range plans {
+		if !spillCompatible(p) {
+			continue
+		}
+		fits := true
+		for _, c := range p.Children {
+			if c.Mem > budget {
+				fits = false
+				break
+			}
+		}
+		switch {
+		case base == nil, fits && !baseFits, fits == baseFits && p.Cost < base.Cost:
+			base, baseFits = p, fits
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	o.stats.Alternatives++
+	var inRows float64
+	for _, c := range base.Children {
+		inRows += c.Rows
+	}
+	twin := *base
+	twin.Spill = true
+	twin.DOP = 0
+	twin.Cost = o.mode.Model.Spill(base.Cost, inRows, 2)
+	twin.Mem = math.Min(base.Mem, budget)
+	return &twin
+}
+
+// MarkSpillTwins rewrites every spill-compatible breaker of an optimised
+// plan into its disk-backed twin in place, returning how many nodes were
+// marked. Differential tests and benchmarks use it to force the spill
+// kernels onto the disk path for plans that would never be memory-starved,
+// so the byte-identity proof covers the whole corpus, not just the rare
+// over-budget site.
+func MarkSpillTwins(p *Plan) int {
+	n := 0
+	if spillCompatible(p) {
+		p.Spill = true
+		p.DOP = 0
+		n++
+	}
+	for _, c := range p.Children {
+		n += MarkSpillTwins(c)
+	}
+	return n
 }
 
 // restrict hides the properties the mode does not track — the SQO/DQO

@@ -98,6 +98,12 @@ type Plan struct {
 	// parallel streaming pipe segment.
 	DOP int
 
+	// Spill marks a breaker lowered to its disk-backed twin (external merge
+	// sort, grace hash join, or spilling hash aggregation): enumerated only
+	// when no in-memory alternative fits the mode's MemBudget, byte-identical
+	// in output to the serial in-memory kernel.
+	Spill bool
+
 	// Derived bookkeeping.
 	Props props.Set // output property vector
 	Rows  float64   // estimated output cardinality
@@ -138,6 +144,13 @@ func fmtMem(n float64) string {
 
 // Label returns a one-line description of this node alone.
 func (p *Plan) Label() string {
+	if p.Spill {
+		return p.label() + " [spill]"
+	}
+	return p.label()
+}
+
+func (p *Plan) label() string {
 	switch p.Op {
 	case OpScan:
 		if p.AV != "" {

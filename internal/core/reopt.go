@@ -85,6 +85,10 @@ func (rc *ReoptConfig) threshold() float64 {
 func (rc *ReoptConfig) replanMode() Mode {
 	m := rc.Mode
 	m.Scans, m.Indexes, m.CrackedIdx = nil, nil, nil
+	// Re-planned suffixes execute as direct in-memory kernel invocations
+	// (execReplanned), which cannot lower a spill twin; over-budget suffixes
+	// keep the smallest in-memory alternative, as before spilling existed.
+	m.Spill = false
 	return m
 }
 

@@ -55,6 +55,13 @@ type Model interface {
 	// out come from the segment zone metadata at plan time, so the model sees
 	// exactly how much of the payload the predicate must touch.
 	FilterCompressed(rows, work, out float64, enc props.Compression) float64
+	// Spill returns the cost of running work costing c in-memory as the
+	// spilling twin over rows input rows with the given number of disk
+	// passes (a pass writes and reads every row once). Spill twins are only
+	// enumerated when no in-memory variant fits the memory budget, so this
+	// prices degradation, not a competitive alternative — it must exceed c
+	// whenever rows > 0 so an in-memory plan that fits always wins.
+	Spill(c, rows, passes float64) float64
 }
 
 func log2(x float64) float64 {
@@ -100,6 +107,10 @@ func (Paper) ScanCompressed(rows float64, _ props.Compression) float64 { return 
 // FilterCompressed implements Model: identical to Filter for the same
 // reason — |R| comparisons regardless of representation.
 func (Paper) FilterCompressed(rows, _, _ float64, _ props.Compression) float64 { return rows }
+
+// Spill implements Model: the in-memory work plus one abstract element
+// operation per row per disk pass (each pass writes and reads every row).
+func (Paper) Spill(c, rows, passes float64) float64 { return c + rows*passes }
 
 // SortBy implements Model.
 func (Paper) SortBy(rows float64, _ sortx.Kind) float64 { return rows * log2(rows) }
@@ -174,6 +185,8 @@ type Calibrated struct {
 	EncScanRowNS float64
 	EncWorkNS    float64
 	EncEmitNS    float64
+	// Spill I/O: serialise + write + read + decode per row per disk pass.
+	SpillRowNS float64
 }
 
 // NewCalibrated returns the default-coefficient calibrated model. The
@@ -210,6 +223,7 @@ func NewCalibrated() *Calibrated {
 		EncScanRowNS:    0.15,
 		EncWorkNS:       1.0,
 		EncEmitNS:       2.0,
+		SpillRowNS:      40.0,
 	}
 }
 
@@ -246,6 +260,12 @@ func (m *Calibrated) ScanCompressed(rows float64, _ props.Compression) float64 {
 // the compressed granule exactly where the payload shape earns it.
 func (m *Calibrated) FilterCompressed(rows, work, out float64, _ props.Compression) float64 {
 	return m.EncWorkNS*work + m.EncEmitNS*out
+}
+
+// Spill implements Model: the in-memory kernel's work plus the frame
+// serialise/write/read/decode round trip for every row on every disk pass.
+func (m *Calibrated) Spill(c, rows, passes float64) float64 {
+	return c + m.SpillRowNS*rows*passes
 }
 
 // SortBy implements Model.

@@ -33,6 +33,7 @@ import (
 	"dqo/internal/faultinject"
 	"dqo/internal/govern"
 	"dqo/internal/qerr"
+	"dqo/internal/spill"
 	"dqo/internal/storage"
 )
 
@@ -70,6 +71,16 @@ type ExecContext struct {
 	// consumed at a pipeline boundary. Owned by the DB (cumulative across
 	// queries); nil disables counting at the cost of a nil check.
 	Counters *Counters
+
+	// Spill-to-disk state: operators that outgrow the memory budget write
+	// runs into a lazily created per-query spill.Dir under spillParent.
+	// Empty spillParent disables spilling. spillQuota, when positive,
+	// overrides the budget-derived run quota (tests and benchmarks use it to
+	// force flushing without starving the memory budget).
+	spillParent string
+	spillQuota  int64
+	spillMu     sync.Mutex
+	spillDir    *spill.Dir
 }
 
 // NewExecContext returns an execution context. morsel <= 0 selects
@@ -93,12 +104,72 @@ func NewExecContextBudget(ctx context.Context, morsel, workers int, mem *govern.
 	}
 }
 
+// SetSpill enables spill-to-disk execution: operators that outgrow the
+// memory budget may write runs into a per-query temp directory under dir,
+// with at most limit bytes on disk at once (0 = unlimited).
+func (ec *ExecContext) SetSpill(dir string, limit int64) {
+	ec.spillParent = dir
+	if dir != "" {
+		ec.ctl.Disk = govern.NewDiskBudget(limit)
+	}
+}
+
+// SpillEnabled reports whether a spill directory is configured.
+func (ec *ExecContext) SpillEnabled() bool { return ec.spillParent != "" }
+
+// Spill returns the query's spill directory, creating it on first use.
+func (ec *ExecContext) Spill() (*spill.Dir, error) {
+	if ec.spillParent == "" {
+		return nil, qerr.New(qerr.ErrInternal, "spill requested but no spill directory configured")
+	}
+	ec.spillMu.Lock()
+	defer ec.spillMu.Unlock()
+	if ec.spillDir == nil {
+		d, err := spill.NewDir(ec.spillParent, ec.ctl)
+		if err != nil {
+			return nil, err
+		}
+		ec.spillDir = d
+	}
+	return ec.spillDir, nil
+}
+
+// CleanupSpill removes the query's spill directory, if one was created. It
+// runs from Run's deferred close path, so cancelled and panicking queries
+// still delete their temp files. A later Run on the same context would
+// lazily create a fresh directory.
+func (ec *ExecContext) CleanupSpill() error {
+	ec.spillMu.Lock()
+	d := ec.spillDir
+	ec.spillDir = nil
+	ec.spillMu.Unlock()
+	return d.Cleanup()
+}
+
+// SpillQuota reports the spill grant: the bytes a spilling operator may
+// buffer in memory before it must flush a run to disk.
+func (ec *ExecContext) SpillQuota() int64 {
+	if ec.spillQuota > 0 {
+		return ec.spillQuota
+	}
+	return govern.SpillRunQuota(ec.ctl.Mem)
+}
+
+// SetSpillQuota overrides the budget-derived run quota (<= 0 restores the
+// default). Tests and benchmarks use a tiny quota to force every spilling
+// operator onto its disk path without also starving the memory budget.
+func (ec *ExecContext) SetSpillQuota(n int64) { ec.spillQuota = n }
+
 // Context returns the cancellation context.
 func (ec *ExecContext) Context() context.Context { return ec.ctx }
 
 // Ctl returns the governance handle (cancellation + memory budget) threaded
 // into kernels. Never nil.
 func (ec *ExecContext) Ctl() *govern.Ctl { return ec.ctl }
+
+// CtlFor returns the governance handle labelled with the requesting
+// operator, so budget failures name the culprit kernel.
+func (ec *ExecContext) CtlFor(label string) *govern.Ctl { return ec.ctl.For(label) }
 
 // Budget returns the query's memory budget (nil = unlimited).
 func (ec *ExecContext) Budget() *govern.Budget { return ec.ctl.Mem }
@@ -132,6 +203,10 @@ type OpStats struct {
 	PeakBytes int64         // high-water estimate of bytes held (batches + materialised state)
 	DOP       int64         // effective degree of parallelism (0 = serial operator)
 	Replans   int64         // mid-query re-planning splices taken at this operator
+
+	SpillBytes  int64 // bytes written to spill run files by this operator
+	SpillParts  int64 // spill partitions / runs written
+	SpillPasses int64 // extra passes over spilled data (repartition or merge rounds)
 }
 
 // base supplies the label/stats boilerplate shared by all operators.
@@ -167,6 +242,13 @@ func (b *base) peak(n int64) {
 // (recorded by the core compiler's reoptimising breaker wrappers).
 func (b *base) NoteReplan() { atomic.AddInt64(&b.stats.Replans, 1) }
 
+// addSpill credits spilled bytes, runs, and extra passes.
+func (b *base) addSpill(bytes, parts, passes int64) {
+	atomic.AddInt64(&b.stats.SpillBytes, bytes)
+	atomic.AddInt64(&b.stats.SpillParts, parts)
+	atomic.AddInt64(&b.stats.SpillPasses, passes)
+}
+
 // emitted records an outgoing batch.
 func (b *base) emitted(batch *storage.Relation) {
 	atomic.AddInt64(&b.stats.Batches, 1)
@@ -184,6 +266,10 @@ func (s *OpStats) snapshot() OpStats {
 		PeakBytes: atomic.LoadInt64(&s.PeakBytes),
 		DOP:       atomic.LoadInt64(&s.DOP),
 		Replans:   atomic.LoadInt64(&s.Replans),
+
+		SpillBytes:  atomic.LoadInt64(&s.SpillBytes),
+		SpillParts:  atomic.LoadInt64(&s.SpillParts),
+		SpillPasses: atomic.LoadInt64(&s.SpillPasses),
 	}
 }
 
@@ -199,12 +285,19 @@ func Run(ec *ExecContext, root Operator) (rel *storage.Relation, err error) {
 		if r := recover(); r != nil {
 			err = qerr.Internal(r, debug.Stack())
 		}
-		if err == nil {
-			return
-		}
-		if !closed {
+		if !closed && err != nil {
 			closed = true
 			root.Close(ec) // releases operator reservations even on panic
+		}
+		// The spill directory outlives individual operators (runs may be
+		// handed across merge passes); it dies with the query, whatever the
+		// outcome. A failed cleanup on an otherwise successful query is a
+		// resource leak and surfaces as a typed spill error.
+		if cerr := ec.CleanupSpill(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			return
 		}
 		rel = nil
 		err = qerr.From(err)
@@ -277,6 +370,10 @@ type OpStat struct {
 	PeakBytes int64
 	DOP       int64 // effective degree of parallelism (1 = serial)
 	Replans   int64 // mid-query re-planning splices taken at this operator
+
+	SpillBytes  int64 // bytes written to spill run files
+	SpillParts  int64 // spill partitions / runs written
+	SpillPasses int64 // extra passes over spilled data
 }
 
 // Profile is the per-operator execution profile of one query, in pre-order
@@ -305,7 +402,8 @@ func CollectProfile(root Operator) Profile {
 			Label: op.Label(), Depth: depth,
 			RowsIn: st.RowsIn, RowsOut: st.RowsOut, Batches: st.Batches,
 			Wall: st.Wall, Self: self, PeakBytes: st.PeakBytes, DOP: dop,
-			Replans: st.Replans,
+			Replans:    st.Replans,
+			SpillBytes: st.SpillBytes, SpillParts: st.SpillParts, SpillPasses: st.SpillPasses,
 		})
 		for _, c := range op.Children() {
 			rec(c, depth+1)
@@ -322,6 +420,9 @@ func (p Profile) String() string {
 		"operator", "rows_in", "rows_out", "batches", "dop", "wall", "self", "peak")
 	for _, s := range p {
 		label := strings.Repeat("  ", s.Depth) + s.Label
+		if s.SpillBytes > 0 {
+			label += fmt.Sprintf(" [spilled %d parts, %s]", s.SpillParts, fmtBytes(s.SpillBytes))
+		}
 		dop := s.DOP
 		if dop < 1 {
 			dop = 1

@@ -255,6 +255,121 @@ func TestInjectedMergeCancellation(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// spillGovTree is the spilling counterpart of the matrix trees: an external
+// merge sort whose tiny run quota forces disk traffic, reaching the
+// spill.write and spill.read failure points.
+func spillGovTree() Operator {
+	return NewSpillSort("sort", NewScan("scan", spillRel("t", 6000, 7)), "key", sortx.Radix)
+}
+
+func newSpillEC(t *testing.T, morsel, dop int, mem *govern.Budget) (*ExecContext, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ec := NewExecContextBudget(context.Background(), morsel, dop, mem)
+	ec.SetSpill(dir, 0)
+	ec.SetSpillQuota(1)
+	return ec, dir
+}
+
+// TestInjectedSpillIOError arms the spill write and read points with a plain
+// error — the disk-full / corrupt-run-file model. The query must fail with
+// the typed ErrSpillIO still carrying the injected cause, drain its budget,
+// and leave no run files behind.
+func TestInjectedSpillIOError(t *testing.T) {
+	for _, point := range []string{faultinject.PointSpillWrite, faultinject.PointSpillRead} {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			sentinel := errors.New("injected spill failure")
+			// Fire on the 10th hit so writes (and for spill.read, whole runs)
+			// exist before the failure — cleanup then has real files to remove.
+			faultinject.Set(point, faultinject.Action{Err: sentinel, After: 10})
+			defer faultinject.Clear(point)
+			base := runtime.NumGoroutine()
+			mem := govern.NewBudget(0)
+			ec, dir := newSpillEC(t, 64, 2, mem)
+			_, err := Run(ec, spillGovTree())
+			if faultinject.Fired(point) == 0 {
+				t.Fatal("spill point never fired; the tree does not reach it")
+			}
+			if !errors.Is(err, qerr.ErrSpillIO) || !errors.Is(err, sentinel) {
+				t.Fatalf("err = %v, want ErrSpillIO wrapping the sentinel", err)
+			}
+			if ents, rdErr := os.ReadDir(dir); rdErr != nil || len(ents) != 0 {
+				t.Fatalf("spill directory leaked after injected failure: %d entries, err=%v", len(ents), rdErr)
+			}
+			if used := mem.Used(); used != 0 {
+				t.Fatalf("budget leak: %d bytes still reserved", used)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestInjectedSpillCleanupError arms the cleanup point: the query itself
+// succeeds, so the failed cleanup must surface as the query's error (a
+// resource leak is not a silent event) while the directory is still removed.
+func TestInjectedSpillCleanupError(t *testing.T) {
+	sentinel := errors.New("injected cleanup failure")
+	faultinject.Set(faultinject.PointSpillCleanup, faultinject.Action{Err: sentinel})
+	defer faultinject.Clear(faultinject.PointSpillCleanup)
+	mem := govern.NewBudget(0)
+	ec, dir := newSpillEC(t, 64, 2, mem)
+	_, err := Run(ec, spillGovTree())
+	if faultinject.Fired(faultinject.PointSpillCleanup) == 0 {
+		t.Fatal("cleanup point never fired")
+	}
+	if !errors.Is(err, qerr.ErrSpillIO) || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want ErrSpillIO wrapping the sentinel", err)
+	}
+	if ents, rdErr := os.ReadDir(dir); rdErr != nil || len(ents) != 0 {
+		t.Fatalf("injected cleanup failure leaked files: %d entries, err=%v", len(ents), rdErr)
+	}
+	if used := mem.Used(); used != 0 {
+		t.Fatalf("budget leak: %d bytes still reserved", used)
+	}
+}
+
+// TestInjectedSpillPanicMatrix arms the spill write and read points with a
+// panic across the DOP × morsel grid. The cleanup point is deliberately
+// excluded: it fires inside Run's deferred unwind, after the recover, where
+// a panic would (correctly) crash the process rather than become an error.
+func TestInjectedSpillPanicMatrix(t *testing.T) {
+	dops := []int{1, 2, runtime.NumCPU()}
+	morsels := []int{1, 7, 1024}
+	for _, point := range []string{faultinject.PointSpillWrite, faultinject.PointSpillRead} {
+		for _, dop := range dops {
+			for _, morsel := range morsels {
+				name := fmt.Sprintf("%s/dop%d/m%d", point, dop, morsel)
+				t.Run(name, func(t *testing.T) {
+					// After 2, not more: at morsel 1024 the tree only flushes a
+					// handful of runs, and the point must still fire.
+					faultinject.Set(point, faultinject.Action{Panic: "injected:" + point, After: 2})
+					defer faultinject.Clear(point)
+					base := runtime.NumGoroutine()
+					firedBefore := faultinject.Fired(point)
+					mem := govern.NewBudget(0)
+					ec, dir := newSpillEC(t, morsel, dop, mem)
+					_, err := Run(ec, spillGovTree())
+					if faultinject.Fired(point) > firedBefore {
+						if !errors.Is(err, qerr.ErrInternal) {
+							t.Fatalf("armed point fired but err = %v, want ErrInternal", err)
+						}
+					} else if err != nil {
+						t.Fatalf("point never fired yet query failed: %v", err)
+					}
+					if ents, rdErr := os.ReadDir(dir); rdErr != nil || len(ents) != 0 {
+						t.Fatalf("spill directory leaked after injected panic: %d entries, err=%v", len(ents), rdErr)
+					}
+					if used := mem.Used(); used != 0 {
+						t.Fatalf("budget leak: %d bytes still reserved", used)
+					}
+					waitGoroutines(t, base)
+				})
+			}
+		}
+	}
+}
+
 // TestInjectedAllocFailure arms the hash-table growth point with a typed
 // budget error, modelling an allocation that trips the limit mid-kernel.
 func TestInjectedAllocFailure(t *testing.T) {

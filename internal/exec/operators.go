@@ -5,6 +5,7 @@ import (
 
 	"dqo/internal/expr"
 	"dqo/internal/faultinject"
+	"dqo/internal/govern"
 	"dqo/internal/physical"
 	"dqo/internal/storage"
 )
@@ -272,7 +273,7 @@ func (s *IndexScan) Next(ec *ExecContext) (*storage.Relation, error) {
 		// the base table's per-row footprint.
 		if n := s.rel.NumRows(); n > 0 {
 			need := int64(len(idx)) * (s.rel.MemBytes() / int64(n))
-			if err := ec.Ctl().Reserve(need); err != nil {
+			if err := ec.CtlFor(s.label).Reserve(need); err != nil {
 				return nil, err
 			}
 			atomic.AddInt64(&s.held, need)
@@ -333,7 +334,8 @@ func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
 		return nil, err
 	}
 	if b.out == nil {
-		in, rows, err := drain(ec, b.child, &b.held)
+		ctl := ec.CtlFor(b.label)
+		in, rows, err := drain(ec, ctl, b.child, &b.held)
 		if err != nil {
 			return nil, err
 		}
@@ -349,9 +351,9 @@ func (b *Breaker1) Next(ec *ExecContext) (*storage.Relation, error) {
 		// reservation out and return it after charging the output, so chained
 		// breakers don't hold every pipeline stage's input simultaneously.
 		inHeld := atomic.SwapInt64(&b.held, 0)
-		defer ec.Ctl().Release(inHeld)
+		defer ctl.Release(inHeld)
 		if n := out.MemBytes(); n > 0 {
-			if err := ec.Ctl().Reserve(n); err != nil {
+			if err := ctl.Reserve(n); err != nil {
 				return nil, err
 			}
 			atomic.AddInt64(&b.held, n)
@@ -412,6 +414,7 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 		return nil, err
 	}
 	if b.out == nil {
+		ctl := ec.CtlFor(b.label)
 		var l, r *storage.Relation
 		var lRows, rRows int64
 		// Both drains reserve into b.held concurrently (atomic adds), so a
@@ -419,12 +422,12 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 		err := ec.Pool.Run(
 			func() error {
 				var err error
-				l, lRows, err = drain(ec, b.left, &b.held)
+				l, lRows, err = drain(ec, ctl, b.left, &b.held)
 				return err
 			},
 			func() error {
 				var err error
-				r, rRows, err = drain(ec, b.right, &b.held)
+				r, rRows, err = drain(ec, ctl, b.right, &b.held)
 				return err
 			},
 		)
@@ -442,9 +445,9 @@ func (b *Breaker2) Next(ec *ExecContext) (*storage.Relation, error) {
 		// As in Breaker1: both drained inputs are dead after the kernel, so
 		// their reservation goes back once the output is charged.
 		inHeld := atomic.SwapInt64(&b.held, 0)
-		defer ec.Ctl().Release(inHeld)
+		defer ctl.Release(inHeld)
 		if n := out.MemBytes(); n > 0 {
-			if err := ec.Ctl().Reserve(n); err != nil {
+			if err := ctl.Reserve(n); err != nil {
 				return nil, err
 			}
 			atomic.AddInt64(&b.held, n)
@@ -476,9 +479,10 @@ func (b *Breaker2) Children() []Operator { return []Operator{b.left, b.right} }
 // Breaker2 runs two drains concurrently that feed the same RowsIn counter,
 // so the credit happens after the pool barrier. The accumulated batch bytes
 // are reserved against the query budget into *held (atomically — Breaker2's
-// two drains share one holder), which the caller releases in Close.
-func drain(ec *ExecContext, op Operator, held *int64) (*storage.Relation, int64, error) {
-	ctl := ec.Ctl()
+// two drains share one holder), which the caller releases in Close. ctl is
+// the draining operator's labelled governance handle, so a budget failure
+// mid-drain names the breaker that was materialising its input.
+func drain(ec *ExecContext, ctl *govern.Ctl, op Operator, held *int64) (*storage.Relation, int64, error) {
 	parts := getParts()
 	defer func() { putParts(parts) }() // closure: parts may be regrown by append
 	var rows int64

@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dqo/internal/expr"
+	"dqo/internal/govern"
+	"dqo/internal/hashtable"
+	"dqo/internal/physical"
+	"dqo/internal/props"
+	"dqo/internal/qerr"
+	"dqo/internal/sortx"
+	"dqo/internal/storage"
+)
+
+// spillRel builds a shuffled relation covering every serialised column kind:
+// a duplicate-heavy uint32 key, int64 and float64 payloads, and a
+// low-cardinality dictionary-coded string column (the dict re-interning path
+// of the frame codec).
+func spillRel(name string, n int, seed uint32) *storage.Relation {
+	keys := make([]uint32, n)
+	vals := make([]int64, n)
+	fs := make([]float64, n)
+	ss := make([]string, n)
+	cities := []string{"ber", "par", "rom", "nyc", "sfo", "tok", "hel"}
+	x := seed | 1
+	for i := range keys {
+		x = x*1664525 + 1013904223
+		keys[i] = x % uint32(max(n/3, 1))
+		vals[i] = int64(x % 1000)
+		fs[i] = float64(x%97) / 3.0
+		ss[i] = cities[x%uint32(len(cities))]
+	}
+	return storage.MustNewRelation(name,
+		storage.NewUint32("key", keys),
+		storage.NewInt64("val", vals),
+		storage.NewFloat64("f", fs),
+		storage.NewString("city", ss))
+}
+
+// spillDOPs is the worker sweep of the spill differentials.
+func spillDOPs() []int {
+	out := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+var spillMorsels = []int{1, 7, 1024}
+
+// runSpillTree runs a freshly built tree with spilling armed and a tiny run
+// quota, so every spill operator takes its disk path. It returns the result,
+// the total run-file bytes written, and fails the test if the spill parent
+// directory is not empty again after the run.
+func runSpillTree(t *testing.T, build func() Operator, morsel, workers int, quota int64) (*storage.Relation, int64) {
+	t.Helper()
+	dir := t.TempDir()
+	ec := NewExecContext(context.Background(), morsel, workers)
+	ec.SetSpill(dir, 0)
+	ec.SetSpillQuota(quota)
+	root := build()
+	out, err := Run(ec, root)
+	if err != nil {
+		t.Fatalf("morsel=%d workers=%d: %v", morsel, workers, err)
+	}
+	var spilled int64
+	for _, s := range CollectProfile(root) {
+		spilled += s.SpillBytes
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("morsel=%d workers=%d: spill parent not cleaned: %v entries, err=%v", morsel, workers, len(ents), err)
+	}
+	return out, spilled
+}
+
+// TestSpillSortMatchesInMemory checks the external merge sort against the
+// serial in-memory sort for every sort kind across the DOP x morsel grid,
+// with a quota small enough to force multi-pass merges.
+func TestSpillSortMatchesInMemory(t *testing.T) {
+	rel := spillRel("t", 6000, 7)
+	for _, kind := range []sortx.Kind{sortx.Radix, sortx.Comparison, sortx.Std} {
+		kind := kind
+		want := runTree(t, NewBreaker1("sort", NewScan("scan", rel),
+			func(ec *ExecContext, in *storage.Relation) (*storage.Relation, error) {
+				return physical.SortRelParCtl(in, "key", kind, 1, ec.Ctl())
+			}), 4096)
+		for _, workers := range spillDOPs() {
+			for _, morsel := range spillMorsels {
+				got, spilled := runSpillTree(t, func() Operator {
+					return NewSpillSort("sort", NewScan("scan", rel), "key", kind)
+				}, morsel, workers, 2048)
+				if spilled == 0 {
+					t.Fatalf("kind=%v morsel=%d workers=%d: external sort never touched disk", kind, morsel, workers)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("kind=%v morsel=%d workers=%d: spill sort diverges from in-memory sort", kind, morsel, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillGroupMatchesInMemory checks the partitioned aggregation against
+// the serial chained-scheme hash aggregation, for a numeric and a
+// dictionary-coded string key.
+func TestSpillGroupMatchesInMemory(t *testing.T) {
+	rel := spillRel("t", 6000, 11)
+	aggs := []expr.AggSpec{{Func: expr.AggCount}, {Func: expr.AggSum, Col: "val"}}
+	for _, key := range []string{"key", "city"} {
+		key := key
+		opt := physical.GroupOptions{Scheme: hashtable.Chained, Hash: hashtable.Murmur3Fin, Parallel: 1}
+		want := runTree(t, NewBreaker1("group", NewScan("scan", rel),
+			func(ec *ExecContext, in *storage.Relation) (*storage.Relation, error) {
+				o := opt
+				o.Ctl = ec.Ctl()
+				return physical.GroupByRelDom(in, key, aggs, physical.HG, o, props.Domain{})
+			}), 4096)
+		for _, workers := range spillDOPs() {
+			for _, morsel := range spillMorsels {
+				got, spilled := runSpillTree(t, func() Operator {
+					return NewSpillGroup("group", NewScan("scan", rel), key, aggs, opt, props.Domain{})
+				}, morsel, workers, 2048)
+				if spilled == 0 {
+					t.Fatalf("key=%s morsel=%d workers=%d: spill group never touched disk", key, morsel, workers)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("key=%s morsel=%d workers=%d: spill group diverges from in-memory group", key, morsel, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillJoinMatchesInMemory checks the grace hash join against the serial
+// in-memory hash join, in both build-side orientations.
+func TestSpillJoinMatchesInMemory(t *testing.T) {
+	left := spillRel("l", 4000, 3)
+	right := spillRel("r", 5000, 13)
+	opt := physical.JoinOptions{Hash: hashtable.Murmur3Fin, Parallel: 1}
+	for _, swapped := range []bool{false, true} {
+		swapped := swapped
+		want := runTree(t, NewBreaker2("join", NewScan("l", left), NewScan("r", right),
+			func(ec *ExecContext, l, r *storage.Relation) (*storage.Relation, error) {
+				o := opt
+				o.Ctl = ec.Ctl()
+				if swapped {
+					return physical.JoinRelDomSwapped(l, r, "key", "key", physical.HJ, o, props.Domain{})
+				}
+				return physical.JoinRelDom(l, r, "key", "key", physical.HJ, o, props.Domain{})
+			}), 4096)
+		for _, workers := range spillDOPs() {
+			for _, morsel := range spillMorsels {
+				got, spilled := runSpillTree(t, func() Operator {
+					return NewSpillJoin("join", NewScan("l", left), NewScan("r", right),
+						"key", "key", opt, swapped, props.Domain{})
+				}, morsel, workers, 2048)
+				if spilled == 0 {
+					t.Fatalf("swapped=%v morsel=%d workers=%d: grace join never touched disk", swapped, morsel, workers)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("swapped=%v morsel=%d workers=%d: grace join diverges from in-memory join", swapped, morsel, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillIdleStaysInMemory checks the adaptive trigger: under a generous
+// quota the spill operators never create the spill directory and still
+// return the exact in-memory result.
+func TestSpillIdleStaysInMemory(t *testing.T) {
+	rel := spillRel("t", 3000, 5)
+	want := runTree(t, NewBreaker1("sort", NewScan("scan", rel),
+		func(ec *ExecContext, in *storage.Relation) (*storage.Relation, error) {
+			return physical.SortRelParCtl(in, "key", sortx.Radix, 1, ec.Ctl())
+		}), 4096)
+	dir := t.TempDir()
+	ec := NewExecContext(context.Background(), 256, 2)
+	ec.SetSpill(dir, 0) // default quota: nothing this small ever flushes
+	root := NewSpillSort("sort", NewScan("scan", rel), "key", sortx.Radix)
+	got, err := Run(ec, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("idle spill sort diverges from in-memory sort")
+	}
+	for _, s := range CollectProfile(root) {
+		if s.SpillBytes != 0 || s.SpillParts != 0 {
+			t.Fatalf("idle spill sort wrote runs: %+v", s)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("idle spill op created directories: %v entries, err=%v", len(ents), err)
+	}
+}
+
+// tripwire wraps a child operator and fails on purpose after a number of
+// batches: with an error, a context cancellation, or a panic. It drives the
+// spill lifecycle census through every abnormal exit.
+type tripwire struct {
+	base
+	child  Operator
+	after  int
+	mode   string // "error" | "cancel" | "panic"
+	cancel context.CancelFunc
+	n      int
+}
+
+var errTripwire = errors.New("tripwire")
+
+func (s *tripwire) Open(ec *ExecContext) error  { return s.child.Open(ec) }
+func (s *tripwire) Close(ec *ExecContext) error { return s.child.Close(ec) }
+func (s *tripwire) Children() []Operator        { return []Operator{s.child} }
+func (s *tripwire) Next(ec *ExecContext) (*storage.Relation, error) {
+	if s.n >= s.after {
+		switch s.mode {
+		case "cancel":
+			s.cancel()
+			return nil, ec.Err()
+		case "panic":
+			panic("tripwire")
+		default:
+			return nil, errTripwire
+		}
+	}
+	s.n++
+	return s.child.Next(ec)
+}
+
+// openFDs counts this process's open file descriptors (Linux); -1 when the
+// census is unavailable.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestSpillLifecycleCensus drives a spilling sort through success, a spill
+// disk-cap failure, mid-query cancellation, a child error, and a child
+// panic. However the query ends, the spill directory must be removed, the
+// memory budget drained, and no file descriptor leaked.
+func TestSpillLifecycleCensus(t *testing.T) {
+	rel := spillRel("t", 6000, 9)
+	cases := []struct {
+		name    string
+		mode    string // tripwire mode; "" = no tripwire
+		diskCap int64
+		wantErr error // nil = success expected
+	}{
+		{name: "success"},
+		{name: "disk-cap", diskCap: 64, wantErr: qerr.ErrSpillLimitExceeded},
+		{name: "child-error", mode: "error", wantErr: errTripwire},
+		{name: "cancel", mode: "cancel", wantErr: qerr.ErrCancelled},
+		{name: "panic", mode: "panic", wantErr: qerr.ErrInternal},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			fds := openFDs()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			mem := govern.NewBudget(0)
+			ec := NewExecContextBudget(ctx, 64, 2, mem)
+			ec.SetSpill(dir, tc.diskCap)
+			ec.SetSpillQuota(1)
+			var child Operator = NewScan("scan", rel)
+			if tc.mode != "" {
+				// Trip late enough that runs are already on disk.
+				child = &tripwire{base: base{label: "trip"}, child: child,
+					after: 40, mode: tc.mode, cancel: cancel}
+			}
+			root := NewSpillSort("sort", child, "key", sortx.Radix)
+			_, err := Run(ec, root)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("success case failed: %v", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			var spilled int64
+			for _, s := range CollectProfile(root) {
+				spilled += s.SpillBytes
+			}
+			if tc.name != "disk-cap" && spilled == 0 {
+				t.Fatal("census vacuous: no run files were ever written")
+			}
+			ents, rdErr := os.ReadDir(dir)
+			if rdErr != nil || len(ents) != 0 {
+				t.Fatalf("spill directory leaked: %d entries, err=%v", len(ents), rdErr)
+			}
+			if used := mem.Used(); used != 0 {
+				t.Fatalf("budget leak: %d bytes still reserved", used)
+			}
+			if fds >= 0 {
+				deadline := time.Now().Add(2 * time.Second)
+				for openFDs() > fds && time.Now().Before(deadline) {
+					time.Sleep(10 * time.Millisecond)
+				}
+				if now := openFDs(); now > fds {
+					t.Fatalf("fd leak: %d -> %d", fds, now)
+				}
+			}
+		})
+	}
+}
+
+// TestSpillStatsSurface checks the profile rendering names spilled
+// operators with their part and byte counts.
+func TestSpillStatsSurface(t *testing.T) {
+	rel := spillRel("t", 6000, 21)
+	dir := t.TempDir()
+	ec := NewExecContext(context.Background(), 256, 1)
+	ec.SetSpill(dir, 0)
+	ec.SetSpillQuota(2048)
+	root := NewSpillSort("sort", NewScan("scan", rel), "key", sortx.Radix)
+	if _, err := Run(ec, root); err != nil {
+		t.Fatal(err)
+	}
+	prof := CollectProfile(root)
+	if prof[0].SpillBytes == 0 || prof[0].SpillParts == 0 {
+		t.Fatalf("spill counters empty: %+v", prof[0])
+	}
+	text := prof.String()
+	if want := "spilled"; !strings.Contains(text, want) {
+		t.Fatalf("profile rendering missing %q:\n%s", want, text)
+	}
+}
+
+// BenchmarkExternalSort is the bench guard for spill-capable sorting: the
+// idle-spill variant (directory armed, nothing flushed) must track the plain
+// in-memory sort, and the forced variant prices the disk round-trip.
+func BenchmarkExternalSort(b *testing.B) {
+	rel := spillRel("t", 200_000, 17)
+	inMemory := func() Operator {
+		return NewBreaker1("sort", NewScan("scan", rel),
+			func(ec *ExecContext, in *storage.Relation) (*storage.Relation, error) {
+				return physical.SortRelParCtl(in, "key", sortx.Radix, 1, ec.Ctl())
+			})
+	}
+	spillSort := func() Operator {
+		return NewSpillSort("sort", NewScan("scan", rel), "key", sortx.Radix)
+	}
+	run := func(b *testing.B, build func() Operator, quota int64) {
+		dir := b.TempDir()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ec := NewExecContext(context.Background(), 4096, 1)
+			ec.SetSpill(dir, 0)
+			if quota > 0 {
+				ec.SetSpillQuota(quota)
+			}
+			if _, err := Run(ec, build()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("in-memory", func(b *testing.B) { run(b, inMemory, 0) })
+	b.Run("spill-idle", func(b *testing.B) { run(b, spillSort, 0) })
+	b.Run("spill-forced", func(b *testing.B) { run(b, spillSort, 256<<10) })
+}

@@ -24,6 +24,9 @@ const (
 	PointPhysicalBuild   = "physical.join.build" // parallel hash-join build phase
 	PointPhysicalScatter = "physical.scatter"    // radix partition scatter workers
 	PointReplanSplice    = "core.replan.splice"  // before a re-planned suffix is spliced in
+	PointSpillWrite      = "spill.write"         // before each spill frame hits disk (disk-full, short write)
+	PointSpillRead       = "spill.read"          // before each spill frame is read back (corrupt frame)
+	PointSpillCleanup    = "spill.cleanup"       // before spill temp files are removed
 )
 
 // Points lists every registered failure point, for coverage reporting.
@@ -38,4 +41,7 @@ var Points = []string{
 	PointPhysicalBuild,
 	PointPhysicalScatter,
 	PointReplanSplice,
+	PointSpillWrite,
+	PointSpillRead,
+	PointSpillCleanup,
 }

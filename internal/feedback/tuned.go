@@ -73,3 +73,9 @@ func (t *Tuned) Join(c physio.JoinChoice, build, probe, keyDistinct float64) flo
 // Parallel delegates untouched: the parallelism discount is a property of
 // the fan-out machinery, not of any one granule family.
 func (t *Tuned) Parallel(c float64, dop int) float64 { return t.base.Parallel(c, dop) }
+
+// Spill delegates untouched: the spill surcharge is a property of the disk
+// round trip, not of any one granule family, and spill twins are only in
+// play when nothing in-memory fits — there is no competing family whose
+// relative cost feedback could sharpen.
+func (t *Tuned) Spill(c, rows, passes float64) float64 { return t.base.Spill(c, rows, passes) }

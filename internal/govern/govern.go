@@ -12,6 +12,7 @@ package govern
 
 import (
 	"context"
+	"errors"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 // unlimited, nothing tracked).
 type Budget struct {
 	limit int64 // immutable after NewBudget; 0 means track-only, no limit
+	kind  error // taxonomy sentinel Reserve fails with; nil = ErrMemoryBudgetExceeded
 	used  atomic.Int64
 	peak  atomic.Int64
 }
@@ -39,6 +41,16 @@ func NewBudget(limit int64) *Budget {
 	return &Budget{limit: limit}
 }
 
+// NewDiskBudget returns a budget accounting spilled disk bytes: same
+// semantics as NewBudget, but Reserve fails with a typed
+// qerr.ErrSpillLimitExceeded instead of the memory sentinel.
+func NewDiskBudget(limit int64) *Budget {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Budget{limit: limit, kind: qerr.ErrSpillLimitExceeded}
+}
+
 // Reserve adds n bytes to the account, failing (and leaving the account
 // unchanged) if that would exceed the limit. n <= 0 is a no-op.
 func (b *Budget) Reserve(n int64) error {
@@ -48,8 +60,15 @@ func (b *Budget) Reserve(n int64) error {
 	used := b.used.Add(n)
 	if b.limit > 0 && used > b.limit {
 		b.used.Add(-n)
-		return qerr.New(qerr.ErrMemoryBudgetExceeded,
-			"need %d bytes, %d of %d in use", n, used-n, b.limit)
+		kind := b.kind
+		noun := "in use"
+		if kind == nil {
+			kind = qerr.ErrMemoryBudgetExceeded
+		} else {
+			noun = "spilled"
+		}
+		return qerr.New(kind,
+			"need %d bytes, %d of %d %s", n, used-n, b.limit, noun)
 	}
 	for {
 		p := b.peak.Load()
@@ -92,11 +111,27 @@ func (b *Budget) Limit() int64 {
 }
 
 // Ctl is the governance handle threaded into kernels: cancellation plus the
-// memory budget. A nil *Ctl never cancels and never limits, so kernels can
-// call its methods unconditionally.
+// memory budget, an optional disk budget for spilled run files, and the
+// label of the operator the handle was cut for (so a failed Reserve names
+// the culprit kernel). A nil *Ctl never cancels and never limits, so kernels
+// can call its methods unconditionally.
 type Ctl struct {
-	Ctx context.Context
-	Mem *Budget
+	Ctx   context.Context
+	Mem   *Budget
+	Disk  *Budget // spilled-bytes account; nil = spilling untracked
+	Label string  // requesting operator, prefixed onto budget failures
+}
+
+// For returns a copy of the handle labelled with the requesting operator, so
+// budget failures inside that operator's kernels name it. Nil receiver or
+// empty label returns the handle unchanged.
+func (c *Ctl) For(label string) *Ctl {
+	if c == nil || label == "" || c.Label == label {
+		return c
+	}
+	n := *c
+	n.Label = label
+	return &n
 }
 
 // Err reports the query's cancellation state mapped onto the error taxonomy
@@ -111,12 +146,44 @@ func (c *Ctl) Err() error {
 	return nil
 }
 
-// Reserve charges n bytes against the budget (no-op on nil receiver).
+// Reserve charges n bytes against the budget (no-op on nil receiver). When
+// the handle is labelled, a budget failure is re-issued with the operator
+// label prefixed so post-mortems can name the kernel that hit the wall.
 func (c *Ctl) Reserve(n int64) error {
 	if c == nil {
 		return nil
 	}
-	return c.Mem.Reserve(n)
+	return c.label(c.Mem.Reserve(n))
+}
+
+// ReserveDisk charges n spilled bytes against the disk budget (no-op on nil
+// receiver or when no disk budget is configured).
+func (c *Ctl) ReserveDisk(n int64) error {
+	if c == nil {
+		return nil
+	}
+	return c.label(c.Disk.Reserve(n))
+}
+
+// ReleaseDisk returns n spilled bytes to the disk budget.
+func (c *Ctl) ReleaseDisk(n int64) {
+	if c == nil {
+		return
+	}
+	c.Disk.Release(n)
+}
+
+// label prefixes the operator label onto a typed budget error.
+func (c *Ctl) label(err error) error {
+	if err == nil || c.Label == "" {
+		return err
+	}
+	var qe *qerr.Error
+	if errors.As(err, &qe) {
+		return &qerr.Error{Kind: qe.Kind, Cause: qe.Cause,
+			Msg: "operator " + c.Label + ": " + qe.Msg, Stack: qe.Stack}
+	}
+	return err
 }
 
 // Release returns n bytes to the budget (no-op on nil receiver).
@@ -125,6 +192,30 @@ func (c *Ctl) Release(n int64) {
 		return
 	}
 	c.Mem.Release(n)
+}
+
+// Spill-grant policy: how much working memory a spilling operator may hold
+// before it must flush a run to disk. A quarter of the memory budget keeps
+// run files large enough to merge in one pass for modest overcommits, while
+// the floor stops degenerate budgets from producing per-row frames.
+const (
+	minSpillRun     = 32 << 10 // 32 KiB floor on the in-memory run quota
+	defaultSpillRun = 8 << 20  // run quota when the query is unlimited
+)
+
+// SpillRunQuota reports the spill grant for a query governed by mem: the
+// byte size a spilling operator's in-memory run may reach before it must be
+// flushed to disk. Unlimited budgets get a fixed default so spill-enabled
+// operators still bound their buffering.
+func SpillRunQuota(mem *Budget) int64 {
+	if mem.Limit() <= 0 {
+		return defaultSpillRun
+	}
+	q := mem.Limit() / 4
+	if q < minSpillRun {
+		q = minSpillRun
+	}
+	return q
 }
 
 // Gate is a DB-level admission controller: at most maxActive queries run at

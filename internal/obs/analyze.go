@@ -29,6 +29,11 @@ type AnalyzeRow struct {
 	// Replanned marks an operator whose kernel was swapped mid-query by a
 	// re-planning splice; its estimates describe the plan before the switch.
 	Replanned bool
+
+	// Spill accounting, nonzero only for operators that wrote run files.
+	SpillBytes  int64
+	SpillParts  int64
+	SpillPasses int64
 }
 
 // RenderAnalyze renders EXPLAIN ANALYZE rows as an aligned table with
@@ -63,6 +68,9 @@ func RenderAnalyze(rows []AnalyzeRow, total time.Duration) string {
 		c.vals[0] = strings.Repeat("  ", r.Depth) + r.Label
 		if r.Replanned {
 			c.vals[0] += " [replanned]"
+		}
+		if r.SpillBytes > 0 {
+			c.vals[0] += fmt.Sprintf(" [spilled %d parts, %s]", r.SpillParts, FmtBytes(r.SpillBytes))
 		}
 		c.vals[2] = fmt.Sprintf("%d", r.ActRows)
 		c.vals[5] = fmtDur(r.ActSelf)

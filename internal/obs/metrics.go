@@ -33,6 +33,8 @@ type Collector struct {
 	admWait      time.Duration
 	alternatives int64
 	memHighWater int64
+	spillQueries int64
+	spillBytes   int64
 }
 
 type modeCount struct {
@@ -96,6 +98,15 @@ func (c *Collector) ObserveMemPeak(bytes int64) {
 	c.mu.Unlock()
 }
 
+// ObserveSpill counts one query that spilled to disk and the run-file bytes
+// it wrote (cumulative across all of its spilling operators).
+func (c *Collector) ObserveSpill(bytes int64) {
+	c.mu.Lock()
+	c.spillQueries++
+	c.spillBytes += bytes
+	c.mu.Unlock()
+}
+
 // Snapshot returns a consistent copy of the collected metrics. The
 // DB-level gauges (admission queue/running, plan-cache counters, executor
 // morsel counters) are zero here; DB.Metrics fills them in.
@@ -112,6 +123,8 @@ func (c *Collector) Snapshot() Snapshot {
 		AdmissionWait:         c.admWait,
 		OptimizerAlternatives: c.alternatives,
 		MemHighWater:          c.memHighWater,
+		SpilledQueries:        c.spillQueries,
+		SpilledBytes:          c.spillBytes,
 	}
 	for mode, mc := range c.modes {
 		ms := ModeSnapshot{OK: mc.ok, Errors: make(map[string]int64, len(mc.errs))}
@@ -177,6 +190,9 @@ type Snapshot struct {
 	MorselRows int64 // rows in those batches
 
 	MemHighWater int64 // bytes: largest per-query peak seen
+
+	SpilledQueries int64 // queries that wrote at least one spill run file
+	SpilledBytes   int64 // cumulative run-file bytes written by those queries
 }
 
 // WriteProm writes the snapshot in the Prometheus text exposition format.
@@ -235,6 +251,12 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	pf("# HELP dqo_mem_highwater_bytes Largest per-query memory peak observed.\n")
 	pf("# TYPE dqo_mem_highwater_bytes gauge\n")
 	pf("dqo_mem_highwater_bytes %d\n", s.MemHighWater)
+	pf("# HELP dqo_spill_queries_total Queries that spilled at least one run file to disk.\n")
+	pf("# TYPE dqo_spill_queries_total counter\n")
+	pf("dqo_spill_queries_total %d\n", s.SpilledQueries)
+	pf("# HELP dqo_spill_bytes_total Run-file bytes written by spilling queries.\n")
+	pf("# TYPE dqo_spill_bytes_total counter\n")
+	pf("dqo_spill_bytes_total %d\n", s.SpilledBytes)
 	return err
 }
 

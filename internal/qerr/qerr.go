@@ -7,6 +7,8 @@
 //	ErrMemoryBudgetExceeded    the query tried to reserve past QueryOptions.MemoryLimit
 //	ErrQueueFull               the admission gate rejected the query
 //	ErrInternal                a panic inside the engine, converted to an error
+//	ErrSpillLimitExceeded      spilled run files outgrew QueryOptions.SpillLimit
+//	ErrSpillIO                 a spill temp file could not be written, read back, or removed
 //
 // Wrapped errors keep their cause: errors.Is(err, qerr.ErrCancelled) and
 // errors.Is(err, context.Canceled) both hold for a cancellation, so existing
@@ -27,6 +29,8 @@ var (
 	ErrMemoryBudgetExceeded = errors.New("query memory budget exceeded")
 	ErrQueueFull            = errors.New("admission queue full")
 	ErrInternal             = errors.New("internal error")
+	ErrSpillLimitExceeded   = errors.New("query spill-disk budget exceeded")
+	ErrSpillIO              = errors.New("spill file I/O failed")
 )
 
 // Error is a typed engine error: a taxonomy Kind, an optional underlying
@@ -113,7 +117,7 @@ func From(err error) error {
 
 // Kind reports the taxonomy sentinel for err, or nil if err carries none.
 func Kind(err error) error {
-	for _, k := range []error{ErrCancelled, ErrTimeout, ErrMemoryBudgetExceeded, ErrQueueFull, ErrInternal} {
+	for _, k := range []error{ErrCancelled, ErrTimeout, ErrMemoryBudgetExceeded, ErrQueueFull, ErrInternal, ErrSpillLimitExceeded, ErrSpillIO} {
 		if errors.Is(err, k) {
 			return k
 		}

@@ -1,0 +1,241 @@
+package spill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+
+	"dqo/internal/qerr"
+	"dqo/internal/storage"
+)
+
+// encodeFrame serialises rel into buf (payload only — the caller frames it
+// with magic/length/checksum). dicts tracks which columns' dictionaries
+// this run has already carried, so each dictionary is written once per run.
+func encodeFrame(buf *bytes.Buffer, rel *storage.Relation, dicts *map[string]bool) error {
+	var scratch [8]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		buf.Write(scratch[:4])
+	}
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		buf.Write(scratch[:8])
+	}
+	putStr := func(s string) {
+		putU32(uint32(len(s)))
+		buf.WriteString(s)
+	}
+
+	cols := rel.Columns()
+	putStr(rel.Name())
+	putU32(uint32(len(cols)))
+	putU32(uint32(rel.NumRows()))
+	for _, c := range cols {
+		buf.WriteByte(byte(c.Kind()))
+		hasDict := byte(0)
+		if c.Kind() == storage.KindString {
+			if *dicts == nil {
+				*dicts = make(map[string]bool)
+			}
+			if !(*dicts)[c.Name()] {
+				hasDict = 1
+				(*dicts)[c.Name()] = true
+			}
+		}
+		buf.WriteByte(hasDict)
+		putStr(c.Name())
+		if hasDict == 1 {
+			d := c.Dict()
+			putU32(uint32(d.Len()))
+			for i := 0; i < d.Len(); i++ {
+				putStr(d.Lookup(uint32(i)))
+			}
+		}
+		switch c.Kind() {
+		case storage.KindUint32, storage.KindString:
+			for _, v := range c.Uint32s() {
+				putU32(v)
+			}
+		case storage.KindUint64:
+			for _, v := range c.Uint64s() {
+				putU64(v)
+			}
+		case storage.KindInt64:
+			for _, v := range c.Int64s() {
+				putU64(uint64(v))
+			}
+		case storage.KindFloat64:
+			for _, v := range c.Float64s() {
+				putU64(math.Float64bits(v))
+			}
+		default:
+			return qerr.New(qerr.ErrSpillIO, "cannot spill column %q of kind %v", c.Name(), c.Kind())
+		}
+	}
+	return nil
+}
+
+// frameReader is a bounds-checked cursor over a frame payload; any
+// truncation surfaces as a typed corrupt-frame error.
+type frameReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (f *frameReader) take(n int) []byte {
+	if f.err != nil {
+		return nil
+	}
+	if f.off+n > len(f.b) {
+		f.err = qerr.New(qerr.ErrSpillIO, "corrupt spill frame: truncated payload (%d of %d bytes)", len(f.b), f.off+n)
+		return nil
+	}
+	s := f.b[f.off : f.off+n]
+	f.off += n
+	return s
+}
+
+func (f *frameReader) u8() byte {
+	s := f.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (f *frameReader) u32() uint32 {
+	s := f.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (f *frameReader) u64() uint64 {
+	s := f.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (f *frameReader) str() string {
+	n := int(f.u32())
+	s := f.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// decodeFrame reconstructs a relation from a frame payload. String columns
+// are re-interned through the dicts pool so every batch of a column shares
+// one dictionary with the original code assignment (see Run.Open). remaps
+// carries frame-code → pool-code translations across a run's frames (later
+// frames reference the dictionary of the first without re-carrying it); it
+// stays empty when the pool already holds the original dictionaries.
+func decodeFrame(payload []byte, dicts map[string]*storage.Dict, remaps map[string][]uint32) (*storage.Relation, error) {
+	f := &frameReader{b: payload}
+	name := f.str()
+	ncols := int(f.u32())
+	nrows := int(f.u32())
+	if f.err != nil {
+		return nil, f.err
+	}
+	if ncols < 0 || ncols > 1<<20 || nrows < 0 {
+		return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: %d columns, %d rows", ncols, nrows)
+	}
+	cols := make([]*storage.Column, 0, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		kind := storage.Kind(f.u8())
+		hasDict := f.u8()
+		cname := f.str()
+		if f.err != nil {
+			return nil, f.err
+		}
+		if hasDict == 1 {
+			nd := int(f.u32())
+			pool := dicts[cname]
+			if pool == nil {
+				pool = storage.NewDict()
+				dicts[cname] = pool
+			}
+			var remap []uint32 // frame code -> pool code, nil when identical
+			for i := 0; i < nd; i++ {
+				s := f.str()
+				if f.err != nil {
+					return nil, f.err
+				}
+				code := pool.Intern(s)
+				if code != uint32(i) && remap == nil {
+					remap = make([]uint32, nd)
+					for j := 0; j < i; j++ {
+						remap[j] = uint32(j)
+					}
+				}
+				if remap != nil {
+					remap[i] = code
+				}
+			}
+			if remap != nil {
+				remaps[cname] = remap
+			}
+		}
+		remap := remaps[cname]
+		switch kind {
+		case storage.KindUint32:
+			vals := make([]uint32, nrows)
+			for i := range vals {
+				vals[i] = f.u32()
+			}
+			cols = append(cols, storage.NewUint32(cname, vals))
+		case storage.KindString:
+			pool := dicts[cname]
+			if pool == nil {
+				return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: string column %q before its dictionary", cname)
+			}
+			codes := make([]uint32, nrows)
+			for i := range codes {
+				c := f.u32()
+				if remap != nil {
+					if int(c) >= len(remap) {
+						return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: code %d outside dictionary (%d)", c, len(remap))
+					}
+					c = remap[c]
+				}
+				codes[i] = c
+			}
+			cols = append(cols, storage.NewStringCodes(cname, codes, pool))
+		case storage.KindUint64:
+			vals := make([]uint64, nrows)
+			for i := range vals {
+				vals[i] = f.u64()
+			}
+			cols = append(cols, storage.NewUint64(cname, vals))
+		case storage.KindInt64:
+			vals := make([]int64, nrows)
+			for i := range vals {
+				vals[i] = int64(f.u64())
+			}
+			cols = append(cols, storage.NewInt64(cname, vals))
+		case storage.KindFloat64:
+			vals := make([]float64, nrows)
+			for i := range vals {
+				vals[i] = math.Float64frombits(f.u64())
+			}
+			cols = append(cols, storage.NewFloat64(cname, vals))
+		default:
+			return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: column %q has invalid kind %d", cname, kind)
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+	}
+	rel, err := storage.NewRelation(name, cols...)
+	if err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return rel, nil
+}

@@ -1,0 +1,326 @@
+// Package spill provides budget-accounted temp-file runs for operators that
+// outgrow their memory budget: a per-query Dir of run files, a RunWriter
+// that serialises relation batches into CRC-checksummed frames, and a
+// RunReader that streams them back. Every byte written is charged against
+// the query's disk budget (qerr.ErrSpillLimitExceeded past the limit), every
+// I/O failure surfaces as a typed qerr.ErrSpillIO, and Dir.Cleanup removes
+// the whole directory no matter how the query ended — the executor calls it
+// from the drive loop's deferred close path, so cancelled and panicking
+// queries leak neither files nor descriptors.
+//
+// Frame format (little-endian), one frame per appended batch:
+//
+//	magic   uint32  "DQSP"
+//	length  uint32  payload bytes
+//	crc32   uint32  IEEE checksum of the payload
+//	payload:
+//	  ncols uint32, nrows uint32
+//	  per column:
+//	    kind uint8, hasDict uint8, len(name) uint16, name bytes
+//	    [hasDict: ndict uint32, then per string: len uint32, bytes]
+//	    raw values (uint32/codes: 4 B per row; 64-bit kinds: 8 B per row)
+//
+// A dictionary is serialised in full (all codes in order) the first time a
+// string column appears in a run; readers re-intern it into the caller's
+// dictionary pool so reconstructed columns keep the original code
+// assignment — dictionary codes order sorts and groupings, so code fidelity
+// is what makes spilled plans byte-identical to in-memory ones.
+package spill
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dqo/internal/faultinject"
+	"dqo/internal/govern"
+	"dqo/internal/qerr"
+	"dqo/internal/storage"
+)
+
+const frameMagic uint32 = 0x44515350 // "DQSP"
+
+// Dir is a per-query spill directory: it hands out run files, accounts
+// their bytes against the query's disk budget, and removes everything on
+// Cleanup. Safe for concurrent use.
+type Dir struct {
+	path    string
+	ctl     *govern.Ctl // disk-budget account (nil-safe)
+	mu      sync.Mutex
+	nextID  int
+	live    int64 // bytes currently on disk (released on run removal)
+	written atomic.Int64
+	removed bool
+}
+
+// NewDir creates a fresh spill directory under parent (os.TempDir() when
+// empty), charging disk bytes against ctl's disk budget.
+func NewDir(parent string, ctl *govern.Ctl) (*Dir, error) {
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	path, err := os.MkdirTemp(parent, "dqo-spill-*")
+	if err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return &Dir{path: path, ctl: ctl}, nil
+}
+
+// Path reports the directory holding this query's run files.
+func (d *Dir) Path() string { return d.path }
+
+// Written reports the total bytes ever written to this directory's runs
+// (monotonic; removal of a run does not subtract).
+func (d *Dir) Written() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.written.Load()
+}
+
+// Cleanup removes the spill directory and everything in it, releasing the
+// disk-budget bytes still accounted to live runs. It is idempotent; the
+// first failure is reported as a typed qerr.ErrSpillIO.
+func (d *Dir) Cleanup() error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.removed {
+		return nil
+	}
+	d.removed = true
+	d.ctl.ReleaseDisk(d.live)
+	d.live = 0
+	if err := faultinject.Fire(faultinject.PointSpillCleanup); err != nil {
+		os.RemoveAll(d.path) // injected failure still must not leak files
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if err := os.RemoveAll(d.path); err != nil {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return nil
+}
+
+// NewRun opens a fresh run file for writing. The label only names the file
+// for post-mortem inspection of a kept spill directory.
+func (d *Dir) NewRun(label string) (*RunWriter, error) {
+	d.mu.Lock()
+	if d.removed {
+		d.mu.Unlock()
+		return nil, qerr.New(qerr.ErrSpillIO, "spill directory already cleaned up")
+	}
+	id := d.nextID
+	d.nextID++
+	d.mu.Unlock()
+	name := filepath.Join(d.path, fmt.Sprintf("run-%04d-%s.dqs", id, sanitize(label)))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return &RunWriter{d: d, f: f, w: bufio.NewWriterSize(f, 64<<10), path: name}, nil
+}
+
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	if len(b) > 32 {
+		b = b[:32]
+	}
+	return string(b)
+}
+
+// account charges freshly written bytes to the disk budget and the
+// directory's live total.
+func (d *Dir) account(n int64) error {
+	if err := d.ctl.ReserveDisk(n); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.live += n
+	d.mu.Unlock()
+	d.written.Add(n)
+	return nil
+}
+
+// forget releases removed-run bytes back to the disk budget.
+func (d *Dir) forget(n int64) {
+	d.mu.Lock()
+	if d.removed {
+		d.mu.Unlock()
+		return // Cleanup already released everything
+	}
+	d.live -= n
+	d.mu.Unlock()
+	d.ctl.ReleaseDisk(n)
+}
+
+// RunWriter serialises relation batches into one run file. Not safe for
+// concurrent use.
+type RunWriter struct {
+	d     *Dir
+	f     *os.File
+	w     *bufio.Writer
+	path  string
+	bytes int64
+	rows  int64
+	dicts map[string]bool // columns whose dictionary is already in this run
+	buf   bytes.Buffer
+}
+
+// Append serialises rel as one checksummed frame at the end of the run,
+// charging the frame bytes against the disk budget first.
+func (w *RunWriter) Append(rel *storage.Relation) error {
+	if err := faultinject.Fire(faultinject.PointSpillWrite); err != nil {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	w.buf.Reset()
+	if err := encodeFrame(&w.buf, rel, &w.dicts); err != nil {
+		return err
+	}
+	payload := w.buf.Bytes()
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(payload))
+	frame := int64(len(hdr) + len(payload))
+	if err := w.d.account(frame); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if n, err := w.w.Write(payload); err != nil {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	} else if n != len(payload) {
+		return qerr.New(qerr.ErrSpillIO, "short write: %d of %d bytes", n, len(payload))
+	}
+	w.bytes += frame
+	w.rows += int64(rel.NumRows())
+	return nil
+}
+
+// BytesWritten reports the run bytes written so far (frames + headers).
+func (w *RunWriter) BytesWritten() int64 { return w.bytes }
+
+// Finish flushes and closes the run file, returning a handle for reading it
+// back.
+func (w *RunWriter) Finish() (*Run, error) {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return &Run{d: w.d, path: w.path, Bytes: w.bytes, Rows: w.rows}, nil
+}
+
+// Abort closes and deletes a half-written run, returning its bytes to the
+// disk budget.
+func (w *RunWriter) Abort() {
+	w.f.Close()
+	os.Remove(w.path)
+	w.d.forget(w.bytes)
+}
+
+// Run is a finished, readable run file.
+type Run struct {
+	d     *Dir
+	path  string
+	Bytes int64
+	Rows  int64
+}
+
+// Open returns a reader streaming the run's frames back. Readers
+// reconstruct string columns through dicts, a pool keyed by column name:
+// seeding it with the original columns' dictionaries makes decoded batches
+// share those exact dictionary objects (and code assignment), which keeps
+// spilled results byte-identical and lets storage.Concat take its
+// shared-dictionary fast path. A nil pool re-interns per run.
+func (r *Run) Open(dicts map[string]*storage.Dict) (*RunReader, error) {
+	f, err := os.Open(r.path)
+	if err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if dicts == nil {
+		dicts = make(map[string]*storage.Dict)
+	}
+	return &RunReader{f: f, r: bufio.NewReaderSize(f, 64<<10), dicts: dicts,
+		remaps: make(map[string][]uint32)}, nil
+}
+
+// Remove deletes the run file early (before Cleanup), releasing its bytes
+// from the disk budget so long-running queries return spill space as merge
+// passes retire their inputs.
+func (r *Run) Remove() error {
+	if err := os.Remove(r.path); err != nil && !os.IsNotExist(err) {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	r.d.forget(r.Bytes)
+	r.Bytes = 0
+	return nil
+}
+
+// RunReader streams a run's frames back as relations. Not safe for
+// concurrent use.
+type RunReader struct {
+	f      *os.File
+	r      *bufio.Reader
+	dicts  map[string]*storage.Dict
+	remaps map[string][]uint32
+	buf    []byte
+}
+
+// Next returns the run's next batch, or (nil, nil) once the run is
+// exhausted. A corrupt frame (bad magic or checksum mismatch) is a typed
+// qerr.ErrSpillIO.
+func (r *RunReader) Next() (*storage.Relation, error) {
+	if err := faultinject.Fire(faultinject.PointSpillRead); err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[8:]); got != want {
+		return nil, qerr.New(qerr.ErrSpillIO, "corrupt spill frame: checksum %#x, want %#x", got, want)
+	}
+	return decodeFrame(payload, r.dicts, r.remaps)
+}
+
+// Close releases the reader's file descriptor.
+func (r *RunReader) Close() error {
+	if err := r.f.Close(); err != nil {
+		return qerr.Wrap(qerr.ErrSpillIO, err)
+	}
+	return nil
+}

@@ -111,6 +111,11 @@ func (db *DB) observe(tracer Tracer, mode Mode, query string, start time.Time,
 		db.metrics.ObserveMemPeak(peak)
 	}
 	if res != nil {
+		if n := res.SpilledBytes(); n > 0 {
+			db.metrics.ObserveSpill(n)
+		}
+	}
+	if res != nil {
 		res.phases = *pt
 	}
 	if tracer == nil {
@@ -202,6 +207,9 @@ func profileSpans(prof exec.Profile, start time.Duration) []*obs.Span {
 		}
 		if s.Replans > 0 {
 			sp.SetAttr("replanned", fmt.Sprintf("%d", s.Replans))
+		}
+		if s.SpillBytes > 0 {
+			sp.SetAttr("spilled", fmt.Sprintf("%d parts, %s", s.SpillParts, obs.FmtBytes(s.SpillBytes)))
 		}
 		if s.Depth < 0 || s.Depth > len(stack) {
 			continue // malformed profile; skip rather than panic

@@ -13,14 +13,16 @@ type QueryOption func(*queryConfig)
 
 // queryConfig is the resolved option set of one query.
 type queryConfig struct {
-	workers   int
-	morsel    int
-	memLimit  int64
-	beam      int
-	reopt     float64 // misestimation factor triggering mid-query re-planning (0 = off)
-	timeout   time.Duration
-	tracer    obs.Tracer
-	tracerSet bool // distinguishes WithTracer(nil) from "use the DB tracer"
+	workers    int
+	morsel     int
+	memLimit   int64
+	beam       int
+	reopt      float64 // misestimation factor triggering mid-query re-planning (0 = off)
+	timeout    time.Duration
+	tracer     obs.Tracer
+	tracerSet  bool   // distinguishes WithTracer(nil) from "use the DB tracer"
+	spillDir   string // spill-to-disk parent directory ("" = spilling off)
+	spillLimit int64  // cap on live spill bytes (<= 0 = unlimited)
 }
 
 func resolveOptions(opts []QueryOption) queryConfig {
@@ -55,6 +57,27 @@ func WithMorselSize(rows int) QueryOption {
 // without the option.
 func WithMemoryLimit(bytes int64) QueryOption {
 	return func(c *queryConfig) { c.memLimit = bytes }
+}
+
+// WithSpillDir arms spill-to-disk execution for queries that outgrow their
+// WithMemoryLimit budget: instead of pruning to a plan the runtime budget
+// aborts, the optimiser enumerates disk-backed twins of the breaker kernels
+// (external merge sort, grace hash join, spilling hash aggregation) whose
+// run files live in a temp directory created under dir ("" falls back to
+// the OS temp directory at query time via WithSpillDir(os.TempDir()) —
+// passing the empty string leaves spilling off). Results are byte-identical
+// to the unlimited in-memory run; any plan that fits the budget is chosen
+// exactly as without the option. The directory and every run file are
+// removed when the query ends, however it ends.
+func WithSpillDir(dir string) QueryOption {
+	return func(c *queryConfig) { c.spillDir = dir }
+}
+
+// WithSpillLimit caps the query's live spill-file bytes on disk; past the
+// cap, spill writes fail the query with ErrSpillLimitExceeded. <= 0 is
+// unlimited. It has no effect unless WithSpillDir armed spilling.
+func WithSpillLimit(bytes int64) QueryOption {
+	return func(c *queryConfig) { c.spillLimit = bytes }
 }
 
 // WithBeam caps the optimiser's DP table at the k cheapest

@@ -52,6 +52,17 @@ func (r *Result) Trace() *QueryTrace { return r.trace }
 // peak in the execution profile.
 func (r *Result) PeakBytes() int64 { return resultPeakBytes(r) }
 
+// SpilledBytes reports the total run-file bytes the query wrote to disk
+// across all operators — 0 when nothing spilled, including spill-lowered
+// plans whose input turned out to fit in memory.
+func (r *Result) SpilledBytes() int64 {
+	var n int64
+	for _, s := range r.profile {
+		n += s.SpillBytes
+	}
+	return n
+}
+
 // OpStat is one operator's measured execution profile: what actually
 // happened at run time, as opposed to the optimiser's estimates. Depth is
 // the operator's depth in the executed plan tree (0 = root).
@@ -66,6 +77,13 @@ type OpStat struct {
 	PeakBytes int64         // high-water estimate of bytes held
 	DOP       int64         // effective degree of parallelism (1 = serial)
 	Replans   int64         // mid-query re-planning splices taken at this operator
+
+	// Spill accounting, nonzero only for operators that actually touched
+	// disk (a spill-lowered breaker whose input fit in memory spills
+	// nothing and reports zeros).
+	SpillBytes  int64 // run-file bytes written by this operator
+	SpillParts  int64 // run files / partitions written
+	SpillPasses int64 // extra disk passes (merge rounds, re-partitionings)
 }
 
 // Stats returns the per-operator execution profile in pre-order (root
