@@ -1,0 +1,30 @@
+// External test package: benchkit imports dqo (the serve experiment drives
+// the public API), so the A4 benchmark that drives benchkit must live
+// outside package dqo to avoid an import cycle in the test binary.
+package dqo_test
+
+import (
+	"io"
+	"testing"
+
+	"dqo/internal/benchkit"
+)
+
+// BenchmarkAblationAV is A4: optimisation with and without Algorithmic
+// Views (structure AVs change plan costs; the effect on optimisation time
+// itself is measured by the benchkit A4 runner and cmd/dqobench).
+func BenchmarkAblationAV(b *testing.B) {
+	var out io.Writer = io.Discard
+	b.Run("report", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := benchkit.RunAblationAV(benchkit.Figure5Config{RRows: 20000, SRows: 90000, AGroups: 20000, Seed: 42}, out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.CostImprovement, "cost_improvement")
+				b.ReportMetric(res.OptTimeImprovement, "opt_time_improvement")
+			}
+		}
+	})
+}

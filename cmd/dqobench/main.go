@@ -13,6 +13,7 @@
 //	dqobench -experiment plantier [-repeats 25]
 //	dqobench -experiment feedback [-n 2000000]
 //	dqobench -experiment compress [-n 4000000] [-repeats 3]
+//	dqobench -experiment serve [-conns 1000] [-duration 10s]
 //	dqobench -experiment all
 //
 // figure4 reproduces Section 4.2 (grouping performance, four datasets);
@@ -40,7 +41,12 @@
 // compress sweeps the direct-on-compressed kernels (zone-map skipping,
 // run-aware RLE selection/aggregation, delta-space packed comparison)
 // against their decoded twins over cardinality × skew × clustering, always
-// writing the BENCH_compress.json artifact.
+// writing the BENCH_compress.json artifact; serve starts the dqoserve HTTP
+// serving layer on a loopback listener and drives it with -conns concurrent
+// clients in three classes (parameterised one-shot queries, prepare-once/
+// execute-many, and a noisy analytics tenant that deliberately overruns its
+// admission quota), reporting per-class p50/p99/QPS and the plan-cache hit
+// rate, always writing the BENCH_serve.json artifact.
 //
 // -json additionally writes a BENCH_<experiment>.json artifact with the
 // machine-readable rows of each experiment that ran.
@@ -51,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"dqo/internal/benchkit"
 	"dqo/internal/cost"
@@ -60,7 +67,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | spill | observe | plantier | feedback | compress | all")
+		experiment = flag.String("experiment", "all", "figure4 | figure5 | ablations | scaling | budget | spill | observe | plantier | feedback | compress | serve | all")
 		n          = flag.Int("n", 100_000_000, "figure4/ablation dataset size (paper: 100M)")
 		quadrant   = flag.String("quadrant", "", "restrict figure4 to one quadrant (e.g. unsorted-dense)")
 		zoom       = flag.Bool("zoom", false, "add the unsorted-sparse small-group zoom (paper's inset)")
@@ -73,6 +80,8 @@ func main() {
 		csvPath    = flag.String("csv", "", "figure4: also write the measured series to this CSV file")
 		metrics    = flag.String("metrics", "", "observe: write the Prometheus exposition to this file (default stdout)")
 		jsonOut    = flag.Bool("json", false, "also write BENCH_<experiment>.json with the machine-readable rows")
+		conns      = flag.Int("conns", 0, "serve: peak concurrent connections (0 = the default 1000)")
+		duration   = flag.Duration("duration", 0, "serve: measured wall time per concurrency level (0 = the default 10s)")
 	)
 	flag.Parse()
 
@@ -126,6 +135,8 @@ func main() {
 		run("feedback", func() error { return runFeedback(*n, *seed) })
 	case "compress":
 		run("compress", func() error { return runCompress(*n, *repeats, *seed) })
+	case "serve":
+		run("serve", func() error { return runServe(*conns, *duration, *seed) })
 	case "all":
 		run("figure5", func() error { return runFigure5(*execute, *morsel, *seed, *jsonOut) })
 		run("figure4", func() error { return runFigure4(*n, *quadrant, *zoom, *repeats, *seed, *csvPath, *jsonOut) })
@@ -137,6 +148,7 @@ func main() {
 		run("plantier", func() error { return runPlanTier(*repeats, *seed) })
 		run("feedback", func() error { return runFeedback(*n, *seed) })
 		run("compress", func() error { return runCompress(*n, *repeats, *seed) })
+		run("serve", func() error { return runServe(*conns, *duration, *seed) })
 	default:
 		fmt.Fprintf(os.Stderr, "dqobench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -328,6 +340,23 @@ func runPlanTier(repeats int, seed uint64) error {
 	}
 	// The Pareto artifact is the experiment's deliverable; write it always.
 	return writeArtifact("plantier", report.Config, report.Rows, report.Checks)
+}
+
+func runServe(conns int, duration time.Duration, seed uint64) error {
+	cfg := benchkit.DefaultServe()
+	cfg.Seed = seed
+	if conns > 0 {
+		cfg.Conns = conns
+	}
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	report, err := benchkit.RunServe(cfg, os.Stdout)
+	if err != nil {
+		return err
+	}
+	// The serving artifact is the experiment's deliverable; write it always.
+	return writeArtifact("serve", report.Config, report, report.Checks)
 }
 
 func runCompress(n int, repeats int, seed uint64) error {

@@ -1,0 +1,128 @@
+// Command dqoserve runs the dqo engine behind an HTTP/JSON serving layer:
+// sessions, server-side prepared statements riding the parameterised plan
+// cache, per-tenant admission control, and graceful degradation under load.
+//
+// Endpoints:
+//
+//	POST /query       {"sql": "...", "mode": "cal", "args": [...]}   one-shot query
+//	POST /session     {"tenant": "team-a"}                           open a session
+//	DELETE /session/{id}                                             close it
+//	POST /prepare     {"session": "...", "sql": "SELECT ... ?"}      prepare once
+//	POST /execute     {"session": "...", "stmt": "s1", "args": [7]}  execute many
+//	GET  /metrics     engine + serving-layer Prometheus exposition
+//	GET  /healthz     200 while serving, 503 while draining
+//
+// The server starts with the paper's R/S demo schema loaded (same data as
+// dqoshell) and the plan cache enabled, so repeated statement shapes plan
+// once. SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503,
+// new queries are refused, and in-flight queries finish before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dqo"
+	"dqo/internal/datagen"
+	"dqo/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		mode         = flag.String("mode", "cal", "default optimisation mode: sqo|dqo|cal|greedy")
+		maxActive    = flag.Int("max-active", 0, "concurrently executing queries (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "queued queries beyond the active slots (0 = 4x active)")
+		tenantActive = flag.Int("tenant-active", 0, "per-tenant active slots (0 = no tenant gating)")
+		tenantQueue  = flag.Int("tenant-queue", 0, "per-tenant queue positions")
+		sessionTTL   = flag.Duration("session-ttl", 5*time.Minute, "idle session expiry")
+		maxSessions  = flag.Int("max-sessions", 1024, "session table bound")
+		memPerQuery  = flag.Int64("mem", 0, "per-query memory budget in bytes (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		drainWait    = flag.Duration("drain", 30*time.Second, "max wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+
+	defMode, err := serve.ParseMode(*mode, dqo.ModeDQOCalibrated)
+	if err != nil {
+		log.Fatalf("dqoserve: %v", err)
+	}
+
+	db := dqo.Open()
+	loadDemo(db)
+	db.EnablePlanCache(true)
+
+	srv := serve.New(serve.Config{
+		DB:             db,
+		DefaultMode:    defMode,
+		ModeSet:        true,
+		MaxActive:      *maxActive,
+		MaxQueue:       *maxQueue,
+		TenantActive:   *tenantActive,
+		TenantQueue:    *tenantQueue,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+		MemPerQuery:    *memPerQuery,
+		DefaultTimeout: *timeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGINT/SIGTERM drains: stop advertising health, refuse new queries,
+	// let in-flight ones finish, then close the listener.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		log.Printf("dqoserve: draining (up to %v for in-flight queries)", *drainWait)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("dqoserve: drain incomplete: %v", err)
+		}
+		close(done)
+	}()
+
+	fmt.Printf("dqoserve listening on %s (mode %s) — demo tables R and S loaded\n", *addr, defMode)
+	fmt.Println(`try: curl -s localhost:8080/query -d '{"sql":"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A LIMIT 5"}'`)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dqoserve: %v", err)
+	}
+	<-done
+	log.Println("dqoserve: drained, bye")
+}
+
+// loadDemo registers the paper's R/S foreign-key pair — the same demo data
+// dqoshell starts with, so the curl walkthrough in the README works against
+// either front-end.
+func loadDemo(db *dqo.DB) {
+	cfg := datagen.FKConfig{
+		RRows: 20000, SRows: 90000, AGroups: 2000,
+		RSorted: true, SSorted: true, Dense: true,
+	}
+	r, s := datagen.FKPair(42, cfg)
+	rt := dqo.NewTableBuilder("R").
+		Uint32("ID", r.MustColumn("ID").Uint32s()).
+		Uint32("A", r.MustColumn("A").Uint32s()).
+		MustBuild()
+	rt.DeclareCorrelation("ID", "A")
+	st := dqo.NewTableBuilder("S").
+		Uint32("R_ID", s.MustColumn("R_ID").Uint32s()).
+		Int64("M", s.MustColumn("M").Int64s()).
+		MustBuild()
+	if err := db.Register(rt); err != nil {
+		panic(err)
+	}
+	if err := db.Register(st); err != nil {
+		panic(err)
+	}
+}

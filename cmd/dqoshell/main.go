@@ -28,6 +28,8 @@
 //	\timeout <dur|off>      set a per-query deadline (e.g. \timeout 2s)
 //	\trace                  show the span tree of the last traced query
 //	\metrics                dump DB metrics (Prometheus text exposition)
+//	\connect <addr>         run queries against a dqoserve server (e.g. \connect localhost:8080)
+//	\disconnect             return to the in-process engine
 //	\demo sorted|unsorted [sparse]   regenerate demo tables
 //	\quit
 //
@@ -49,6 +51,7 @@ import (
 
 	"dqo"
 	"dqo/internal/datagen"
+	"dqo/internal/serve"
 )
 
 func main() {
@@ -59,7 +62,8 @@ func main() {
 	beam := 0
 	reopt := 0.0
 	spillDir := ""
-	opts := dqo.QueryOptions{}
+	opts := stickyOpts{}
+	var remote *serve.Client // non-nil after \connect: queries go over HTTP
 
 	fmt.Println("dqo shell — demo tables R (20000 rows) and S (90000 rows) loaded.")
 	fmt.Println(`Try: SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A LIMIT 5`)
@@ -78,7 +82,11 @@ func main() {
 			continue
 		}
 		if !strings.HasPrefix(line, `\`) {
-			runQuery(db, mode, line, showStats, opts, beam, reopt, spillDir)
+			if remote != nil {
+				runRemoteQuery(remote, mode, line)
+			} else {
+				runQuery(db, mode, line, showStats, opts, beam, reopt, spillDir)
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -198,9 +206,37 @@ func main() {
 				fmt.Println("no traced queries yet.")
 			}
 		case `\metrics`:
+			if remote != nil {
+				text, err := remote.Metrics(context.Background())
+				report(text, err)
+				continue
+			}
 			if err := db.WriteMetrics(os.Stdout); err != nil {
 				fmt.Println("error:", err)
 			}
+		case `\connect`:
+			if len(fields) != 2 {
+				fmt.Println("usage: \\connect <addr>  (e.g. \\connect localhost:8080)")
+				continue
+			}
+			base := fields[1]
+			if !strings.Contains(base, "://") {
+				base = "http://" + base
+			}
+			c := serve.NewClient(base, nil)
+			if !c.Healthy(context.Background()) {
+				fmt.Printf("no healthy dqoserve at %s\n", base)
+				continue
+			}
+			remote = c
+			fmt.Printf("connected to %s; queries now run server-side (\\disconnect to return).\n", base)
+		case `\disconnect`:
+			if remote == nil {
+				fmt.Println("not connected.")
+				continue
+			}
+			remote = nil
+			fmt.Println("back to the in-process engine.")
 		case `\mem`:
 			if len(fields) != 2 {
 				fmt.Println("usage: \\mem <bytes|off>")
@@ -341,7 +377,14 @@ func report(text string, err error) {
 	fmt.Println(text)
 }
 
-func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.QueryOptions, beam int, reopt float64, spillDir string) {
+// stickyOpts are the shell's sticky per-query settings, converted into
+// functional options by queryOpts on each run.
+type stickyOpts struct {
+	MemoryLimit int64
+	Timeout     time.Duration
+}
+
+func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts stickyOpts, beam int, reopt float64, spillDir string) {
 	// First Ctrl-C while the query runs cancels its context; the executor
 	// unwinds at the next morsel boundary and we return to the prompt. A
 	// second Ctrl-C (query stuck or user impatient) exits the shell cleanly.
@@ -394,6 +437,62 @@ func runQuery(db *dqo.DB, mode dqo.Mode, query string, showStats bool, opts dqo.
 	}
 }
 
+// runRemoteQuery sends one query to the connected dqoserve server and
+// renders the JSON result as a table, clipped like the local path.
+func runRemoteQuery(c *serve.Client, mode dqo.Mode, query string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	resp, err := c.Query(ctx, mode.String(), query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var b strings.Builder
+	widths := make([]int, len(resp.Columns))
+	for j, n := range resp.Columns {
+		widths[j] = len(n)
+	}
+	rows := make([][]string, len(resp.Rows))
+	for i, row := range resp.Rows {
+		rows[i] = make([]string, len(row))
+		for j, v := range row {
+			rows[i][j] = fmt.Sprint(v)
+			if j < len(widths) && len(rows[i][j]) > widths[j] {
+				widths[j] = len(rows[i][j])
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			if j == len(vals)-1 {
+				b.WriteString(v)
+				continue
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(resp.Columns)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows, %.1fms server-side)\n", resp.RowCount, resp.ElapsedMillis)
+	fmt.Print(clip(b.String(), 20))
+}
+
 // fmtBytes renders a byte count in the nearest binary unit.
 func fmtBytes(n int64) string {
 	switch {
@@ -408,7 +507,7 @@ func fmtBytes(n int64) string {
 }
 
 // queryOpts converts the shell's sticky settings into per-query options.
-func queryOpts(opts dqo.QueryOptions, beam int, reopt float64, spillDir string) []dqo.QueryOption {
+func queryOpts(opts stickyOpts, beam int, reopt float64, spillDir string) []dqo.QueryOption {
 	var out []dqo.QueryOption
 	if opts.MemoryLimit > 0 {
 		out = append(out, dqo.WithMemoryLimit(opts.MemoryLimit))

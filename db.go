@@ -402,7 +402,11 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 		pt = &phaseTimes{}
 	}
 	t0 := time.Now()
-	stmt, err := sql.Parse(query)
+	stmt := cfg.stmt
+	var err error
+	if stmt == nil {
+		stmt, err = sql.Parse(query)
+	}
 	pt.parse = time.Since(t0)
 	if err != nil {
 		return nil, nil, err
@@ -436,7 +440,7 @@ func (db *DB) compile(mode Mode, query string, cfg queryConfig, pt *phaseTimes) 
 	cm = cm.WithAVs(prov, prov).WithCracked(prov)
 
 	db.mu.RLock()
-	useCache := db.cachePlans
+	useCache := db.cachePlans || cfg.prepared
 	fbOn := db.feedbackOn
 	db.mu.RUnlock()
 	if fbOn {
@@ -504,55 +508,9 @@ func (db *DB) Query(ctx context.Context, mode Mode, query string, opts ...QueryO
 	return db.run(ctx, mode, query, resolveOptions(opts))
 }
 
-// QueryOptions tunes optimisation and execution of one query.
-//
-// Deprecated: pass functional options (WithWorkers, WithMorselSize,
-// WithMemoryLimit, WithTimeout, WithTracer) to Query instead.
-type QueryOptions struct {
-	// Workers bounds the query's worker pool AND the degree of parallelism
-	// the optimiser enumerates plans at; <= 0 selects GOMAXPROCS. Workers=1
-	// plans and executes fully serially.
-	Workers int
-	// MorselSize is the execution batch row count; <= 0 selects
-	// exec.DefaultMorselSize.
-	MorselSize int
-	// MemoryLimit, when > 0, caps the query's working memory in bytes. The
-	// optimiser prunes plan alternatives whose estimated footprint exceeds
-	// it (hash aggregation degrades to sort-based, parallel kernels to
-	// serial), and at run time materialising operators reserve against a
-	// budget that fails the query with ErrMemoryBudgetExceeded rather than
-	// allocating past the limit. 0 means unlimited — plans are byte-identical
-	// to a query without the option.
-	MemoryLimit int64
-	// Timeout, when > 0, bounds the query's wall-clock time; on expiry the
-	// query aborts at the next morsel boundary with ErrTimeout.
-	Timeout time.Duration
-}
-
-// QueryContext optimises and executes a SQL query under the given mode.
-//
-// Deprecated: use Query, which takes a context directly.
-func (db *DB) QueryContext(ctx context.Context, mode Mode, query string) (*Result, error) {
-	return db.run(ctx, mode, query, queryConfig{})
-}
-
-// QueryContextOptions is QueryContext with explicit worker-pool, morsel,
-// memory-limit, and deadline behaviour.
-//
-// Deprecated: use Query with functional options (WithWorkers,
-// WithMorselSize, WithMemoryLimit, WithTimeout).
-func (db *DB) QueryContextOptions(ctx context.Context, mode Mode, query string, opts QueryOptions) (*Result, error) {
-	return db.run(ctx, mode, query, queryConfig{
-		workers:  opts.Workers,
-		morsel:   opts.MorselSize,
-		memLimit: opts.MemoryLimit,
-		timeout:  opts.Timeout,
-	})
-}
-
-// run is the single query path behind Query and its deprecated wrappers:
-// it executes the query with per-phase timing and records the outcome
-// (metrics always, the span-tree trace when a tracer is installed).
+// run is the single query path behind Query and Stmt.Query: it executes the
+// query with per-phase timing and records the outcome (metrics always, the
+// span-tree trace when a tracer is installed).
 func (db *DB) run(ctx context.Context, mode Mode, query string, cfg queryConfig) (*Result, error) {
 	tracer := db.Tracer()
 	if cfg.tracerSet {
@@ -693,31 +651,6 @@ func (db *DB) Explain(mode Mode, query string, opts ...ExplainOption) (string, e
 		b.WriteString(analyzeReport(mode, qres))
 	}
 	return b.String(), nil
-}
-
-// ExplainDeep is Explain plus the granule tree (the paper's Figure 3 view)
-// of every chosen join and grouping implementation.
-//
-// Deprecated: use Explain(mode, query, ExplainGranules()).
-func (db *DB) ExplainDeep(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, queryConfig{}, nil)
-	if err != nil {
-		return "", err
-	}
-	return res.Best.ExplainDeep(), nil
-}
-
-// ExplainUnnest renders the paper's Figure 3 for the chosen plan: the
-// step-by-step unnesting chain from each logical operator to the fully
-// resolved deep implementation, with the physicality measure at every step.
-//
-// Deprecated: use Explain(mode, query, ExplainUnnesting()).
-func (db *DB) ExplainUnnest(mode Mode, query string) (string, error) {
-	res, _, err := db.compile(mode, query, queryConfig{}, nil)
-	if err != nil {
-		return "", err
-	}
-	return unnestChains(res.Best), nil
 }
 
 // granuleTrees renders the granule tree of every join/group node, bottom-up.
@@ -861,37 +794,6 @@ func (db *DB) MaterializeAV(kind AVKind, table, column string) error {
 	db.avs.Add(v)
 	db.planCache.Clear()
 	return nil
-}
-
-// MaterializeSortedAV materialises a sorted-projection Algorithmic View.
-//
-// Deprecated: use MaterializeAV(AVSorted, table, column).
-func (db *DB) MaterializeSortedAV(table, column string) error {
-	return db.MaterializeAV(AVSorted, table, column)
-}
-
-// MaterializeHashIndexAV materialises a hash-index AV (prepaid hash-join
-// build) on table.column.
-//
-// Deprecated: use MaterializeAV(AVHashIndex, table, column).
-func (db *DB) MaterializeHashIndexAV(table, column string) error {
-	return db.MaterializeAV(AVHashIndex, table, column)
-}
-
-// MaterializeSPHAV materialises a static-perfect-hash directory AV (prepaid
-// SPH-join build) on a dense key column.
-//
-// Deprecated: use MaterializeAV(AVSPH, table, column).
-func (db *DB) MaterializeSPHAV(table, column string) error {
-	return db.MaterializeAV(AVSPH, table, column)
-}
-
-// MaterializeCrackedAV materialises an adaptive (cracked) index AV on
-// table.column.
-//
-// Deprecated: use MaterializeAV(AVCracked, table, column).
-func (db *DB) MaterializeCrackedAV(table, column string) error {
-	return db.MaterializeAV(AVCracked, table, column)
 }
 
 // DescribeAVs renders the AV catalog.

@@ -31,4 +31,34 @@
 // query's lifecycle is observable: phase/operator span trees flow to the
 // DB's Tracer (Result.Trace, DB.LastTrace) and cumulative counters to
 // DB.Metrics / DB.WriteMetrics.
+//
+// # Prepared statements
+//
+// Query shapes that repeat with different literals are prepared once and
+// executed many times. Prepare parses and name-checks a statement whose
+// literals are written as positional "?" parameters; each Stmt.Query binds
+// one argument set and executes. Executions ride the plan-template cache
+// even when the DB-level cache is off: the first execution plans, every
+// later one rebinds the cached template with zero enumeration.
+//
+//	stmt, err := db.Prepare(dqo.ModeDQOCalibrated,
+//		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID WHERE R.A < ? GROUP BY R.A")
+//	res, err := stmt.Query(ctx, 100)
+//
+// # Consuming results
+//
+// A Result holds the full materialised answer. Columns names the output
+// columns; Next advances a cursor over the rows; Scan copies the current
+// row into typed destinations (*uint32, *uint64, *int64, *float64,
+// *string, or *any), one per column:
+//
+//	for res.Next() {
+//		var a, n uint32
+//		if err := res.Scan(&a, &n); err != nil { ... }
+//	}
+//
+// Whole columns are available in one call via Uint32Column and friends,
+// the execution profile via Result.Stats, and String renders an aligned
+// table. The network serving layer (cmd/dqoserve, internal/serve) streams
+// its JSON responses through this same cursor.
 package dqo

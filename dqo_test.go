@@ -72,13 +72,13 @@ func TestQueryModesPickDifferentPlans(t *testing.T) {
 
 func TestExplainDeepShowsGranules(t *testing.T) {
 	db := testDB(t, false, false, true)
-	out, err := db.ExplainDeep(ModeDQO, paperSQL)
+	out, err := db.Explain(ModeDQO, paperSQL, ExplainGranules())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"granule tree", "partitionBy", "«molecule»"} {
 		if !strings.Contains(out, want) {
-			t.Fatalf("ExplainDeep missing %q:\n%s", want, out)
+			t.Fatalf("Explain(ExplainGranules) missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -180,16 +180,16 @@ func TestWhereAndLimit(t *testing.T) {
 
 func TestAVsThroughFacade(t *testing.T) {
 	db := testDB(t, false, false, true)
-	if err := db.MaterializeSortedAV("R", "ID"); err != nil {
+	if err := db.MaterializeAV(AVSorted, "R", "ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeSPHAV("R", "ID"); err != nil {
+	if err := db.MaterializeAV(AVSPH, "R", "ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeHashIndexAV("S", "R_ID"); err != nil {
+	if err := db.MaterializeAV(AVHashIndex, "S", "R_ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeSPHAV("S", "R_ID"); err == nil {
+	if err := db.MaterializeAV(AVSPH, "S", "R_ID"); err == nil {
 		t.Fatal("SPH AV over non-dense column accepted")
 	}
 	desc := db.DescribeAVs()
@@ -277,7 +277,7 @@ func TestQueryErrors(t *testing.T) {
 	if err := db.Register(nil); err == nil {
 		t.Error("nil table registered")
 	}
-	if err := db.MaterializeSortedAV("nosuch", "x"); err == nil {
+	if err := db.MaterializeAV(AVSorted, "nosuch", "x"); err == nil {
 		t.Error("AV on unknown table accepted")
 	}
 }
@@ -351,7 +351,7 @@ func TestLoadCSV(t *testing.T) {
 
 func TestConcurrentQueries(t *testing.T) {
 	db := testDB(t, false, false, true)
-	if err := db.MaterializeSPHAV("R", "ID"); err != nil {
+	if err := db.MaterializeAV(AVSPH, "R", "ID"); err != nil {
 		t.Fatal(err)
 	}
 	db.EnablePlanCache(true)
@@ -386,10 +386,10 @@ func TestConcurrentQueries(t *testing.T) {
 
 func TestReregisterDropsStaleAVs(t *testing.T) {
 	db := testDB(t, false, false, true)
-	if err := db.MaterializeSPHAV("R", "ID"); err != nil {
+	if err := db.MaterializeAV(AVSPH, "R", "ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeHashIndexAV("S", "R_ID"); err != nil {
+	if err := db.MaterializeAV(AVHashIndex, "S", "R_ID"); err != nil {
 		t.Fatal(err)
 	}
 	// Replace R with fresh (different) data: its AVs are stale and must go;
@@ -415,23 +415,23 @@ func TestReregisterDropsStaleAVs(t *testing.T) {
 
 func TestExplainUnnest(t *testing.T) {
 	db := testDB(t, false, false, true)
-	out, err := db.ExplainUnnest(ModeDQO, paperSQL)
+	out, err := db.Explain(ModeDQO, paperSQL, ExplainUnnesting())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"unnesting", "step 0 (physicality 0.00)", "step 3", "partitionBy", "⋈", "Γ"} {
 		if !strings.Contains(out, want) {
-			t.Fatalf("ExplainUnnest missing %q:\n%s", want, out)
+			t.Fatalf("Explain(ExplainUnnesting) missing %q:\n%s", want, out)
 		}
 	}
 }
 
 func TestCrackedAVThroughFacade(t *testing.T) {
 	db := testDB(t, false, false, true)
-	if err := db.MaterializeCrackedAV("R", "A"); err != nil {
+	if err := db.MaterializeAV(AVCracked, "R", "A"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeCrackedAV("nosuch", "A"); err == nil {
+	if err := db.MaterializeAV(AVCracked, "nosuch", "A"); err == nil {
 		t.Fatal("cracked AV on unknown table accepted")
 	}
 	const q = "SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A"

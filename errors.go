@@ -9,10 +9,10 @@ var (
 	// ErrCancelled reports a query aborted by context cancellation.
 	ErrCancelled = qerr.ErrCancelled
 	// ErrTimeout reports a query aborted by its deadline
-	// (QueryOptions.Timeout or a context deadline).
+	// (WithTimeout or a context deadline).
 	ErrTimeout = qerr.ErrTimeout
 	// ErrMemoryBudgetExceeded reports a query that hit its
-	// QueryOptions.MemoryLimit: the reservation that would have passed the
+	// WithMemoryLimit budget: the reservation that would have passed the
 	// limit failed instead of allocating.
 	ErrMemoryBudgetExceeded = qerr.ErrMemoryBudgetExceeded
 	// ErrQueueFull reports a query rejected by the admission gate

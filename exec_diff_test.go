@@ -46,13 +46,13 @@ func corpusDB(t testing.TB) *DB {
 	if err := db.Register(people); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeSPHAV("R", "ID"); err != nil {
+	if err := db.MaterializeAV(AVSPH, "R", "ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeHashIndexAV("S", "R_ID"); err != nil {
+	if err := db.MaterializeAV(AVHashIndex, "S", "R_ID"); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.MaterializeCrackedAV("R", "A"); err != nil {
+	if err := db.MaterializeAV(AVCracked, "R", "A"); err != nil {
 		t.Fatal(err)
 	}
 	// A clustered low-cardinality table: long equal-value runs spanning
@@ -108,7 +108,7 @@ func bulkQuery(t *testing.T, db *DB, mode Mode, query string, workers int) *stor
 
 // morselQuery runs the same query through the morsel executor at an
 // explicit morsel size and worker-pool size (the optimiser also plans at
-// that DOP, matching QueryContextOptions).
+// that DOP, matching Query with WithWorkers/WithMorselSize).
 func morselQuery(t *testing.T, db *DB, mode Mode, query string, morsel, workers int) *storage.Relation {
 	t.Helper()
 	res, stmt, err := db.compile(mode, query, queryConfig{workers: workers}, nil)
@@ -283,8 +283,8 @@ func TestLimitUnderParallelPipeline(t *testing.T) {
 	query := "SELECT id FROM big WHERE v >= 0 LIMIT 10"
 	for _, morsel := range []int{1, 7, 1024} {
 		for _, workers := range []int{2, 8} {
-			res, err := db.QueryContextOptions(context.Background(), ModeDQOCalibrated, query,
-				QueryOptions{Workers: workers, MorselSize: morsel})
+			res, err := db.Query(context.Background(), ModeDQOCalibrated, query,
+				WithWorkers(workers), WithMorselSize(morsel))
 			if err != nil {
 				t.Fatalf("morsel=%d workers=%d: %v", morsel, workers, err)
 			}
@@ -319,9 +319,9 @@ func TestParallelQueryCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
-		_, err := db.QueryContextOptions(ctx, ModeDQOCalibrated,
+		_, err := db.Query(ctx, ModeDQOCalibrated,
 			"SELECT v, COUNT(*) FROM big WHERE v >= 1 GROUP BY v",
-			QueryOptions{Workers: 8, MorselSize: 512})
+			WithWorkers(8), WithMorselSize(512))
 		cancel()
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 			t.Fatalf("run %d: got %v, want nil or deadline/cancel", i, err)
@@ -340,11 +340,11 @@ func TestQueryContextCancellation(t *testing.T) {
 	db := corpusDB(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := db.QueryContext(ctx, ModeDQO, paperSQL); !errors.Is(err, context.Canceled) {
+	if _, err := db.Query(ctx, ModeDQO, paperSQL); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
-	// A live context behaves exactly like Query.
-	res, err := db.QueryContext(context.Background(), ModeDQO, paperSQL)
+	// A live context behaves exactly like a background one.
+	res, err := db.Query(context.Background(), ModeDQO, paperSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestQueryContextTimeout(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	time.Sleep(time.Millisecond) // let the deadline pass
-	if _, err := db.QueryContext(ctx, ModeDQO, paperSQL); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := db.Query(ctx, ModeDQO, paperSQL); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("got %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,512 @@
+package benchkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dqo"
+	"dqo/internal/datagen"
+	"dqo/internal/serve"
+)
+
+// ServeConfig shapes the serving-layer benchmark: a dqoserve instance under
+// a mixed workload of HTTP clients at one or more concurrency levels.
+type ServeConfig struct {
+	Conns    int           `json:"conns"`       // peak concurrent connections
+	Duration time.Duration `json:"duration_ns"` // measured wall time per concurrency level
+	Seed     uint64        `json:"seed"`
+
+	RRows   int `json:"r_rows"`
+	SRows   int `json:"s_rows"`
+	AGroups int `json:"a_groups"`
+
+	// Admission shape of the server under test. The global gate's queue is
+	// sized to absorb the peak connection count, so shedding is the tenant
+	// gates' decision. The drivers are closed-loop (one request in flight
+	// per connection), so a tenant sheds exactly when its connection share
+	// exceeds TenantActive+TenantQueue: the quota is sized (3/10 of the
+	// peak, the quiet classes' share) so the interactive and dashboard
+	// tenants fit inside it while the noisy tenant's 4/10 share overruns
+	// its own quota and sheds without starving the others.
+	MaxActive    int `json:"max_active"`
+	MaxQueue     int `json:"max_queue"`
+	TenantActive int `json:"tenant_active"`
+	TenantQueue  int `json:"tenant_queue"`
+}
+
+// DefaultServe is the acceptance shape: a 1000-connection peak, reached
+// through a 100-connection warm level, ten seconds of measurement each.
+// Zero admission fields are derived from the peak in RunServe.
+func DefaultServe() ServeConfig {
+	return ServeConfig{
+		Conns:    1000,
+		Duration: 10 * time.Second,
+		Seed:     42,
+		RRows:    20000, SRows: 90000, AGroups: 2000,
+	}
+}
+
+// withDefaults resolves the derived admission shape (see the Config field
+// comment for why the tenant quota tracks the peak connection count).
+func (cfg ServeConfig) withDefaults() ServeConfig {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 16
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2 * cfg.Conns
+	}
+	if cfg.TenantActive <= 0 {
+		cfg.TenantActive = 8
+	}
+	if cfg.TenantQueue <= 0 {
+		cfg.TenantQueue = cfg.Conns * 3 / 10
+	}
+	return cfg
+}
+
+// ServeRow is one workload class measured at one concurrency level.
+type ServeRow struct {
+	Conns    int    `json:"conns"`
+	Class    string `json:"class"`
+	Workers  int    `json:"workers"`
+	Requests int64  `json:"requests"`
+	OK       int64  `json:"ok"`
+	Shed     int64  `json:"shed"`   // HTTP 429 / queue_full — deliberate load-shedding
+	Failed   int64  `json:"failed"` // anything else: the acceptance criterion is zero
+
+	P50Millis float64 `json:"p50_ms"` // client-observed latency of OK requests
+	P99Millis float64 `json:"p99_ms"`
+	QPS       float64 `json:"qps"` // completed (OK) queries per second
+}
+
+// ServeReport is the experiment's artifact body: the per-class rows plus the
+// server's plan-cache counters, which prove the prepared and parameterised
+// classes planned once and rebound thereafter.
+type ServeReport struct {
+	Config      ServeConfig `json:"config"`
+	Rows        []ServeRow  `json:"rows"`
+	CacheHits   int64       `json:"plan_cache_hits"`
+	CacheMisses int64       `json:"plan_cache_misses"`
+	HitRate     float64     `json:"plan_cache_hit_rate"`
+	Checks      []string    `json:"checks"`
+}
+
+// The three workload classes. Each runs under its own tenant so the serving
+// layer's per-tenant gates are the thing being exercised: the noisy tenant's
+// analytics scans overrun its quota and shed, while the interactive and
+// dashboard tenants keep completing.
+const (
+	classInteractive = "interactive" // parameterised one-shot /query
+	classDashboard   = "dashboard"   // /prepare once, /execute repeatedly
+	classNoisy       = "noisy"       // heavy unparameterised analytics scan
+)
+
+const (
+	serveOneShotSQL  = "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID WHERE R.A < ? GROUP BY R.A"
+	servePreparedSQL = "SELECT ID FROM R WHERE A = ?"
+	serveNoisySQL    = "SELECT R.A, COUNT(*), SUM(S.M) FROM R JOIN S ON R.ID = S.R_ID GROUP BY R.A"
+)
+
+// RunServe starts a dqoserve serving layer on a loopback listener and drives
+// it with Conns concurrent HTTP clients split across the three classes,
+// sweeping concurrency levels up to the configured peak. Every request goes
+// over real sockets through the real handler stack — admission gates,
+// sessions, prepared statements, the streaming result encoder — so the
+// reported p50/p99 are client-observed end-to-end latencies.
+func RunServe(cfg ServeConfig, w io.Writer) (*ServeReport, error) {
+	cfg = cfg.withDefaults()
+	db := dqo.Open()
+	if err := registerServeTables(db, cfg); err != nil {
+		return nil, err
+	}
+	db.EnablePlanCache(true)
+
+	srv := serve.New(serve.Config{
+		DB:           db,
+		MaxActive:    cfg.MaxActive,
+		MaxQueue:     cfg.MaxQueue,
+		TenantActive: cfg.TenantActive,
+		TenantQueue:  cfg.TenantQueue,
+		MaxSessions:  cfg.Conns + 16,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// One shared transport with enough idle capacity that the sweep measures
+	// the serving layer, not connection churn.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * cfg.Conns,
+		MaxIdleConnsPerHost: 2 * cfg.Conns,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+
+	if err := warmServe(base, hc); err != nil {
+		return nil, fmt.Errorf("warmup: %w", err)
+	}
+
+	fmt.Fprintf(w, "# serve workload: %d-conn peak against a loopback dqoserve (R=%d, S=%d rows)\n",
+		cfg.Conns, cfg.RRows, cfg.SRows)
+	fmt.Fprintf(w, "# classes: %s = one-shot ?-queries, %s = prepare-once/execute-many, %s = heavy analytics on its own tenant\n",
+		classInteractive, classDashboard, classNoisy)
+	fmt.Fprintf(w, "%-6s %-12s %8s %9s %9s %9s %9s %10s %10s %9s\n",
+		"conns", "class", "workers", "requests", "ok", "shed", "failed", "p50 ms", "p99 ms", "qps")
+
+	report := &ServeReport{Config: cfg}
+	for _, level := range serveLevels(cfg.Conns) {
+		rows, err := runServeLevel(base, hc, level, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		report.Rows = append(report.Rows, rows...)
+	}
+
+	report.CacheHits, report.CacheMisses, err = servePlanCacheCounters(base, hc)
+	if err != nil {
+		return nil, err
+	}
+	if total := report.CacheHits + report.CacheMisses; total > 0 {
+		report.HitRate = float64(report.CacheHits) / float64(total)
+	}
+	fmt.Fprintf(w, "\n# plan cache: %d hits / %d misses (hit rate %.4f) — every repeated shape planned once\n",
+		report.CacheHits, report.CacheMisses, report.HitRate)
+
+	report.Checks = checkServe(report, cfg)
+	fmt.Fprintf(w, "\n# serving checks:\n")
+	for _, line := range report.Checks {
+		fmt.Fprintln(w, line)
+	}
+	return report, nil
+}
+
+// registerServeTables loads the same R/S foreign-key demo schema dqoserve
+// itself starts with.
+func registerServeTables(db *dqo.DB, cfg ServeConfig) error {
+	r, s := datagen.FKPair(cfg.Seed, datagen.FKConfig{
+		RRows: cfg.RRows, SRows: cfg.SRows, AGroups: cfg.AGroups,
+		RSorted: true, SSorted: true, Dense: true,
+	})
+	rt := dqo.NewTableBuilder("R").
+		Uint32("ID", r.MustColumn("ID").Uint32s()).
+		Uint32("A", r.MustColumn("A").Uint32s()).
+		MustBuild()
+	rt.DeclareCorrelation("ID", "A")
+	st := dqo.NewTableBuilder("S").
+		Uint32("R_ID", s.MustColumn("R_ID").Uint32s()).
+		Int64("M", s.MustColumn("M").Int64s()).
+		MustBuild()
+	if err := db.Register(rt); err != nil {
+		return err
+	}
+	return db.Register(st)
+}
+
+// serveLevels builds the concurrency sweep: decades from 100 up to the peak.
+func serveLevels(conns int) []int {
+	var levels []int
+	for l := 100; l < conns; l *= 10 {
+		levels = append(levels, l)
+	}
+	return append(levels, conns)
+}
+
+// serveSplit deals a level's connections to the classes: 3/10 each to the
+// quiet classes, the rest (4/10) to the noisy one, so only the noisy tenant
+// outgrows the per-tenant quota at peak.
+func serveSplit(level int) map[string]int {
+	quiet := level * 3 / 10
+	if quiet < 1 {
+		quiet = 1
+	}
+	noisy := level - 2*quiet
+	if noisy < 1 {
+		noisy = 1
+	}
+	return map[string]int{
+		classInteractive: quiet,
+		classDashboard:   quiet,
+		classNoisy:       noisy,
+	}
+}
+
+// warmServe runs each query shape once so the sweep measures steady state:
+// templates cached, first-touch allocation done.
+func warmServe(base string, hc *http.Client) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := serve.NewClient(base, hc)
+	if err := c.NewSession(ctx, "warmup"); err != nil {
+		return err
+	}
+	defer c.CloseSession(ctx)
+	if _, err := c.Query(ctx, "", serveOneShotSQL, 10); err != nil {
+		return err
+	}
+	if _, err := c.Query(ctx, "", serveNoisySQL); err != nil {
+		return err
+	}
+	prep, err := c.Prepare(ctx, "", servePreparedSQL)
+	if err != nil {
+		return err
+	}
+	_, err = c.Execute(ctx, prep.Stmt, 1)
+	return err
+}
+
+// classStats is one worker's tally, merged per class after the level drains.
+type classStats struct {
+	requests, ok, shed, failed int64
+	lat                        []time.Duration
+	firstErr                   error
+}
+
+// runServeLevel drives one concurrency level: level workers split across the
+// three classes, each looping requests until the duration elapses.
+func runServeLevel(base string, hc *http.Client, level int, cfg ServeConfig, w io.Writer) ([]ServeRow, error) {
+	workers := serveSplit(level)
+
+	ctx, cancel := context.WithTimeout(context.Background(),
+		cfg.Duration+2*time.Minute) // backstop: in-flight requests finish, stragglers cannot hang the level
+	defer cancel()
+
+	results := make(chan struct {
+		class string
+		classStats
+	}, level)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for class, n := range workers {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(class string, i int) {
+				defer wg.Done()
+				st := serveWorker(ctx, base, hc, class, i, cfg, deadline)
+				results <- struct {
+					class string
+					classStats
+				}{class, st}
+			}(class, i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	merged := map[string]*classStats{}
+	for r := range results {
+		m := merged[r.class]
+		if m == nil {
+			m = &classStats{}
+			merged[r.class] = m
+		}
+		m.requests += r.requests
+		m.ok += r.ok
+		m.shed += r.shed
+		m.failed += r.failed
+		m.lat = append(m.lat, r.lat...)
+		if m.firstErr == nil {
+			m.firstErr = r.firstErr
+		}
+	}
+
+	var rows []ServeRow
+	for _, class := range []string{classInteractive, classDashboard, classNoisy} {
+		m := merged[class]
+		if m == nil {
+			continue
+		}
+		row := ServeRow{
+			Conns: level, Class: class, Workers: workers[class],
+			Requests: m.requests, OK: m.ok, Shed: m.shed, Failed: m.failed,
+			P50Millis: percentileMillis(m.lat, 50),
+			P99Millis: percentileMillis(m.lat, 99),
+			QPS:       float64(m.ok) / elapsed.Seconds(),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-6d %-12s %8d %9d %9d %9d %9d %10.2f %10.2f %9.1f\n",
+			row.Conns, row.Class, row.Workers, row.Requests, row.OK, row.Shed,
+			row.Failed, row.P50Millis, row.P99Millis, row.QPS)
+		if m.firstErr != nil {
+			fmt.Fprintf(w, "# first %s failure: %v\n", class, m.firstErr)
+		}
+	}
+	return rows, nil
+}
+
+// serveWorker is one closed-loop client: it opens a session under its
+// class's tenant, then issues its class's requests back to back until the
+// deadline. Shed responses back off briefly — the client-side half of
+// graceful degradation.
+func serveWorker(ctx context.Context, base string, hc *http.Client, class string, idx int,
+	cfg ServeConfig, deadline time.Time) classStats {
+	var st classStats
+	c := serve.NewClient(base, hc)
+	if err := c.NewSession(ctx, class); err != nil {
+		st.failed++
+		st.firstErr = err
+		return st
+	}
+	defer c.CloseSession(context.Background())
+
+	stmt := ""
+	if class == classDashboard {
+		prep, err := c.Prepare(ctx, "", servePreparedSQL)
+		if err != nil {
+			st.failed++
+			st.firstErr = err
+			return st
+		}
+		stmt = prep.Stmt
+	}
+
+	for seq := 0; time.Now().Before(deadline); seq++ {
+		arg := 1 + (idx*131+seq)%cfg.AGroups
+		t0 := time.Now()
+		var err error
+		switch class {
+		case classInteractive:
+			_, err = c.Query(ctx, "", serveOneShotSQL, arg)
+		case classDashboard:
+			_, err = c.Execute(ctx, stmt, arg)
+		default:
+			_, err = c.Query(ctx, "", serveNoisySQL)
+		}
+		d := time.Since(t0)
+		st.requests++
+		switch {
+		case err == nil:
+			st.ok++
+			st.lat = append(st.lat, d)
+		case isShed(err):
+			st.shed++
+			time.Sleep(5 * time.Millisecond)
+		default:
+			st.failed++
+			if st.firstErr == nil {
+				st.firstErr = err
+			}
+		}
+	}
+	return st
+}
+
+// isShed reports whether the serving layer deliberately refused the request
+// (HTTP 429 / queue_full) — expected degradation, not a failure.
+func isShed(err error) bool {
+	var re *serve.RemoteError
+	return errors.As(err, &re) && re.Kind == serve.KindQueueFull
+}
+
+func percentileMillis(lat []time.Duration, p int) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	i := len(lat) * p / 100
+	if i >= len(lat) {
+		i = len(lat) - 1
+	}
+	return float64(lat[i].Microseconds()) / 1000
+}
+
+// servePlanCacheCounters scrapes the engine's plan-cache counters from the
+// server's /metrics exposition.
+func servePlanCacheCounters(base string, hc *http.Client) (hits, misses int64, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	text, err := serve.NewClient(base, hc).Metrics(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	hits, err = promCounter(text, "dqo_plan_cache_hits_total")
+	if err != nil {
+		return 0, 0, err
+	}
+	misses, err = promCounter(text, "dqo_plan_cache_misses_total")
+	return hits, misses, err
+}
+
+// promCounter pulls one counter's value out of a Prometheus text exposition.
+func promCounter(text, name string) (int64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not in exposition", name)
+}
+
+// checkServe asserts the acceptance shape: every class makes progress at
+// every level, nothing fails outside deliberate shedding, the noisy tenant
+// is the one shedding at peak, and repeated shapes ride the plan cache.
+func checkServe(report *ServeReport, cfg ServeConfig) []string {
+	check := func(ok bool, format string, args ...any) string {
+		tag := "PASS"
+		if !ok {
+			tag = "FAIL"
+		}
+		return tag + ": " + fmt.Sprintf(format, args...)
+	}
+	var out []string
+	if len(report.Rows) == 0 {
+		return []string{"FAIL: no rows measured"}
+	}
+	var failed, shed int64
+	progressed := true
+	p99Reported := true
+	for _, r := range report.Rows {
+		failed += r.Failed
+		shed += r.Shed
+		if r.OK == 0 {
+			progressed = false
+		}
+		if r.OK > 0 && (r.P99Millis <= 0 || r.P99Millis < r.P50Millis) {
+			p99Reported = false
+		}
+	}
+	out = append(out, check(failed == 0,
+		"zero failed (non-shed) queries across all levels (failed=%d)", failed))
+	out = append(out, check(progressed,
+		"every class completed queries at every concurrency level"))
+	out = append(out, check(p99Reported, "p99 >= p50 > 0 reported for every measured class"))
+
+	peak := report.Rows[len(report.Rows)-1].Conns
+	var noisyShed, quietShed int64
+	noisyWorkers := 0
+	for _, r := range report.Rows {
+		if r.Conns != peak {
+			continue
+		}
+		if r.Class == classNoisy {
+			noisyShed = r.Shed
+			noisyWorkers = r.Workers
+		} else {
+			quietShed += r.Shed
+		}
+	}
+	if quota := cfg.TenantActive + cfg.TenantQueue; noisyWorkers > quota {
+		out = append(out, check(noisyShed > 0,
+			"the noisy tenant (%d conns over a %d-slot quota) sheds at peak (shed=%d)",
+			noisyWorkers, quota, noisyShed))
+		out = append(out, check(noisyShed > quietShed,
+			"shedding concentrates on the noisy tenant (noisy=%d, others=%d)", noisyShed, quietShed))
+	}
+	out = append(out, check(report.HitRate > 0.9,
+		"repeated statement shapes ride the plan cache (hit rate %.4f)", report.HitRate))
+	return out
+}

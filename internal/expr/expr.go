@@ -114,6 +114,18 @@ func (l StrLit) String() string {
 // Columns implements Expr.
 func (l StrLit) Columns(dst []string) []string { return dst }
 
+// Param is a positional statement parameter ("?"); Idx is its 0-based
+// position in the statement text. Parameters carry no value — they are
+// slots a prepared statement substitutes typed literals into before the
+// binder runs; evaluating one is an error.
+type Param struct{ Idx int }
+
+// String implements Expr.
+func (p Param) String() string { return "?" }
+
+// Columns implements Expr.
+func (p Param) Columns(dst []string) []string { return dst }
+
 // Bin is a binary expression.
 type Bin struct {
 	Op   Op

@@ -343,3 +343,77 @@ func (p *PanicBox) Rethrow() {
 		panic(err)
 	}
 }
+
+// TenantGates is a registry of per-tenant admission gates: each distinct
+// tenant string gets its own Gate with the same maxActive/maxQueue shape,
+// created lazily on first use. It layers a fairness boundary on top of the
+// DB-level gate — one tenant saturating its slots queues (then sheds) its
+// own requests without starving the others. A nil *TenantGates admits
+// everything, so ungoverned servers pay only a nil check.
+type TenantGates struct {
+	mu        sync.Mutex
+	gates     map[string]*Gate
+	maxActive int
+	maxQueue  int
+}
+
+// NewTenantGates builds a registry whose per-tenant gates admit maxActive
+// concurrent queries with a wait queue of maxQueue. maxActive <= 0 returns a
+// nil (unlimited) registry.
+func NewTenantGates(maxActive, maxQueue int) *TenantGates {
+	if maxActive <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &TenantGates{
+		gates:     make(map[string]*Gate),
+		maxActive: maxActive,
+		maxQueue:  maxQueue,
+	}
+}
+
+// Gate returns the tenant's admission gate, creating it on first use. The
+// empty tenant shares one gate like any other name.
+func (t *TenantGates) Gate(tenant string) *Gate {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g := t.gates[tenant]
+	if g == nil {
+		g = NewGate(t.maxActive, t.maxQueue)
+		t.gates[tenant] = g
+	}
+	return g
+}
+
+// Enter acquires a slot in the tenant's gate — the same contract as
+// Gate.Enter: a release function on success, qerr.ErrQueueFull when the
+// tenant's queue is full, a cancellation error when ctx dies while queued.
+func (t *TenantGates) Enter(ctx context.Context, tenant string) (release func(), err error) {
+	return t.Gate(tenant).Enter(ctx)
+}
+
+// Stats reports each known tenant's running and queued counts, keyed by
+// tenant name. Nil registries report nothing.
+func (t *TenantGates) Stats() map[string]GateStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]GateStat, len(t.gates))
+	for name, g := range t.gates {
+		out[name] = GateStat{Running: g.Running(), Queued: g.Queued()}
+	}
+	return out
+}
+
+// GateStat is one gate's occupancy snapshot.
+type GateStat struct {
+	Running int
+	Queued  int
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HTTPCollector accumulates serving-layer request metrics: per-endpoint
+// request counts by HTTP status, a per-endpoint latency histogram (reusing
+// the engine's bucket bounds), and shed/drain counters. It is the serving
+// twin of Collector — the engine's collector counts queries, this one counts
+// requests, and /metrics emits both expositions back to back. All methods
+// are safe for concurrent use.
+type HTTPCollector struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	shed      int64 // requests rejected with 429 (admission queue full)
+	drained   int64 // in-flight requests completed during graceful shutdown
+}
+
+type endpointStats struct {
+	status  map[int]int64
+	latency []int64 // per-bucket counts, +Inf last
+	count   int64
+	sum     time.Duration
+}
+
+// NewHTTPCollector returns an empty collector.
+func NewHTTPCollector() *HTTPCollector {
+	return &HTTPCollector{endpoints: make(map[string]*endpointStats)}
+}
+
+// RecordRequest counts one finished request: its endpoint (the route
+// pattern, not the raw URL), final HTTP status, and wall-clock latency.
+// Status 429 additionally counts as a shed.
+func (c *HTTPCollector) RecordRequest(endpoint string, status int, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	es := c.endpoints[endpoint]
+	if es == nil {
+		es = &endpointStats{
+			status:  make(map[int]int64),
+			latency: make([]int64, len(latencyBounds)+1),
+		}
+		c.endpoints[endpoint] = es
+	}
+	es.status[status]++
+	i := sort.Search(len(latencyBounds), func(i int) bool { return d <= latencyBounds[i] })
+	es.latency[i]++
+	es.count++
+	es.sum += d
+	if status == 429 {
+		c.shed++
+	}
+}
+
+// RecordDrained counts one in-flight request that completed while the
+// server was draining for shutdown.
+func (c *HTTPCollector) RecordDrained() {
+	c.mu.Lock()
+	c.drained++
+	c.mu.Unlock()
+}
+
+// HTTPGauges are the point-in-time server gauges owned by the session table
+// and gate, supplied at exposition time rather than recorded.
+type HTTPGauges struct {
+	Sessions      int // live sessions
+	PreparedStmts int // server-side prepared statements across sessions
+	Running       int // requests holding an admission slot
+	Queued        int // requests waiting for a slot
+}
+
+// WriteProm writes the collected request metrics plus the supplied gauges in
+// the Prometheus text exposition format, deterministically (endpoints and
+// status codes sorted), with every series prefixed dqoserve_.
+func (c *HTTPCollector) WriteProm(w io.Writer, g HTTPGauges) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	names := make([]string, 0, len(c.endpoints))
+	for name := range c.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pf("# HELP dqoserve_requests_total Requests finished, by endpoint and HTTP status.\n")
+	pf("# TYPE dqoserve_requests_total counter\n")
+	for _, name := range names {
+		es := c.endpoints[name]
+		codes := make([]int, 0, len(es.status))
+		for code := range es.status {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			pf("dqoserve_requests_total{endpoint=%q,status=\"%d\"} %d\n", name, code, es.status[code])
+		}
+	}
+	pf("# HELP dqoserve_request_duration_seconds Request latency by endpoint.\n")
+	pf("# TYPE dqoserve_request_duration_seconds histogram\n")
+	for _, name := range names {
+		es := c.endpoints[name]
+		cum := int64(0)
+		for i, n := range es.latency {
+			cum += n
+			if i == len(latencyBounds) {
+				pf("dqoserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+			} else {
+				pf("dqoserve_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+					name, fmt.Sprintf("%g", latencyBounds[i].Seconds()), cum)
+			}
+		}
+		pf("dqoserve_request_duration_seconds_sum{endpoint=%q} %g\n", name, es.sum.Seconds())
+		pf("dqoserve_request_duration_seconds_count{endpoint=%q} %d\n", name, es.count)
+	}
+	pf("# HELP dqoserve_shed_total Requests rejected with 429 (admission queue full).\n")
+	pf("# TYPE dqoserve_shed_total counter\n")
+	pf("dqoserve_shed_total %d\n", c.shed)
+	pf("# HELP dqoserve_drained_total In-flight requests completed during graceful shutdown.\n")
+	pf("# TYPE dqoserve_drained_total counter\n")
+	pf("dqoserve_drained_total %d\n", c.drained)
+	pf("# TYPE dqoserve_sessions gauge\n")
+	pf("dqoserve_sessions %d\n", g.Sessions)
+	pf("# TYPE dqoserve_prepared_statements gauge\n")
+	pf("dqoserve_prepared_statements %d\n", g.PreparedStmts)
+	pf("# TYPE dqoserve_running gauge\n")
+	pf("dqoserve_running %d\n", g.Running)
+	pf("# TYPE dqoserve_queued gauge\n")
+	pf("dqoserve_queued %d\n", g.Queued)
+	return err
+}

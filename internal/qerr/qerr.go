@@ -1,13 +1,13 @@
 // Package qerr defines the engine's error taxonomy. Every failure that
-// escapes DB.QueryContext is (or wraps) one of the sentinel kinds below, so
+// escapes DB.Query is (or wraps) one of the sentinel kinds below, so
 // callers can dispatch with errors.Is without parsing strings:
 //
 //	ErrCancelled               the caller cancelled the query context
-//	ErrTimeout                 QueryOptions.Timeout (or a context deadline) expired
-//	ErrMemoryBudgetExceeded    the query tried to reserve past QueryOptions.MemoryLimit
+//	ErrTimeout                 WithTimeout (or a context deadline) expired
+//	ErrMemoryBudgetExceeded    the query tried to reserve past WithMemoryLimit
 //	ErrQueueFull               the admission gate rejected the query
 //	ErrInternal                a panic inside the engine, converted to an error
-//	ErrSpillLimitExceeded      spilled run files outgrew QueryOptions.SpillLimit
+//	ErrSpillLimitExceeded      spilled run files outgrew WithSpillLimit
 //	ErrSpillIO                 a spill temp file could not be written, read back, or removed
 //
 // Wrapped errors keep their cause: errors.Is(err, qerr.ErrCancelled) and

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin HTTP client against a dqoserve server, speaking the wire
+// types in this package. It is used by dqoshell's \connect mode, the serve
+// tests, and the benchmark harness. A Client is safe for concurrent use;
+// the session handle, once set by NewSession, is read-only.
+type Client struct {
+	base    string
+	hc      *http.Client
+	session string
+}
+
+// RemoteError is a non-2xx response decoded into the error envelope.
+// Dispatch on Kind (the stable taxonomy label), not on the message.
+type RemoteError struct {
+	Status int    // HTTP status code
+	Kind   string // one of the Kind* constants
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Msg, e.Kind, e.Status)
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8080"). The optional http.Client overrides transport
+// behaviour; nil uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Session returns the client's session handle ("" before NewSession).
+func (c *Client) Session() string { return c.session }
+
+// NewSession opens a server-side session under the tenant label and pins it
+// to this client; subsequent Prepare/Execute calls run inside it.
+func (c *Client) NewSession(ctx context.Context, tenant string) error {
+	var resp SessionResponse
+	if err := c.post(ctx, "/session", SessionRequest{Tenant: tenant}, &resp); err != nil {
+		return err
+	}
+	c.session = resp.Session
+	return nil
+}
+
+// CloseSession releases the client's session server-side.
+func (c *Client) CloseSession(ctx context.Context) error {
+	if c.session == "" {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/session/"+c.session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	c.session = ""
+	return nil
+}
+
+// Query runs a one-shot query. mode "" selects the server default; args
+// bind positional "?" parameters.
+func (c *Client) Query(ctx context.Context, mode, sql string, args ...any) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.post(ctx, "/query", QueryRequest{
+		SQL: sql, Mode: mode, Args: args, Session: c.session,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Prepare registers a statement in the client's session (NewSession first)
+// and returns its handle.
+func (c *Client) Prepare(ctx context.Context, mode, sql string) (*PrepareResponse, error) {
+	var resp PrepareResponse
+	err := c.post(ctx, "/prepare", PrepareRequest{
+		Session: c.session, SQL: sql, Mode: mode,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Execute runs a prepared statement by handle with one set of arguments.
+func (c *Client) Execute(ctx context.Context, stmt string, args ...any) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.post(ctx, "/execute", ExecuteRequest{
+		Session: c.session, Stmt: stmt, Args: args,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the server's Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Healthy reports whether /healthz answers 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// post sends one JSON request and decodes the response into out.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("response body: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into a *RemoteError.
+func decodeError(resp *http.Response) error {
+	var e ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind == "" {
+		return &RemoteError{Status: resp.StatusCode, Kind: KindInternal,
+			Msg: strings.TrimSpace(string(body))}
+	}
+	return &RemoteError{Status: resp.StatusCode, Kind: e.Kind, Msg: e.Error}
+}

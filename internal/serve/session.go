@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"dqo"
+)
+
+// session is one client's server-side state: a tenant label for admission,
+// a bounded map of prepared statements, and a TTL lease refreshed by every
+// touch. Statement handles are stable for the session's lifetime; preparing
+// the same shape twice returns the existing handle.
+type session struct {
+	id     string
+	tenant string
+
+	mu      sync.Mutex
+	stmts   map[string]*dqo.Stmt // by handle
+	byFp    map[string]string    // statement fingerprint -> handle (dedup)
+	nextID  int
+	expires time.Time
+}
+
+// put registers a prepared statement, deduplicating by fingerprint, and
+// returns its handle. It fails once the per-session statement cap is hit.
+func (s *session) put(st *dqo.Stmt, maxStmts int) (string, error) {
+	fp := st.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.byFp[fp]; ok {
+		return h, nil
+	}
+	if len(s.stmts) >= maxStmts {
+		return "", fmt.Errorf("session holds %d prepared statements (the limit)", len(s.stmts))
+	}
+	s.nextID++
+	h := fmt.Sprintf("s%d", s.nextID)
+	s.stmts[h] = st
+	s.byFp[fp] = h
+	return h, nil
+}
+
+// get fetches a prepared statement by handle.
+func (s *session) get(handle string) (*dqo.Stmt, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[handle]
+	return st, ok
+}
+
+func (s *session) stmtCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stmts)
+}
+
+// sessionTable is the bounded, TTL-expired session registry. Expired
+// sessions are reaped lazily on every create/touch — no janitor goroutine,
+// so an idle server holds no timers and tests need no clock control.
+type sessionTable struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	ttl      time.Duration
+	max      int
+	maxStmts int
+	now      func() time.Time // test seam; time.Now in production
+}
+
+func newSessionTable(ttl time.Duration, max, maxStmts int) *sessionTable {
+	return &sessionTable{
+		sessions: make(map[string]*session),
+		ttl:      ttl,
+		max:      max,
+		maxStmts: maxStmts,
+		now:      time.Now,
+	}
+}
+
+// create mints a new session under the tenant label. It fails when the
+// table is full even after reaping expired sessions — session slots are a
+// resource the server sheds like any other.
+func (t *sessionTable) create(tenant string) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reapLocked()
+	if len(t.sessions) >= t.max {
+		return nil, fmt.Errorf("session table full (%d live sessions)", len(t.sessions))
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, fmt.Errorf("session id: %w", err)
+	}
+	s := &session{
+		id:      hex.EncodeToString(buf[:]),
+		tenant:  tenant,
+		stmts:   make(map[string]*dqo.Stmt),
+		byFp:    make(map[string]string),
+		expires: t.now().Add(t.ttl),
+	}
+	t.sessions[s.id] = s
+	return s, nil
+}
+
+// get fetches a live session and renews its lease. Expired sessions are
+// indistinguishable from unknown ones.
+func (t *sessionTable) get(id string) (*session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	now := t.now()
+	if now.After(s.expires) {
+		delete(t.sessions, id)
+		return nil, false
+	}
+	s.expires = now.Add(t.ttl)
+	return s, true
+}
+
+// drop removes a session (explicit close).
+func (t *sessionTable) drop(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.sessions[id]
+	delete(t.sessions, id)
+	return ok
+}
+
+// counts reports live sessions and prepared statements across them,
+// reaping expired sessions first.
+func (t *sessionTable) counts() (sessions, stmts int) {
+	t.mu.Lock()
+	live := make([]*session, 0, len(t.sessions))
+	t.reapLocked()
+	for _, s := range t.sessions {
+		live = append(live, s)
+	}
+	sessions = len(live)
+	t.mu.Unlock()
+	// Statement counts take per-session locks; do it outside the table lock.
+	for _, s := range live {
+		stmts += s.stmtCount()
+	}
+	return sessions, stmts
+}
+
+// reapLocked deletes expired sessions. Callers hold t.mu.
+func (t *sessionTable) reapLocked() {
+	now := t.now()
+	for id, s := range t.sessions {
+		if now.After(s.expires) {
+			delete(t.sessions, id)
+		}
+	}
+}

@@ -26,6 +26,7 @@ type SelectStmt struct {
 	Having  expr.Expr // nil if absent; refers to group output columns
 	OrderBy string    // qualified column, "" if absent
 	Limit   int       // -1 if absent
+	Params  int       // positional "?" parameters in WHERE/HAVING; 0 for a concrete statement
 }
 
 // TableRef names a table with an optional alias.

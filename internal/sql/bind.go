@@ -17,6 +17,9 @@ type Catalog interface {
 // the produced plan is qualified as "alias.column", which makes multi-table
 // queries clash-free by construction.
 func Bind(stmt *SelectStmt, cat Catalog) (logical.Node, error) {
+	if stmt.Params > 0 {
+		return nil, fmt.Errorf("sql: statement has %d unbound parameter(s); supply arguments through a prepared statement", stmt.Params)
+	}
 	b := &binder{cat: cat, cols: map[string][]string{}}
 
 	var node logical.Node

@@ -67,7 +67,7 @@ func exprFingerprint(e expr.Expr) string {
 	switch e := e.(type) {
 	case expr.Bin:
 		return "(" + exprFingerprint(e.L) + " " + e.Op.String() + " " + exprFingerprint(e.R) + ")"
-	case expr.IntLit, expr.FloatLit, expr.StrLit:
+	case expr.IntLit, expr.FloatLit, expr.StrLit, expr.Param:
 		return "?"
 	default:
 		return e.String()

@@ -104,7 +104,7 @@ func lex(src string) ([]token, error) {
 				}
 			}
 			switch c {
-			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '.', ';':
+			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '.', ';', '?':
 				l.pos++
 				l.emit(tokSymbol, string(c), start)
 			default:

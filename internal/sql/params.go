@@ -1,0 +1,76 @@
+package sql
+
+import (
+	"fmt"
+
+	"dqo/internal/expr"
+)
+
+// BindArgs returns a copy of s with every positional "?" parameter replaced
+// by a typed literal for the corresponding argument, in statement order. The
+// copy is concrete (Params == 0) and binds like any other statement; s is
+// left untouched, so one prepared statement can be bound concurrently with
+// different argument sets. The argument count must match exactly.
+func BindArgs(s *SelectStmt, args []any) (*SelectStmt, error) {
+	if len(args) != s.Params {
+		return nil, fmt.Errorf("sql: statement wants %d argument(s), got %d", s.Params, len(args))
+	}
+	lits := make([]expr.Expr, len(args))
+	for i, a := range args {
+		lit, err := literal(a)
+		if err != nil {
+			return nil, fmt.Errorf("sql: argument %d: %w", i+1, err)
+		}
+		lits[i] = lit
+	}
+	out := *s
+	out.Params = 0
+	if s.Where != nil {
+		out.Where = substExpr(s.Where, lits)
+	}
+	if s.Having != nil {
+		out.Having = substExpr(s.Having, lits)
+	}
+	return &out, nil
+}
+
+// substExpr clones the expression with parameters replaced by their
+// literals. Subtrees without parameters are shared, not copied.
+func substExpr(e expr.Expr, lits []expr.Expr) expr.Expr {
+	switch e := e.(type) {
+	case expr.Param:
+		return lits[e.Idx]
+	case expr.Bin:
+		return expr.Bin{Op: e.Op, L: substExpr(e.L, lits), R: substExpr(e.R, lits)}
+	default:
+		return e
+	}
+}
+
+// literal converts one Go argument value into the literal node the parser
+// would have produced for it.
+func literal(v any) (expr.Expr, error) {
+	switch v := v.(type) {
+	case int:
+		return expr.IntLit{V: int64(v)}, nil
+	case int32:
+		return expr.IntLit{V: int64(v)}, nil
+	case int64:
+		return expr.IntLit{V: v}, nil
+	case uint32:
+		return expr.IntLit{V: int64(v)}, nil
+	case uint64:
+		if v > 1<<63-1 {
+			return nil, fmt.Errorf("uint64 value %d overflows the engine's int64 literals", v)
+		}
+		return expr.IntLit{V: int64(v)}, nil
+	case float32:
+		return expr.FloatLit{V: float64(v)}, nil
+	case float64:
+		return expr.FloatLit{V: v}, nil
+	case string:
+		return expr.StrLit{V: v}, nil
+	default:
+		return nil, fmt.Errorf("unsupported parameter type %T", v)
+	}
+}

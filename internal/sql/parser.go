@@ -19,6 +19,7 @@ func Parse(src string) (*SelectStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	stmt.Params = p.params
 	if p.cur().isSymbol(";") {
 		p.next()
 	}
@@ -29,8 +30,9 @@ func Parse(src string) (*SelectStmt, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // positional "?" parameters seen so far
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -384,6 +386,11 @@ func (p *parser) primary() (expr.Expr, error) {
 			return nil, err
 		}
 		return e, nil
+	case t.isSymbol("?"):
+		p.next()
+		prm := expr.Param{Idx: p.params}
+		p.params++
+		return prm, nil
 	case t.kind == tokNumber:
 		p.next()
 		if strings.Contains(t.text, ".") {

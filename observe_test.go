@@ -446,7 +446,7 @@ func TestAliasClash(t *testing.T) {
 }
 
 // TestMaterializeAVKinds drives the consolidated MaterializeAV entry point
-// over every kind and checks the deprecated per-kind methods still work.
+// over every kind.
 func TestMaterializeAVKinds(t *testing.T) {
 	db := testDB(t, false, false, true)
 	for _, k := range []AVKind{AVSorted, AVHashIndex, AVSPH, AVCracked} {
@@ -462,30 +462,5 @@ func TestMaterializeAVKinds(t *testing.T) {
 	}
 	if err := db.MaterializeAV(AVKind(99), "R", "ID"); err == nil {
 		t.Fatal("unknown AVKind accepted")
-	}
-	if err := db.MaterializeSortedAV("S", "R_ID"); err != nil {
-		t.Fatalf("deprecated MaterializeSortedAV: %v", err)
-	}
-}
-
-// TestDeprecatedQueryWrappers checks QueryContext and QueryContextOptions
-// still behave as thin delegates of the options-based Query.
-func TestDeprecatedQueryWrappers(t *testing.T) {
-	db := testDB(t, false, false, true)
-	want, err := db.Query(context.Background(), ModeDQO, paperSQL+" ORDER BY R.A")
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaCtx, err := db.QueryContext(context.Background(), ModeDQO, paperSQL+" ORDER BY R.A")
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaOpts, err := db.QueryContextOptions(context.Background(), ModeDQO, paperSQL+" ORDER BY R.A",
-		QueryOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want.String() != viaCtx.String() || want.String() != viaOpts.String() {
-		t.Fatal("deprecated wrappers disagree with Query")
 	}
 }

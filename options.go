@@ -5,6 +5,7 @@ import (
 
 	"dqo/internal/core"
 	"dqo/internal/obs"
+	"dqo/internal/sql"
 )
 
 // QueryOption tunes optimisation and execution of one query; pass options
@@ -23,6 +24,13 @@ type queryConfig struct {
 	tracerSet  bool   // distinguishes WithTracer(nil) from "use the DB tracer"
 	spillDir   string // spill-to-disk parent directory ("" = spilling off)
 	spillLimit int64  // cap on live spill bytes (<= 0 = unlimited)
+
+	// Prepared-statement path: stmt is the pre-parsed (and argument-bound)
+	// statement, so compile skips the parse phase; prepared routes the plan
+	// through the template cache even when the DB-level cache is off — a
+	// prepared statement's whole point is planning once per shape.
+	stmt     *sql.SelectStmt
+	prepared bool
 }
 
 func resolveOptions(opts []QueryOption) queryConfig {

@@ -138,11 +138,11 @@ func TestPlanCacheTemplateNoStaleLiterals(t *testing.T) {
 	for _, s := range shapes {
 		for _, lit := range s.lits {
 			q := fmt.Sprintf(s.shape, lit)
-			got, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q)
+			got, err := db.Query(context.Background(), ModeDQOCalibrated, q)
 			if err != nil {
 				t.Fatalf("%s: %v", q, err)
 			}
-			want, err := ref.QueryContext(context.Background(), ModeDQOCalibrated, q)
+			want, err := ref.Query(context.Background(), ModeDQOCalibrated, q)
 			if err != nil {
 				t.Fatalf("%s (reference): %v", q, err)
 			}
@@ -166,7 +166,7 @@ func TestPlanCacheTemplateNoStaleLiterals(t *testing.T) {
 	// A hit re-plans in O(rebind): zero enumeration. The DB-level
 	// alternatives counter must not move on hits.
 	before := db.Metrics().OptimizerAlternatives
-	if _, err := db.QueryContext(context.Background(), ModeDQOCalibrated, "SELECT ID FROM R WHERE A = 11"); err != nil {
+	if _, err := db.Query(context.Background(), ModeDQOCalibrated, "SELECT ID FROM R WHERE A = 11"); err != nil {
 		t.Fatal(err)
 	}
 	if after := db.Metrics().OptimizerAlternatives; after != before {
@@ -184,7 +184,7 @@ func TestPlanCacheRebindFallback(t *testing.T) {
 	db.EnablePlanCache(true)
 	// Prime the template with a crackable range on R.A (cracked AV present).
 	q1 := "SELECT A, COUNT(*) FROM R WHERE A >= 10 AND A < 30 GROUP BY A ORDER BY A"
-	r1, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q1)
+	r1, err := db.Query(context.Background(), ModeDQOCalibrated, q1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestPlanCacheRebindFallback(t *testing.T) {
 	// re-plan instead of serving a template with a stale (or nonsensical)
 	// crack range.
 	q2 := "SELECT A, COUNT(*) FROM R WHERE A >= 0 AND A < 4294967296 GROUP BY A ORDER BY A"
-	r2, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q2)
+	r2, err := db.Query(context.Background(), ModeDQOCalibrated, q2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestPlanCacheRebindFallback(t *testing.T) {
 	}
 	// The replacement template must serve subsequent crackable literals.
 	q3 := "SELECT A, COUNT(*) FROM R WHERE A >= 90 AND A < 95 GROUP BY A ORDER BY A"
-	r3, err := db.QueryContext(context.Background(), ModeDQOCalibrated, q3)
+	r3, err := db.Query(context.Background(), ModeDQOCalibrated, q3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestPlanCacheRebindFallback(t *testing.T) {
 func TestEnablePlanCacheDisabledStopsCounting(t *testing.T) {
 	db := corpusDB(t)
 	db.EnablePlanCache(true)
-	if _, err := db.QueryContext(context.Background(), ModeDQO, paperSQL); err != nil {
+	if _, err := db.Query(context.Background(), ModeDQO, paperSQL); err != nil {
 		t.Fatal(err)
 	}
 	if _, misses := db.PlanCacheStats(); misses != 1 {
@@ -235,7 +235,7 @@ func TestEnablePlanCacheDisabledStopsCounting(t *testing.T) {
 		t.Fatalf("stats = %d/%d after disable, want 0/0", hits, misses)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := db.QueryContext(context.Background(), ModeDQO, paperSQL); err != nil {
+		if _, err := db.Query(context.Background(), ModeDQO, paperSQL); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -291,7 +291,7 @@ func TestTraceOptimiseSpanTier(t *testing.T) {
 		return nil
 	}
 
-	res, err := db.QueryContext(context.Background(), ModeGreedy, paperSQL)
+	res, err := db.Query(context.Background(), ModeGreedy, paperSQL)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,10 +13,9 @@ import (
 
 // Result is the output of a query: a result relation, the plan that
 // produced it, and the per-operator execution profile. When a query fails
-// mid-pipeline, QueryContextOptions returns a partial Result alongside the
-// error: rel is nil, Err reports the failure, and Stats carries whatever
-// the operators counted before the abort — the post-mortem view of how far
-// the query got.
+// mid-pipeline, Query returns a partial Result alongside the error: rel is
+// nil, Err reports the failure, and Stats carries whatever the operators
+// counted before the abort — the post-mortem view of how far the query got.
 type Result struct {
 	rel     *storage.Relation
 	plan    *core.Result
@@ -26,6 +25,8 @@ type Result struct {
 	phases  phaseTimes
 	memPeak int64 // budget high-water mark (0 when no budget was installed)
 	replans []ReplanEvent
+
+	cursor int // Next/Scan row cursor: rows consumed so far
 }
 
 // ReplanEvent records one mid-query re-planning decision taken at a
@@ -115,6 +116,98 @@ func (r *Result) Columns() []string {
 		return nil
 	}
 	return r.rel.ColumnNames()
+}
+
+// Next advances the result's row cursor, returning false once every row has
+// been consumed (and always for a failed query). Together with Columns and
+// Scan it is the streaming surface over a result — consumers like the
+// serving layer's JSON encoder emit one row at a time instead of
+// materialising a row-major copy:
+//
+//	for res.Next() {
+//	    var a uint32
+//	    var n int64
+//	    if err := res.Scan(&a, &n); err != nil { ... }
+//	}
+//
+// The cursor starts before the first row and is single-use; it is not safe
+// for concurrent use with itself (results are otherwise read-only).
+func (r *Result) Next() bool {
+	if r.rel == nil || r.cursor >= r.rel.NumRows() {
+		return false
+	}
+	r.cursor++
+	return true
+}
+
+// Scan copies the current row (positioned by Next) into dest, one pointer
+// per result column. Each dest must be a pointer matching the column's
+// type — *uint32, *int64, *float64, or *string — or *any, which receives
+// uint32/int64/float64/string by column kind.
+func (r *Result) Scan(dest ...any) error {
+	if r.rel == nil {
+		return fmt.Errorf("dqo: Scan on a failed query: %v", r.err)
+	}
+	if r.cursor == 0 || r.cursor > r.rel.NumRows() {
+		return fmt.Errorf("dqo: Scan without a preceding successful Next")
+	}
+	if len(dest) != r.rel.NumCols() {
+		return fmt.Errorf("dqo: Scan wants %d destinations, got %d", r.rel.NumCols(), len(dest))
+	}
+	row := r.cursor - 1
+	for j, c := range r.rel.Columns() {
+		if err := scanCell(c, row, dest[j]); err != nil {
+			return fmt.Errorf("dqo: Scan column %q: %w", c.Name(), err)
+		}
+	}
+	return nil
+}
+
+// scanCell copies one cell into a destination pointer.
+func scanCell(c *storage.Column, row int, dest any) error {
+	v := c.ValueAt(row)
+	switch d := dest.(type) {
+	case *uint32:
+		if v.Kind != storage.KindUint32 {
+			return fmt.Errorf("column is %s, not uint32", v.Kind)
+		}
+		*d = uint32(v.U)
+	case *uint64:
+		if v.Kind != storage.KindUint64 && v.Kind != storage.KindUint32 {
+			return fmt.Errorf("column is %s, not uint64", v.Kind)
+		}
+		*d = v.U
+	case *int64:
+		if v.Kind != storage.KindInt64 {
+			return fmt.Errorf("column is %s, not int64", v.Kind)
+		}
+		*d = int64(v.U)
+	case *float64:
+		if v.Kind != storage.KindFloat64 {
+			return fmt.Errorf("column is %s, not float64", v.Kind)
+		}
+		*d = v.F
+	case *string:
+		*d = v.String()
+	case *any:
+		switch v.Kind {
+		case storage.KindUint32:
+			*d = uint32(v.U)
+		case storage.KindUint64:
+			*d = v.U
+		case storage.KindInt64:
+			*d = int64(v.U)
+		case storage.KindFloat64:
+			*d = v.F
+		case storage.KindString:
+			*d = v.S
+		default:
+			return fmt.Errorf("column has invalid kind")
+		}
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return nil
 }
 
 // EstimatedCost returns the optimiser's cost estimate for the executed plan.

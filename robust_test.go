@@ -37,8 +37,8 @@ const groupSQL = "SELECT T.KEY, COUNT(*) FROM T GROUP BY T.KEY"
 // and still return a partial Result carrying the plan and profile.
 func TestMemoryLimitTyped(t *testing.T) {
 	db := groupDB(t, 30000)
-	res, err := db.QueryContextOptions(context.Background(), ModeDQO, groupSQL,
-		QueryOptions{MemoryLimit: 4096})
+	res, err := db.Query(context.Background(), ModeDQO, groupSQL,
+		WithMemoryLimit(4096))
 	if !errors.Is(err, ErrMemoryBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrMemoryBudgetExceeded", err)
 	}
@@ -65,8 +65,8 @@ func TestMemoryLimitTyped(t *testing.T) {
 // TestTimeoutTyped bounds a query with a deadline it cannot meet.
 func TestTimeoutTyped(t *testing.T) {
 	db := groupDB(t, 100000)
-	res, err := db.QueryContextOptions(context.Background(), ModeDQO, groupSQL,
-		QueryOptions{Timeout: 50 * time.Microsecond})
+	res, err := db.Query(context.Background(), ModeDQO, groupSQL,
+		WithTimeout(50*time.Microsecond))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -86,7 +86,7 @@ func TestCancelledTyped(t *testing.T) {
 	db := groupDB(t, 1000)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := db.QueryContext(ctx, ModeDQO, groupSQL)
+	_, err := db.Query(ctx, ModeDQO, groupSQL)
 	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
 	}
@@ -177,8 +177,8 @@ func TestBudgetSwitchesPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := db.QueryContextOptions(context.Background(), ModeDQO, q,
-		QueryOptions{MemoryLimit: limit})
+	got, err := db.Query(context.Background(), ModeDQO, q,
+		WithMemoryLimit(limit))
 	if err != nil {
 		t.Fatalf("degraded plan failed: %v", err)
 	}
@@ -196,7 +196,7 @@ func TestNoBudgetPlanIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opted, err := db.QueryContextOptions(context.Background(), ModeDQO, q, QueryOptions{MemoryLimit: 0})
+	opted, err := db.Query(context.Background(), ModeDQO, q, WithMemoryLimit(0))
 	if err != nil {
 		t.Fatal(err)
 	}

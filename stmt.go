@@ -1,0 +1,105 @@
+package dqo
+
+import (
+	"context"
+	"fmt"
+
+	"dqo/internal/sql"
+)
+
+// Stmt is a prepared statement: a SQL text parsed and name-checked once,
+// with positional "?" parameters in the WHERE/HAVING clauses left open.
+// Executing it substitutes typed literals for the parameters and plans
+// through the parameterised template cache — the first execution enumerates
+// a plan for the statement's shape, every later execution (any argument
+// values) rebinds the cached plan with zero enumeration, whether or not the
+// DB-level plan cache is enabled. This is the Section 3 offline-vs-query-time
+// trade made explicit: a prepared statement pays deep optimisation once and
+// amortises it over every execution.
+//
+// A Stmt is immutable after Prepare and safe for concurrent use; the network
+// serving layer executes one session's statement from many requests at once.
+type Stmt struct {
+	db   *DB
+	mode Mode
+	text string
+	tmpl *sql.SelectStmt
+}
+
+// Prepare parses and name-checks a query for repeated execution under the
+// given mode. The query may contain positional "?" parameters anywhere a
+// WHERE/HAVING literal is allowed:
+//
+//	stmt, err := db.Prepare(dqo.ModeDQOCalibrated,
+//	    "SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID WHERE R.A < ? GROUP BY R.A")
+//	res, err := stmt.Query(ctx, 100)
+//
+// Unknown tables or columns are reported here rather than at execution;
+// argument type mismatches surface when the query runs.
+func (db *DB) Prepare(mode Mode, query string) (*Stmt, error) {
+	if _, err := mode.coreMode(); err != nil {
+		return nil, err
+	}
+	tmpl, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	// Name-check now so /prepare-style callers fail fast: substitute a
+	// neutral literal for every parameter and bind the probe. Binding only
+	// resolves names — it cannot depend on the literal values.
+	probe := tmpl
+	if tmpl.Params > 0 {
+		zeros := make([]any, tmpl.Params)
+		for i := range zeros {
+			zeros[i] = int64(0)
+		}
+		if probe, err = sql.BindArgs(tmpl, zeros); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sql.Bind(probe, catalogView{db}); err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, mode: mode, text: query, tmpl: tmpl}, nil
+}
+
+// Query executes the prepared statement with the given arguments, one per
+// "?" parameter in statement order. It accepts the same context semantics as
+// DB.Query; tune a single execution with QueryWith.
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Result, error) {
+	return s.QueryWith(ctx, args)
+}
+
+// QueryWith is Query with per-execution options (WithWorkers,
+// WithMemoryLimit, WithTimeout, ...). Note that executions of one statement
+// at different worker counts or memory limits plan as distinct cache
+// entries: the plan depends on those dimensions.
+func (s *Stmt) QueryWith(ctx context.Context, args []any, opts ...QueryOption) (*Result, error) {
+	bound, err := sql.BindArgs(s.tmpl, args)
+	if err != nil {
+		return nil, err
+	}
+	cfg := resolveOptions(opts)
+	cfg.stmt = bound
+	cfg.prepared = true
+	// Traces and metrics record the template text ("?" slots), not the
+	// substituted literals: one prepared statement is one query shape.
+	return s.db.run(ctx, s.mode, s.text, cfg)
+}
+
+// NumParams reports how many positional parameters the statement has.
+func (s *Stmt) NumParams() int { return s.tmpl.Params }
+
+// SQL returns the statement text as prepared.
+func (s *Stmt) SQL() string { return s.text }
+
+// Mode returns the optimisation mode the statement was prepared under.
+func (s *Stmt) Mode() Mode { return s.mode }
+
+// Fingerprint returns the statement's normalized shape (literals and
+// parameters stripped to slots) prefixed with its mode — the key the serving
+// layer deduplicates server-side statements under, and the shape component
+// of the plan-cache key its executions hit.
+func (s *Stmt) Fingerprint() string {
+	return fmt.Sprintf("%s|%s", s.mode, sql.Fingerprint(s.tmpl))
+}

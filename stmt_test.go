@@ -1,0 +1,248 @@
+package dqo
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrepareBasics pins the prepared-statement contract: a "?" parameter
+// binds per execution, and each execution matches the equivalent concrete
+// query byte for byte.
+func TestPrepareBasics(t *testing.T) {
+	db := testDB(t, false, false, true)
+	stmt, err := db.Prepare(ModeDQOCalibrated,
+		"SELECT R.A, COUNT(*) FROM R JOIN S ON R.ID = S.R_ID WHERE R.A < ? GROUP BY R.A ORDER BY R.A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
+	}
+	if stmt.Mode() != ModeDQOCalibrated || !strings.Contains(stmt.SQL(), "?") {
+		t.Fatalf("metadata wrong: mode %v, sql %q", stmt.Mode(), stmt.SQL())
+	}
+	for _, bound := range []int{5, 30, 77} {
+		got, err := stmt.Query(context.Background(), bound)
+		if err != nil {
+			t.Fatalf("Query(%d): %v", bound, err)
+		}
+		want, err := db.Query(context.Background(), ModeDQOCalibrated,
+			strings.Replace(stmt.SQL(), "?", strconv.Itoa(bound), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("Query(%d) differs from concrete query:\nwant:\n%s\ngot:\n%s",
+				bound, want.String(), got.String())
+		}
+	}
+}
+
+// TestPrepareValidation: names are checked at Prepare, argument counts and
+// types at execution.
+func TestPrepareValidation(t *testing.T) {
+	db := testDB(t, false, false, true)
+	if _, err := db.Prepare(ModeDQO, "SELECT nope FROM R WHERE A = ?"); err == nil {
+		t.Fatal("unknown column accepted at Prepare")
+	}
+	if _, err := db.Prepare(Mode(99), "SELECT ID FROM R"); err == nil {
+		t.Fatal("unknown mode accepted at Prepare")
+	}
+	stmt, err := db.Prepare(ModeDQO, "SELECT ID FROM R WHERE A < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(context.Background()); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if _, err := stmt.Query(context.Background(), 1, 2); err == nil {
+		t.Fatal("extra argument accepted")
+	}
+	if _, err := stmt.Query(context.Background(), []byte("x")); err == nil {
+		t.Fatal("unsupported argument type accepted")
+	}
+	// A parameterised statement cannot run through the plain Query path.
+	if _, err := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R WHERE A < ?"); err == nil {
+		t.Fatal("unbound parameter accepted by Query")
+	}
+}
+
+// TestPreparedPlansOnce: executions of one prepared statement share a plan
+// template — one miss, then hits — even when the DB-level cache is off.
+func TestPreparedPlansOnce(t *testing.T) {
+	db := testDB(t, false, false, true)
+	stmt, err := db.Prepare(ModeDQOCalibrated, "SELECT ID FROM R WHERE A = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arg := range []int{3, 7, 50, 11} {
+		if _, err := stmt.Query(context.Background(), arg); err != nil {
+			t.Fatalf("Query(%d): %v", arg, err)
+		}
+	}
+	hits, misses := db.PlanCacheStats()
+	if misses != 1 || hits != 3 {
+		t.Fatalf("plan cache = %d hits / %d misses, want 3/1", hits, misses)
+	}
+	// A template hit enumerates nothing.
+	before := db.Metrics().OptimizerAlternatives
+	if _, err := stmt.Query(context.Background(), 42); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.Metrics().OptimizerAlternatives; after != before {
+		t.Fatalf("prepared repeat enumerated %d alternatives, want 0", after-before)
+	}
+}
+
+// TestPreparedConcurrent executes one statement from many goroutines with
+// different arguments; results must stay argument-correct (no cross-talk
+// through the shared template).
+func TestPreparedConcurrent(t *testing.T) {
+	db := testDB(t, false, false, true)
+	stmt, err := db.Prepare(ModeDQOCalibrated,
+		"SELECT A, COUNT(*) FROM R WHERE A < ? GROUP BY A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				want := 1 + (w*10+i)%40
+				res, err := stmt.Query(context.Background(), want)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.NumRows() != want {
+					errc <- errRows{want, res.NumRows()}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+type errRows struct{ want, got int }
+
+func (e errRows) Error() string {
+	return "prepared result has " + strconv.Itoa(e.got) + " rows, want " + strconv.Itoa(e.want)
+}
+
+// TestStringArgsAndFloats covers the remaining literal kinds through the
+// parameter binder.
+func TestStringArgsAndFloats(t *testing.T) {
+	tab := NewTableBuilder("p").
+		Uint32("id", []uint32{1, 2, 3}).
+		String("name", []string{"ada", "bob", "cyd"}).
+		Float64("score", []float64{9.5, 7.25, 8.0}).
+		MustBuild()
+	db := Open()
+	if err := db.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	byName, err := db.Prepare(ModeDQO, "SELECT id FROM p WHERE name = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := byName.Query(context.Background(), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := res.Uint32Column("p.id")
+	if err != nil || len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("ids = %v, %v", ids, err)
+	}
+	byScore, err := db.Prepare(ModeDQO, "SELECT id FROM p WHERE score > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = byScore.Query(context.Background(), 8.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("%d rows, want 1 (only ada scores > 8.5)", res.NumRows())
+	}
+}
+
+// TestResultIterator drives the Columns/Next/Scan streaming surface.
+func TestResultIterator(t *testing.T) {
+	db := testDB(t, true, true, true)
+	res, err := db.Query(context.Background(), ModeDQO,
+		"SELECT ID, A FROM R WHERE A < 10 ORDER BY ID LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scan(new(uint32), new(uint32)); err == nil {
+		t.Fatal("Scan before Next accepted")
+	}
+	var (
+		n      int
+		lastID uint32
+	)
+	for res.Next() {
+		var id, a uint32
+		if err := res.Scan(&id, &a); err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 && id < lastID {
+			t.Fatalf("rows out of order: %d after %d", id, lastID)
+		}
+		if a >= 10 {
+			t.Fatalf("filter violated: A = %d", a)
+		}
+		lastID = id
+		n++
+	}
+	if n != res.NumRows() || n != 7 {
+		t.Fatalf("iterated %d rows, want %d", n, res.NumRows())
+	}
+	if res.Next() {
+		t.Fatal("Next after exhaustion")
+	}
+
+	// Destination validation.
+	res2, err := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Next()
+	if err := res2.Scan(new(uint32), new(uint32)); err == nil {
+		t.Fatal("wrong destination count accepted")
+	}
+	if err := res2.Scan(new(int64)); err == nil {
+		t.Fatal("wrong destination type accepted")
+	}
+	var anyCell any
+	if err := res2.Scan(&anyCell); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := anyCell.(uint32); !ok {
+		t.Fatalf("*any destination got %T", anyCell)
+	}
+	var asString string
+	res3, _ := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R LIMIT 1")
+	res3.Next()
+	if err := res3.Scan(&asString); err != nil || asString == "" {
+		t.Fatalf("string destination: %q, %v", asString, err)
+	}
+
+	// A failed query's iterator is empty and Scan reports the failure.
+	bad, _ := db.Query(context.Background(), ModeDQO, "SELECT ID FROM R LIMIT 1")
+	bad.rel = nil
+	if bad.Next() {
+		t.Fatal("Next on failed result")
+	}
+}
